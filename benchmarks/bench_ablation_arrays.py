@@ -1,0 +1,33 @@
+"""Ablation: linearized vs dimension-preserving arrays (paper section 3).
+
+The paper measured the dimension-preserving Java translation to be 2-3x
+slower than the linearized one and adopted linearized arrays throughout.
+This bench reproduces the comparison in the interpreted style: flat
+buffer + index arithmetic vs nested lists.
+"""
+
+import pytest
+
+from repro.core.basic_ops import OPERATIONS, make_workload, run_operation
+
+GRID = (16, 16, 20)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload(GRID)
+
+
+@pytest.mark.parametrize("op", OPERATIONS)
+def test_linearized(benchmark, workload, op):
+    benchmark.extra_info["layout"] = "linearized"
+    benchmark.pedantic(run_operation, args=(op, "python", workload),
+                       rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("op", OPERATIONS)
+def test_multidimensional(benchmark, workload, op):
+    benchmark.extra_info["layout"] = "multidimensional"
+    benchmark.pedantic(run_operation,
+                       args=(op, "python_multidim", workload),
+                       rounds=3, iterations=1)

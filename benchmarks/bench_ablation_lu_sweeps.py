@@ -1,0 +1,33 @@
+"""Ablation: LU sweep orderings (hyperplane vs the paper's plane order).
+
+Both orderings compute bit-identical results; they differ in the number
+of synchronization groups per sweep (~3n for hyperplanes vs ~n*(2n-3)
+for per-plane diagonals).  The paper attributes LU's lower thread
+scalability to the latter structure; with a dispatching team the group
+count is directly visible as overhead.
+"""
+
+import pytest
+
+from repro.lu import LU
+from repro.lu.sweep import hyperplanes, plane_wavefronts
+
+
+@pytest.mark.parametrize("mode", ["hyperplane", "plane"])
+def test_lu_class_s_sweep_mode(benchmark, mode):
+    instances = []
+
+    def make():
+        bench = LU("S", sweep_mode=mode)
+        bench.setup()
+        instances.append(bench)
+        return (), {}
+
+    benchmark.extra_info["sweep_mode"] = mode
+    n = LU("S").params.problem_size
+    grouping = hyperplanes if mode == "hyperplane" else plane_wavefronts
+    benchmark.extra_info["sync_groups_per_sweep"] = (
+        len(grouping(n, n, n)[3]) - 1)
+    benchmark.pedantic(lambda: instances[-1]._iterate(), setup=make,
+                       rounds=1, iterations=1)
+    assert instances[-1].verify().verified

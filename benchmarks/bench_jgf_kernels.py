@@ -1,0 +1,51 @@
+"""Java Grande kernels (section 5.1 discrepancy study).
+
+Measures each JGF kernel in both roles; together with the modeled ratio
+bands (see ``npb report``) this reproduces the paper's explanation of why
+the Java Grande Group's Java-vs-Fortran numbers were so much more
+favorable than the NPB's.
+"""
+
+import numpy as np
+import pytest
+
+from repro.jgf import (
+    make_sparse_system,
+    series_loops,
+    series_numpy,
+    sor_loops,
+    sor_numpy,
+    sparsematmult_loops,
+    sparsematmult_numpy,
+)
+
+N_SERIES = 24
+N_SOR = 120
+N_SPARSE = 5000
+
+
+@pytest.mark.parametrize("style,fn", [("numpy", series_numpy),
+                                      ("loops", series_loops)])
+def test_series(benchmark, style, fn):
+    benchmark.extra_info["kernel"] = "series"
+    benchmark.extra_info["style"] = style
+    benchmark.pedantic(fn, args=(N_SERIES,), rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("style,fn", [("numpy", sor_numpy),
+                                      ("loops", sor_loops)])
+def test_sor(benchmark, style, fn):
+    grid = np.random.default_rng(7).random((N_SOR, N_SOR))
+    benchmark.extra_info["kernel"] = "sor"
+    benchmark.extra_info["style"] = style
+    benchmark.pedantic(fn, args=(grid, 50), rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("style,fn", [("numpy", sparsematmult_numpy),
+                                      ("loops", sparsematmult_loops)])
+def test_sparsematmult(benchmark, style, fn):
+    system = make_sparse_system(N_SPARSE)
+    benchmark.extra_info["kernel"] = "sparsematmult"
+    benchmark.extra_info["style"] = style
+    benchmark.pedantic(fn, args=system,
+                       kwargs={"iterations": 50}, rounds=2, iterations=1)

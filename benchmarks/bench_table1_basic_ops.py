@@ -1,0 +1,39 @@
+"""Table 1: the five basic CFD operations.
+
+Measured part: each operation in the NumPy (Fortran role) and interpreted
+(Java role) styles on a reduced grid; the ratio column of the paper's
+Table 1 is the quotient of the two.  Simulated part: the full Table 1 for
+the SGI Origin2000 from the machine model.
+"""
+
+import pytest
+
+from repro.core.basic_ops import OPERATIONS, make_workload, run_operation
+from nas_bench_util import attach_simulated_table
+
+#: Grid for the interpreted styles (the paper's 81x81x100 would take
+#: minutes per op in pure Python; ratios are grid-size stable).
+GRID = (24, 24, 30)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload(GRID)
+
+
+@pytest.mark.parametrize("op", OPERATIONS)
+def test_numpy_fortran_role(benchmark, workload, op):
+    benchmark.extra_info["style"] = "numpy (f77 role)"
+    benchmark(run_operation, op, "numpy", workload)
+
+
+@pytest.mark.parametrize("op", OPERATIONS)
+def test_python_java_role(benchmark, workload, op):
+    benchmark.extra_info["style"] = "python (Java role)"
+    benchmark.pedantic(run_operation, args=(op, "python", workload),
+                       rounds=3, iterations=1)
+
+
+def test_simulated_table1(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    attach_simulated_table(benchmark, 1)

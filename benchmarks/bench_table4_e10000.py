@@ -1,0 +1,21 @@
+"""Table 4: NPB times (machine: e10000).
+
+Measured part: the timed regions of a subset of the suite on this host
+(the five table benches partition the suite so the full set is covered
+exactly twice across tables 2-6).  Simulated part: the paper-machine
+table from the model.
+"""
+
+import pytest
+
+from nas_bench_util import attach_simulated_table, run_timed_region
+
+
+@pytest.mark.parametrize("name", ['MG', 'CG'])
+def test_benchmark_timed_region(benchmark, name):
+    run_timed_region(benchmark, name)
+
+
+def test_simulated_table4(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    attach_simulated_table(benchmark, 4)

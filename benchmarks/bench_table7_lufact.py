@@ -1,0 +1,49 @@
+"""Table 7: Java Grande lufact vs LINPACK DGETRF.
+
+Measured part: the BLAS1 lufact (numpy, Fortran role), the interpreted
+lufact (Java role, reduced n), and the blocked BLAS3 DGETRF at class A
+(n=500).  The shape target is lufact-slower-than-DGETRF in every style.
+Simulated part: the per-machine Table 7 from the model.
+"""
+
+import pytest
+
+from repro.lufact import (
+    dgetrf_blocked,
+    lufact_loops,
+    lufact_numpy,
+    make_system,
+)
+from nas_bench_util import attach_simulated_table
+
+N_CLASS_A = 500
+N_LOOPS = 160  # interpreted style: O(n^3) Python, keep it small
+
+
+@pytest.fixture(scope="module")
+def class_a_system():
+    return make_system(N_CLASS_A)
+
+
+def test_lufact_numpy_blas1(benchmark, class_a_system):
+    a, _ = class_a_system
+    benchmark.extra_info["role"] = "f77 lufact (BLAS1)"
+    benchmark.pedantic(lufact_numpy, args=(a,), rounds=3, iterations=1)
+
+
+def test_dgetrf_blocked_blas3(benchmark, class_a_system):
+    a, _ = class_a_system
+    benchmark.extra_info["role"] = "LINPACK DGETRF (BLAS3)"
+    benchmark.pedantic(dgetrf_blocked, args=(a,), rounds=3, iterations=1)
+
+
+def test_lufact_loops_java_role(benchmark):
+    a, _ = make_system(N_LOOPS)
+    benchmark.extra_info["role"] = "Java lufact (interpreted)"
+    benchmark.extra_info["n"] = N_LOOPS
+    benchmark.pedantic(lufact_loops, args=(a,), rounds=1, iterations=1)
+
+
+def test_simulated_table7(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    attach_simulated_table(benchmark, 7)

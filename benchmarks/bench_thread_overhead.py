@@ -1,0 +1,40 @@
+"""Ablation: the master-worker machinery's overhead (paper sections 3/5.2).
+
+The paper reports <= 20% overhead for one thread vs the serial program
+and 10-20% overall.  Here: the same benchmark's timed region under the
+serial backend, one worker thread, and one worker process.
+"""
+
+import pytest
+
+from repro.team import ProcessTeam, SerialTeam, ThreadTeam
+from nas_bench_util import run_timed_region
+
+CASES = ["CG", "MG"]
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_serial_baseline(benchmark, name):
+    benchmark.extra_info["backend"] = "serial"
+    run_timed_region(benchmark, name, "S")
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_one_worker_thread(benchmark, name):
+    benchmark.extra_info["backend"] = "threads x1"
+    with ThreadTeam(1) as team:
+        run_timed_region(benchmark, name, "S", team)
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_one_worker_process(benchmark, name):
+    benchmark.extra_info["backend"] = "process x1"
+    with ProcessTeam(1) as team:
+        run_timed_region(benchmark, name, "S", team)
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_two_worker_processes(benchmark, name):
+    benchmark.extra_info["backend"] = "process x2"
+    with ProcessTeam(2) as team:
+        run_timed_region(benchmark, name, "S", team)

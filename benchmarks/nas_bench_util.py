@@ -1,0 +1,57 @@
+"""Shared helpers for the pytest-benchmark table regenerators.
+
+Each ``bench_tableN_*.py`` module does two things:
+
+1. measures the real implementations on this host with pytest-benchmark
+   (class S by default so the suite stays fast; pass a larger class via
+   the NPB_BENCH_CLASS environment variable);
+2. attaches the simulated table for the paper's machine to the benchmark
+   record (``extra_info``), so a single run carries both the measured and
+   the reproduced-table data.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.registry import get_benchmark
+from repro.harness import format_table, generate_table
+
+#: Problem class for measured runs (override: NPB_BENCH_CLASS=W).
+BENCH_CLASS = os.environ.get("NPB_BENCH_CLASS", "S")
+
+#: Benchmarks in the paper's table order.
+TABLE_BENCHMARKS = ("BT", "SP", "LU", "FT", "IS", "CG", "MG")
+
+
+def run_timed_region(benchmark, name: str, problem_class: str = None,
+                     team=None):
+    """Benchmark one NPB code's timed region (setup excluded), verifying
+    the result afterwards."""
+    problem_class = problem_class or BENCH_CLASS
+    cls = get_benchmark(name)
+    instances = []
+
+    def make():
+        bench = cls(problem_class) if team is None else cls(problem_class,
+                                                            team)
+        bench.setup()
+        instances.append(bench)
+        return (), {}
+
+    benchmark.pedantic(lambda: instances[-1]._iterate(), setup=make,
+                       rounds=1, iterations=1)
+    result = instances[-1].verify()
+    assert result.verified, result.summary()
+    benchmark.extra_info["verified"] = True
+    benchmark.extra_info["class"] = problem_class
+
+
+def attach_simulated_table(benchmark, number: int) -> None:
+    """Record the simulated paper table in the benchmark's extra info and
+    echo it so ``pytest benchmarks/ -s`` shows the reproduction."""
+    table = generate_table(number, "simulated")
+    text = format_table(table)
+    benchmark.extra_info[f"table{number}_simulated"] = text
+    print()
+    print(text)

@@ -1,0 +1,47 @@
+"""Regenerate the paper's evaluation tables and summarize its findings.
+
+Prints the simulated Tables 1-4 plus the summary statistics the paper
+draws from them: the Java/Fortran ratio band per machine for the
+structured-grid and unstructured groups, and the 16-thread efficiency.
+"""
+
+from repro.harness import format_table, generate_table
+from repro.machines import machine, predict_benchmark, speedup_curve
+
+STRUCTURED = ("BT", "SP", "LU", "FT", "MG")
+UNSTRUCTURED = ("IS", "CG")
+
+
+def ratio_band(machine_key: str, group) -> tuple[float, float]:
+    spec = machine(machine_key)
+    ratios = []
+    for name in group:
+        java = predict_benchmark(spec, name, "A", "java", 0).seconds
+        f77 = predict_benchmark(spec, name, "A", "f77", 0).seconds
+        ratios.append(java / f77)
+    return min(ratios), max(ratios)
+
+
+def main() -> None:
+    for number in (1, 2, 3, 4):
+        print(format_table(generate_table(number, "simulated")))
+        print()
+
+    print("Summary (paper section 5.1 / conclusions)")
+    print("-----------------------------------------")
+    for key in ("origin2000", "p690", "e10000"):
+        lo, hi = ratio_band(key, STRUCTURED)
+        ulo, uhi = ratio_band(key, UNSTRUCTURED)
+        print(f"  {key:>11}: structured-grid Java/f77 in "
+              f"[{lo:.1f}, {hi:.1f}], unstructured in [{ulo:.1f}, {uhi:.1f}]")
+
+    o2k = machine("origin2000")
+    efficiencies = [speedup_curve(o2k, n, "A")[16] / 16
+                    for n in ("BT", "SP", "LU")]
+    print(f"  Origin2000 16-thread efficiency (BT/SP/LU): "
+          + ", ".join(f"{e:.2f}" for e in efficiencies)
+          + "  (paper: ~0.5, range 0.38-0.75)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Quickstart: run one NPB benchmark and check its official verification.
+
+Usage::
+
+    python examples/quickstart.py [BENCHMARK] [CLASS]
+
+Defaults to CG class S -- the conjugate-gradient kernel on the sample
+size, which finishes in well under a second.
+"""
+
+import sys
+
+from repro import run_benchmark
+
+
+def main() -> int:
+    name = sys.argv[1] if len(sys.argv) > 1 else "CG"
+    problem_class = sys.argv[2] if len(sys.argv) > 2 else "S"
+
+    print(f"Running {name} class {problem_class} (serial)...\n")
+    result = run_benchmark(name, problem_class)
+
+    print(result.banner())
+    print()
+    print(result.verification.summary())
+
+    # The same benchmark under the process backend (true parallelism on
+    # multicore hosts) -- identical verification by construction.
+    print("\nSame benchmark with 2 worker processes...")
+    parallel = run_benchmark(name, problem_class, backend="process",
+                             nworkers=2)
+    print(f"  time {parallel.time_seconds:.3f}s "
+          f"(serial was {result.time_seconds:.3f}s), "
+          f"verified={parallel.verified}")
+    return 0 if (result.verified and parallel.verified) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

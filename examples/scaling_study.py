@@ -1,0 +1,65 @@
+"""Scalability study: measured backends on this host + modeled machines.
+
+Part 1 measures the CG and MG timed regions under the serial, thread, and
+process backends at increasing worker counts on the local machine (on a
+single-CPU container the curves are flat or worse -- the honest result).
+
+Part 2 asks the machine models for the same curves on the paper's SMPs,
+reproducing section 5.2: BT/SP/LU reach speedup 6-12 at 16 threads, LU
+trails BT/SP, CG needs the warm-up-load fix, and the Linux PC shows no
+speedup at 2 threads.
+"""
+
+import os
+import time
+
+from repro.core.registry import get_benchmark
+from repro.machines import machine, speedup_curve
+from repro.team import make_team
+
+
+def measure(name: str, problem_class: str, backend: str,
+            nworkers: int) -> float:
+    cls = get_benchmark(name)
+    with make_team(backend, nworkers) as team:
+        bench = cls(problem_class, team)
+        bench.setup()
+        start = time.perf_counter()
+        bench._iterate()
+        elapsed = time.perf_counter() - start
+        assert bench.verify().verified
+        return elapsed
+
+
+def part1_measured() -> None:
+    ncpus = os.cpu_count() or 1
+    print(f"Measured on this host ({ncpus} CPU(s)); class S timed regions")
+    for name in ("CG", "MG"):
+        serial = measure(name, "S", "serial", 1)
+        print(f"\n  {name}.S serial: {serial:.3f}s")
+        for backend in ("threads", "process"):
+            for workers in (1, 2, 4):
+                t = measure(name, "S", backend, workers)
+                print(f"    {backend:>8} x{workers}: {t:.3f}s  "
+                      f"(speedup {serial / t:.2f})")
+
+
+def part2_modeled() -> None:
+    print("\nModeled on the paper's machines (class A)")
+    o2k = machine("origin2000")
+    for name in ("BT", "SP", "LU", "FT", "MG"):
+        curve = speedup_curve(o2k, name, "A")
+        print(f"  Origin2000 {name}.A Java: "
+              + "  ".join(f"{p}thr={s:.1f}" for p, s in curve.items()))
+    cg_plain = speedup_curve(o2k, "CG", "A")[16]
+    cg_fixed = speedup_curve(o2k, "CG", "A", warmup_load=True)[16]
+    print(f"  Origin2000 CG.A @16 threads: {cg_plain:.1f} without the "
+          f"warm-up fix, {cg_fixed:.1f} with it")
+    pc = machine("linux-pc")
+    print(f"  Linux PC BT.A @2 threads: speedup "
+          f"{speedup_curve(pc, 'BT', 'A')[2]:.2f} (the paper saw none)")
+
+
+if __name__ == "__main__":
+    part1_measured()
+    part2_modeled()

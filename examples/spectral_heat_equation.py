@@ -1,0 +1,64 @@
+"""Using the FT substrate as a library: a spectral heat-equation solver.
+
+The FT benchmark's building blocks -- the from-scratch Stockham FFT and
+the Gaussian damping factors -- form a general spectral solver for
+u_t = alpha * laplace(u) on a periodic box.  This example evolves a
+smooth initial condition whose exact solution is known and reports the
+error, demonstrating the public API on a problem that is *not* the
+benchmark's checksum workload.
+"""
+
+import numpy as np
+
+from repro.ft.fft import fft3d
+
+ALPHA = 0.5
+GRID = 32
+T_FINAL = 0.05
+
+
+def signed_frequencies(n: int) -> np.ndarray:
+    return (np.arange(n) + n // 2) % n - n // 2
+
+
+def solve_heat(u0: np.ndarray, t: float, alpha: float) -> np.ndarray:
+    """Evolve the periodic heat equation spectrally to time t."""
+    nz, ny, nx = u0.shape
+    kx = signed_frequencies(nx)
+    ky = signed_frequencies(ny)
+    kz = signed_frequencies(nz)
+    k2 = ((kz ** 2)[:, None, None] + (ky ** 2)[None, :, None]
+          + (kx ** 2)[None, None, :])
+    damping = np.exp(-alpha * (2 * np.pi) ** 2 * k2 * t)
+    u_hat = fft3d(u0.astype(complex), 1)
+    evolved = fft3d(u_hat * damping, -1) / u0.size
+    return evolved.real
+
+
+def main() -> None:
+    n = GRID
+    x = np.arange(n) / n
+    xx = x[None, None, :]
+    yy = x[None, :, None]
+    zz = x[:, None, None]
+    # A pure Fourier mode: exact solution decays as exp(-alpha (2 pi)^2 |k|^2 t).
+    u0 = np.sin(2 * np.pi * xx) * np.sin(2 * np.pi * 2 * yy) \
+        * np.cos(2 * np.pi * zz)
+    k2 = 1 + 4 + 1
+    exact = u0 * np.exp(-ALPHA * (2 * np.pi) ** 2 * k2 * T_FINAL)
+
+    computed = solve_heat(u0, T_FINAL, ALPHA)
+    err = np.abs(computed - exact).max()
+    energy0 = float(np.sum(u0 ** 2))
+    energy_t = float(np.sum(computed ** 2))
+
+    print(f"grid {n}^3, alpha={ALPHA}, t={T_FINAL}")
+    print(f"  initial energy  : {energy0:.6f}")
+    print(f"  final energy    : {energy_t:.6f} (diffusion dissipates)")
+    print(f"  max error vs exact solution: {err:.3e}")
+    assert err < 1e-12, "spectral solver must be exact for a Fourier mode"
+    print("  spectral solution matches the analytic decay exactly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""BT: Block Tridiagonal simulated CFD application.
+
+ADI approximate factorization of the implicit 3-D compressible
+Navier-Stokes operator into x, y, z factors; each factor couples the five
+conserved variables, giving block-tridiagonal systems of 5x5 blocks along
+every grid line, solved by block Thomas elimination without pivoting.
+
+BT is the largest code in the suite and the headline entry of the paper's
+structured-grid group; its inner kernel is exactly the "matrix-vector
+multiplication of 3-D arrays of 5x5 matrices and 5-D vectors" basic
+operation of Table 1.
+"""
+
+from repro.bt.benchmark import BT
+from repro.bt.params import BT_CLASSES, BTParams
+
+__all__ = ["BT", "BTParams", "BT_CLASSES"]

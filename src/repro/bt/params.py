@@ -1,0 +1,69 @@
+"""BT problem-class parameters and verification constants (bt.f verify)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.params import ProblemClass, lookup_class
+
+
+@dataclass(frozen=True)
+class BTParams:
+    problem_size: int
+    dt: float
+    niter: int
+    xcrref: tuple[float, ...]
+    xceref: tuple[float, ...]
+
+
+BT_CLASSES: dict[ProblemClass, BTParams] = {
+    # Class S note: xceref[4] could not be transcribed reliably; it is a
+    # regression value computed by this implementation, whose other nine
+    # class-S norms match the NPB constants to ~1e-13.  See EXPERIMENTS.md.
+    ProblemClass.S: BTParams(
+        12, 0.010, 60,
+        (1.7034283709541311e-01, 1.2975252070034097e-02,
+         3.2527926989486055e-02, 2.6436421275166801e-02,
+         1.9211784131744430e-01),
+        (4.9976913345811579e-04, 4.5195666782961927e-05,
+         7.3973765172921357e-05, 7.3821238632439731e-05,
+         8.926963098749145e-04),
+    ),
+    ProblemClass.W: BTParams(
+        24, 0.0008, 200,
+        (0.1125590409344e03, 0.1180007595731e02, 0.2710329767846e02,
+         0.2469174937669e02, 0.2638427874317e03),
+        (0.4419655736008e01, 0.4638531260002e00, 0.1011551749967e01,
+         0.9235878729944e00, 0.1018045837718e02),
+    ),
+    ProblemClass.A: BTParams(
+        64, 0.0008, 200,
+        (1.0806346714637264e02, 1.1319730901220813e01,
+         2.5974354511582465e01, 2.3665622544678910e01,
+         2.5278963211748344e02),
+        (4.2348416040525025e00, 4.4390282496995698e-01,
+         9.6692480136345650e-01, 8.8302063039765474e-01,
+         9.7379901770829535e00),
+    ),
+    ProblemClass.B: BTParams(
+        102, 0.0003, 200,
+        (0.1423359722929e04, 0.9933052259015e02, 0.3564602564454e03,
+         0.3248544795908e03, 0.3270754125466e04),
+        (0.5296984714094e02, 0.4463289611567e01, 0.1312257334221e02,
+         0.1200692532356e02, 0.1245957615104e03),
+    ),
+    ProblemClass.C: BTParams(
+        162, 0.0001, 200,
+        (0.6239811513330e05, 0.5068118708843e04, 0.1983386605421e05,
+         0.1790733213202e05, 0.1838632233602e06),
+        (0.1644753110752e03, 0.1318629352828e02, 0.4631175164746e02,
+         0.4259584308854e02, 0.4092419548511e03),
+    ),
+}
+
+#: Relative tolerance of each norm comparison (bt.f).
+BT_EPSILON = 1.0e-8
+
+
+def bt_params(problem_class) -> BTParams:
+    return lookup_class(BT_CLASSES, problem_class, "BT")

@@ -1,0 +1,38 @@
+"""Shared substrate of the simulated CFD applications (BT and SP).
+
+BT and SP solve the same 3-D compressible Navier-Stokes discretization and
+differ only in how they factor the implicit operator (block-tridiagonal
+5x5 systems vs diagonalized scalar pentadiagonal systems).  Everything
+upstream of the solves is textually identical in bt.f and sp.f and lives
+here once:
+
+* :mod:`repro.cfd.constants` -- the ``set_constants`` scalar soup;
+* :mod:`repro.cfd.exact` -- the polynomial exact solution;
+* :mod:`repro.cfd.initialize` -- transfinite-interpolation initial state
+  with exact boundary values;
+* :mod:`repro.cfd.exact_rhs` -- the forcing term that makes the exact
+  solution stationary;
+* :mod:`repro.cfd.rhs` -- ``compute_rhs`` (fluxes + 4th-order dissipation),
+  slab-parallel over the outermost grid dimension;
+* :mod:`repro.cfd.norms` -- solution-error and residual norms used by
+  verification.
+
+Arrays are C-ordered ``(nz, ny, nx, 5)`` -- the linearized-array layout the
+paper adopts after finding multidimensional Java arrays 2-3x slower.
+"""
+
+from repro.cfd.constants import CFDConstants
+from repro.cfd.exact import CE, exact_solution
+from repro.cfd.exact_rhs import compute_forcing
+from repro.cfd.initialize import initialize
+from repro.cfd.norms import error_norm, rhs_norm
+
+__all__ = [
+    "CFDConstants",
+    "CE",
+    "exact_solution",
+    "initialize",
+    "compute_forcing",
+    "error_norm",
+    "rhs_norm",
+]

@@ -1,0 +1,55 @@
+"""The BT/SP/LU polynomial exact solution.
+
+The simulated CFD applications verify against an analytic field: each of
+the five conserved quantities is a sum of cubic polynomials in xi, eta and
+zeta with the coefficient matrix ``ce`` fixed by the NPB specification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: ce(m, 1..13) from set_constants, 0-based here as CE[m, 0..12].
+CE = np.array([
+    [2.0, 0.0, 0.0, 4.0, 5.0, 3.0, 0.5, 0.02, 0.01, 0.03, 0.5, 0.4, 0.3],
+    [1.0, 0.0, 0.0, 0.0, 1.0, 2.0, 3.0, 0.01, 0.03, 0.02, 0.4, 0.3, 0.5],
+    [2.0, 2.0, 0.0, 0.0, 0.0, 2.0, 3.0, 0.04, 0.03, 0.05, 0.3, 0.5, 0.4],
+    [2.0, 2.0, 0.0, 0.0, 0.0, 2.0, 3.0, 0.03, 0.05, 0.04, 0.2, 0.1, 0.3],
+    [5.0, 4.0, 3.0, 2.0, 0.1, 0.4, 0.3, 0.05, 0.04, 0.03, 0.1, 0.3, 0.2],
+])
+
+
+def exact_solution(xi, eta, zeta) -> np.ndarray:
+    """Exact solution at (xi, eta, zeta); broadcasts over array inputs.
+
+    Returns an array of shape ``broadcast(xi,eta,zeta).shape + (5,)``.
+    Horner grouping matches the Fortran ``exact_solution`` statement.
+    """
+    xi = np.asarray(xi, dtype=np.float64)
+    eta = np.asarray(eta, dtype=np.float64)
+    zeta = np.asarray(zeta, dtype=np.float64)
+    shape = np.broadcast_shapes(xi.shape, eta.shape, zeta.shape)
+    out = np.empty(shape + (5,))
+    for m in range(5):
+        c = CE[m]
+        out[..., m] = (
+            c[0]
+            + xi * (c[1] + xi * (c[4] + xi * (c[7] + xi * c[10])))
+            + eta * (c[2] + eta * (c[5] + eta * (c[8] + eta * c[11])))
+            + zeta * (c[3] + zeta * (c[6] + zeta * (c[9] + zeta * c[12])))
+        )
+    return out
+
+
+def grid_coordinates(n: int, dm1: float) -> np.ndarray:
+    """Grid coordinates ``i * dm1`` for i = 0..n-1 (the Fortran idiom)."""
+    return np.arange(n, dtype=np.float64) * dm1
+
+
+def exact_field(nx: int, ny: int, nz: int, dnxm1: float, dnym1: float,
+                dnzm1: float) -> np.ndarray:
+    """Exact solution on the full grid, shape (nz, ny, nx, 5)."""
+    xi = grid_coordinates(nx, dnxm1)[None, None, :]
+    eta = grid_coordinates(ny, dnym1)[None, :, None]
+    zeta = grid_coordinates(nz, dnzm1)[:, None, None]
+    return exact_solution(xi, eta, zeta)

@@ -1,0 +1,147 @@
+"""BT/SP forcing term (``exact_rhs`` in bt.f/sp.f).
+
+The forcing makes the polynomial exact solution a stationary point of the
+discrete equations: it is the negated discrete RHS operator applied to the
+exact field (central-difference fluxes plus 4th-order artificial
+dissipation with one-sided stencils at the first/last two interior
+points).  Computed once during untimed setup, fully vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cfd.constants import CFDConstants
+from repro.cfd.exact import exact_field
+
+#: Axis of the (nz, ny, nx, 5) array swept by each direction.
+_AXIS = {"x": 2, "y": 1, "z": 0}
+
+
+def _shift(field: np.ndarray, axis: int, offset: int) -> np.ndarray:
+    """Interior view of ``field`` shifted by ``offset`` along ``axis``.
+
+    ``field`` has shape (nz, ny, nx); the result covers the interior
+    (1..n-2 in every axis) with the swept axis displaced.
+    """
+    slices = [slice(1, -1)] * 3
+    n = field.shape[axis]
+    slices[axis] = slice(1 + offset, n - 1 + offset)
+    return field[tuple(slices)]
+
+
+def compute_forcing(forcing: np.ndarray, c: CFDConstants) -> None:
+    """Fill ``forcing`` (shape (nz, ny, nx, 5)); boundary entries stay 0."""
+    ue = exact_field(c.nx, c.ny, c.nz, c.dnxm1, c.dnym1, c.dnzm1)
+    dtpp = 1.0 / ue[..., 0]
+    buf = [None,
+           dtpp * ue[..., 1], dtpp * ue[..., 2], dtpp * ue[..., 3],
+           dtpp * ue[..., 4]]
+    q = 0.5 * (buf[1] * ue[..., 1] + buf[2] * ue[..., 2]
+               + buf[3] * ue[..., 3])
+
+    forcing.fill(0.0)
+    interior = forcing[1:-1, 1:-1, 1:-1, :]
+
+    for direction, vel in (("x", 1), ("y", 2), ("z", 3)):
+        axis = _AXIS[direction]
+        # Direction-dependent constants, mirroring the Fortran names.
+        t2 = {"x": c.tx2, "y": c.ty2, "z": c.tz2}[direction]
+        prefix = {"x": "xx", "y": "yy", "z": "zz"}[direction]
+        dname = {"x": "x", "y": "y", "z": "z"}[direction]
+        con1 = getattr(c, f"{prefix}con1")
+        con2 = getattr(c, f"{prefix}con2")
+        con3 = getattr(c, f"{prefix}con3")
+        con4 = getattr(c, f"{prefix}con4")
+        con5 = getattr(c, f"{prefix}con5")
+        d_t1 = [getattr(c, f"d{dname}{m}t{dname}1") for m in range(1, 6)]
+
+        bvel = buf[vel]
+        cuf = bvel * bvel
+        # buf1 grouping follows the Fortran per-direction statement order.
+        others = [m for m in (1, 2, 3) if m != vel]
+        buf1 = cuf + buf[others[0]] ** 2 + buf[others[1]] ** 2
+
+        def C(f, o):
+            return _shift(f, axis, o)
+
+        def D2(f):
+            return C(f, 1) - 2.0 * C(f, 0) + C(f, -1)
+
+        uevel = ue[..., vel]
+        ue5 = ue[..., 4]
+        # Continuity
+        interior[..., 0] += (-t2 * (C(uevel, 1) - C(uevel, -1))
+                             + d_t1[0] * D2(ue[..., 0]))
+        # Momentum components
+        for m in (1, 2, 3):
+            uem = ue[..., m]
+            if m == vel:
+                flux_p = C(uem, 1) * C(bvel, 1) + c.c2 * (C(ue5, 1) - C(q, 1))
+                flux_m = C(uem, -1) * C(bvel, -1) + c.c2 * (C(ue5, -1) - C(q, -1))
+                visc = con1 * D2(buf[m])
+            else:
+                flux_p = C(uem, 1) * C(bvel, 1)
+                flux_m = C(uem, -1) * C(bvel, -1)
+                visc = con2 * D2(buf[m])
+            interior[..., m] += (-t2 * (flux_p - flux_m) + visc
+                                 + d_t1[m] * D2(uem))
+        # Energy
+        interior[..., 4] += (
+            -t2 * (C(bvel, 1) * (c.c1 * C(ue5, 1) - c.c2 * C(q, 1))
+                   - C(bvel, -1) * (c.c1 * C(ue5, -1) - c.c2 * C(q, -1)))
+            + 0.5 * con3 * D2(buf1)
+            + con4 * D2(cuf)
+            + con5 * D2(buf[4])
+            + d_t1[4] * D2(ue5)
+        )
+
+        _dissipation(interior, ue, axis, c.dssp)
+
+    # The Fortran flips the sign at the very end.
+    np.negative(forcing, out=forcing)
+
+
+def _dissipation(interior: np.ndarray, field: np.ndarray, axis: int,
+                 dssp: float) -> None:
+    """Subtract the 4th-order dissipation of ``field`` (all 5 components)
+    from the interior forcing, with one-sided stencils at the edges.
+
+    ``interior`` is the (nz-2, ny-2, nx-2, 5) view of the forcing;
+    ``field`` is the full (nz, ny, nx, 5) exact solution.
+    """
+    n = field.shape[axis]
+
+    def F(lo, hi, off):
+        """Interior view with the swept axis restricted to Fortran interior
+        indices [lo, hi] (1-based interior numbering: 1..n-2) + off."""
+        slices = [slice(1, -1)] * 3 + [slice(None)]
+        slices[axis] = slice(lo + off, hi + off + 1)
+        return field[tuple(slices)]
+
+    def T(lo, hi):
+        slices = [slice(None)] * 4
+        slices[axis] = slice(lo - 1, hi)  # interior view is offset by 1
+        return interior[tuple(slices)]
+
+    # i = 1 (first interior point)
+    T(1, 1)[...] -= dssp * (5.0 * F(1, 1, 0) - 4.0 * F(1, 1, 1)
+                            + F(1, 1, 2))
+    # i = 2
+    T(2, 2)[...] -= dssp * (-4.0 * F(2, 2, -1) + 6.0 * F(2, 2, 0)
+                            - 4.0 * F(2, 2, 1) + F(2, 2, 2))
+    # i = 3 .. n-4  (full 5-point stencil)
+    lo, hi = 3, n - 4
+    if hi >= lo:
+        T(lo, hi)[...] -= dssp * (
+            F(lo, hi, -2) - 4.0 * F(lo, hi, -1) + 6.0 * F(lo, hi, 0)
+            - 4.0 * F(lo, hi, 1) + F(lo, hi, 2)
+        )
+    # i = n-3
+    i = n - 3
+    T(i, i)[...] -= dssp * (F(i, i, -2) - 4.0 * F(i, i, -1)
+                            + 6.0 * F(i, i, 0) - 4.0 * F(i, i, 1))
+    # i = n-2 (last interior point)
+    i = n - 2
+    T(i, i)[...] -= dssp * (F(i, i, -2) - 4.0 * F(i, i, -1)
+                            + 5.0 * F(i, i, 0))

@@ -1,0 +1,48 @@
+"""BT/SP initial state (``initialize`` in bt.f/sp.f).
+
+The interior is a transfinite (Boolean-sum) interpolation of the exact
+solution on the six faces; the faces themselves then receive the exact
+solution, so the initial error lives strictly in the interior.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cfd.constants import CFDConstants
+from repro.cfd.exact import exact_solution, grid_coordinates
+
+
+def initialize(u: np.ndarray, c: CFDConstants) -> None:
+    """Fill ``u`` (shape (nz, ny, nx, 5)) with the NPB initial state."""
+    nx, ny, nz = c.nx, c.ny, c.nz
+    xi = grid_coordinates(nx, c.dnxm1)[None, None, :, None]
+    eta = grid_coordinates(ny, c.dnym1)[None, :, None, None]
+    zeta = grid_coordinates(nz, c.dnzm1)[:, None, None, None]
+
+    # Face values of the exact solution, one pair per coordinate direction.
+    x0 = exact_solution(0.0, eta[..., 0], zeta[..., 0])
+    x1 = exact_solution(1.0, eta[..., 0], zeta[..., 0])
+    y0 = exact_solution(xi[..., 0], 0.0, zeta[..., 0])
+    y1 = exact_solution(xi[..., 0], 1.0, zeta[..., 0])
+    z0 = exact_solution(xi[..., 0], eta[..., 0], 0.0)
+    z1 = exact_solution(xi[..., 0], eta[..., 0], 1.0)
+
+    pxi = xi * x1 + (1.0 - xi) * x0
+    peta = eta * y1 + (1.0 - eta) * y0
+    pzeta = zeta * z1 + (1.0 - zeta) * z0
+    u[:] = (pxi + peta + pzeta
+            - pxi * peta - pxi * pzeta - peta * pzeta
+            + pxi * peta * pzeta)
+
+    # Exact solution on the six boundary faces (order immaterial: faces
+    # agree on shared edges).
+    xirow = grid_coordinates(nx, c.dnxm1)[None, :]
+    etarow = grid_coordinates(ny, c.dnym1)[None, :]
+    zetacol = grid_coordinates(nz, c.dnzm1)[:, None]
+    u[:, :, 0, :] = exact_solution(0.0, etarow, zetacol)
+    u[:, :, nx - 1, :] = exact_solution(1.0, etarow, zetacol)
+    u[:, 0, :, :] = exact_solution(xirow, 0.0, zetacol)
+    u[:, ny - 1, :, :] = exact_solution(xirow, 1.0, zetacol)
+    u[0, :, :, :] = exact_solution(xirow, etarow.T, 0.0)
+    u[nz - 1, :, :, :] = exact_solution(xirow, etarow.T, 1.0)

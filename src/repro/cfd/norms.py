@@ -1,0 +1,26 @@
+"""Verification norms shared by BT and SP (error_norm / rhs_norm)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cfd.constants import CFDConstants
+from repro.cfd.exact import exact_field
+
+
+def error_norm(u: np.ndarray, c: CFDConstants) -> np.ndarray:
+    """RMS difference from the exact solution over ALL grid points,
+    normalized by the interior point count (error_norm in bt.f/sp.f)."""
+    ue = exact_field(c.nx, c.ny, c.nz, c.dnxm1, c.dnym1, c.dnzm1)
+    diff = u - ue
+    sums = np.sum(diff * diff, axis=(0, 1, 2))
+    denom = float((c.nx - 2) * (c.ny - 2) * (c.nz - 2))
+    return np.sqrt(sums / denom)
+
+
+def rhs_norm(rhs: np.ndarray, c: CFDConstants) -> np.ndarray:
+    """RMS of the interior residual (rhs_norm in bt.f/sp.f)."""
+    interior = rhs[1:-1, 1:-1, 1:-1, :]
+    sums = np.sum(interior * interior, axis=(0, 1, 2))
+    denom = float((c.nx - 2) * (c.ny - 2) * (c.nz - 2))
+    return np.sqrt(sums / denom)

@@ -1,0 +1,196 @@
+"""BT/SP right-hand side (``compute_rhs`` in bt.f/sp.f), slab-parallel.
+
+Two phases, each a ``parallel_for`` over the outermost grid dimension k
+(as in the OpenMP versions):
+
+1. ``fields_slab`` -- pointwise derived fields (1/rho, velocities, dynamic
+   pressure, and for SP the sound speed) over all planes;
+2. ``rhs_slab`` -- central-difference fluxes in all three directions plus
+   4th-order dissipation on the interior planes of the slab, finishing
+   with the ``rhs *= dt`` scaling.
+
+Phase 2 reads u and the derived fields at k +/- 2 (hence the barrier
+between phases) but writes rhs only within its own slab planes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cfd.constants import CFDConstants
+
+_AXIS = {"x": 2, "y": 1, "z": 0}
+
+
+def fields_slab(lo: int, hi: int, u, rho_i, us, vs, ws, qs, square,
+                speed, c: CFDConstants) -> None:
+    """Derived pointwise fields for planes [lo, hi); speed is None for BT."""
+    if hi <= lo:
+        return
+    sl = slice(lo, hi)
+    rho_inv = 1.0 / u[sl, :, :, 0]
+    rho_i[sl] = rho_inv
+    us[sl] = u[sl, :, :, 1] * rho_inv
+    vs[sl] = u[sl, :, :, 2] * rho_inv
+    ws[sl] = u[sl, :, :, 3] * rho_inv
+    sq = 0.5 * (u[sl, :, :, 1] ** 2 + u[sl, :, :, 2] ** 2
+                + u[sl, :, :, 3] ** 2) * rho_inv
+    square[sl] = sq
+    qs[sl] = sq * rho_inv
+    if speed is not None:
+        speed[sl] = np.sqrt(c.c1c2 * rho_inv * (u[sl, :, :, 4] - sq))
+
+
+def _view(f: np.ndarray, axis: int, offset: int, lo: int, hi: int):
+    """Interior view of a scalar field: k in [1+lo, 1+hi), j and i interior,
+    with ``axis`` displaced by ``offset``."""
+    slices = [slice(1 + lo, 1 + hi), slice(1, -1), slice(1, -1)]
+    base = slices[axis]
+    stop = base.stop if base.stop > 0 else f.shape[axis] + base.stop
+    slices[axis] = slice(base.start + offset, stop + offset)
+    return f[tuple(slices)]
+
+
+def rhs_slab(lo: int, hi: int, u, rhs, forcing, rho_i, us, vs, ws, qs,
+             square, c: CFDConstants) -> None:
+    """Fluxes + dissipation + dt scaling for interior planes [1+lo, 1+hi).
+
+    ``lo``/``hi`` partition the interior k range 0..nz-3.  The k=0 and
+    k=nz-1 boundary planes of rhs are copied from forcing by the slabs
+    that touch them.
+    """
+    if hi <= lo:
+        return
+    nz = u.shape[0]
+    klo_copy = 0 if lo == 0 else 1 + lo
+    khi_copy = nz if hi == nz - 2 else 1 + hi
+    rhs[klo_copy:khi_copy] = forcing[klo_copy:khi_copy]
+
+    def C(f, axis, o):
+        return _view(f, axis, o, lo, hi)
+
+    def CU(m, axis, o):
+        return _view(u[..., m], axis, o, lo, hi)
+
+    def D2(f, axis):
+        return C(f, axis, 1) - 2.0 * C(f, axis, 0) + C(f, axis, -1)
+
+    def D2U(m, axis):
+        return CU(m, axis, 1) - 2.0 * CU(m, axis, 0) + CU(m, axis, -1)
+
+    R = rhs[1 + lo : 1 + hi, 1:-1, 1:-1, :]
+    vel_fields = {1: us, 2: vs, 3: ws}
+
+    for direction, vel in (("x", 1), ("y", 2), ("z", 3)):
+        axis = _AXIS[direction]
+        t2 = getattr(c, f"t{direction}2")
+        prefix = {"x": "xx", "y": "yy", "z": "zz"}[direction]
+        con2 = getattr(c, f"{prefix}con2")
+        con3 = getattr(c, f"{prefix}con3")
+        con4 = getattr(c, f"{prefix}con4")
+        con5 = getattr(c, f"{prefix}con5")
+        d_t1 = [getattr(c, f"d{direction}{m}t{direction}1")
+                for m in range(1, 6)]
+        w = vel_fields[vel]
+        wp1 = C(w, axis, 1)
+        wc = C(w, axis, 0)
+        wm1 = C(w, axis, -1)
+
+        # continuity
+        R[..., 0] += (d_t1[0] * D2U(0, axis)
+                      - t2 * (CU(vel, axis, 1) - CU(vel, axis, -1)))
+        # momentum
+        for m in (1, 2, 3):
+            if m == vel:
+                R[..., m] += (d_t1[m] * D2U(m, axis)
+                              + con2 * c.con43 * (wp1 - 2.0 * wc + wm1)
+                              - t2 * (CU(m, axis, 1) * wp1
+                                      - CU(m, axis, -1) * wm1
+                                      + (CU(4, axis, 1) - C(square, axis, 1)
+                                         - CU(4, axis, -1)
+                                         + C(square, axis, -1)) * c.c2))
+            else:
+                R[..., m] += (d_t1[m] * D2U(m, axis)
+                              + con2 * D2(vel_fields[m], axis)
+                              - t2 * (CU(m, axis, 1) * wp1
+                                      - CU(m, axis, -1) * wm1))
+        # energy
+        R[..., 4] += (d_t1[4] * D2U(4, axis)
+                      + con3 * D2(qs, axis)
+                      + con4 * (wp1 * wp1 - 2.0 * wc * wc + wm1 * wm1)
+                      + con5 * (CU(4, axis, 1) * C(rho_i, axis, 1)
+                                - 2.0 * CU(4, axis, 0) * C(rho_i, axis, 0)
+                                + CU(4, axis, -1) * C(rho_i, axis, -1))
+                      - t2 * ((c.c1 * CU(4, axis, 1)
+                               - c.c2 * C(square, axis, 1)) * wp1
+                              - (c.c1 * CU(4, axis, -1)
+                                 - c.c2 * C(square, axis, -1)) * wm1))
+
+        _dissipation_u(rhs, u, axis, lo, hi, c.dssp)
+
+    R *= c.dt
+
+
+def _dissipation_u(rhs, u, axis: int, lo: int, hi: int, dssp: float) -> None:
+    """Subtract the 4th-order dissipation of u from rhs on the slab
+    interior, with one-sided stencils at the first/last two interior rows
+    of the swept axis."""
+    n = u.shape[axis]
+
+    if axis != 0:
+        def U(alo, ahi, off):
+            slices = [slice(1 + lo, 1 + hi), slice(1, -1), slice(1, -1),
+                      slice(None)]
+            slices[axis] = slice(alo + off, ahi + off + 1)
+            return u[tuple(slices)]
+
+        def Rv(alo, ahi):
+            slices = [slice(1 + lo, 1 + hi), slice(1, -1), slice(1, -1),
+                      slice(None)]
+            slices[axis] = slice(alo, ahi + 1)
+            return rhs[tuple(slices)]
+
+        Rv(1, 1)[...] -= dssp * (5.0 * U(1, 1, 0) - 4.0 * U(1, 1, 1)
+                                 + U(1, 1, 2))
+        Rv(2, 2)[...] -= dssp * (-4.0 * U(2, 2, -1) + 6.0 * U(2, 2, 0)
+                                 - 4.0 * U(2, 2, 1) + U(2, 2, 2))
+        alo, ahi = 3, n - 4
+        if ahi >= alo:
+            Rv(alo, ahi)[...] -= dssp * (
+                U(alo, ahi, -2) - 4.0 * U(alo, ahi, -1)
+                + 6.0 * U(alo, ahi, 0) - 4.0 * U(alo, ahi, 1)
+                + U(alo, ahi, 2))
+        i = n - 3
+        Rv(i, i)[...] -= dssp * (U(i, i, -2) - 4.0 * U(i, i, -1)
+                                 + 6.0 * U(i, i, 0) - 4.0 * U(i, i, 1))
+        i = n - 2
+        Rv(i, i)[...] -= dssp * (U(i, i, -2) - 4.0 * U(i, i, -1)
+                                 + 5.0 * U(i, i, 0))
+        return
+
+    # Swept axis is k itself: per-plane stencils so the boundary-modified
+    # rows land correctly for any slab bounds.
+    for k in range(1 + lo, 1 + hi):
+        target = rhs[k, 1:-1, 1:-1, :]
+
+        def uk(o, _k=k):
+            return u[_k + o, 1:-1, 1:-1, :]
+
+        if k == 1:
+            target -= dssp * (5.0 * uk(0) - 4.0 * uk(1) + uk(2))
+        elif k == 2:
+            target -= dssp * (-4.0 * uk(-1) + 6.0 * uk(0)
+                              - 4.0 * uk(1) + uk(2))
+        elif k == n - 3:
+            target -= dssp * (uk(-2) - 4.0 * uk(-1) + 6.0 * uk(0)
+                              - 4.0 * uk(1))
+        elif k == n - 2:
+            target -= dssp * (uk(-2) - 4.0 * uk(-1) + 5.0 * uk(0))
+        else:
+            target -= dssp * (uk(-2) - 4.0 * uk(-1) + 6.0 * uk(0)
+                              - 4.0 * uk(1) + uk(2))
+
+
+def add_slab(lo: int, hi: int, u, rhs) -> None:
+    """u += rhs on interior planes [1+lo, 1+hi) (the ``add`` routine)."""
+    u[1 + lo : 1 + hi, 1:-1, 1:-1, :] += rhs[1 + lo : 1 + hi, 1:-1, 1:-1, :]

@@ -1,0 +1,183 @@
+"""Generation of the CG sparse matrix (NPB ``makea``/``sprnvc``/``vecset``/``sparse``).
+
+The matrix is a sum of weighted outer products of sparse random vectors,
+
+    A = sum_i  omega_i  v_i v_i^T  +  (rcond - shift) I,
+
+with geometrically decaying weights ``omega_i = rcond**(i/n)`` so that the
+condition number is approximately ``1/rcond``.  Every random draw consumes
+values from the NPB 46-bit LCG in exactly the Fortran order (including the
+draws discarded by the rejection steps), so the assembled matrix -- and
+therefore the published ``zeta`` verification values -- are reproduced
+bit-faithfully.
+
+The final CSR assembly keeps the Fortran semantics: duplicate entries are
+summed in generation-scan order, entries that sum to exactly zero are
+dropped, and within each row columns appear in first-occurrence order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.randdp import Randlc
+
+
+@dataclass
+class CSRMatrix:
+    """Compressed-sparse-row matrix with 0-based indices.
+
+    ``rowstr`` has ``n + 1`` entries; row ``i``'s entries live in
+    ``a[rowstr[i]:rowstr[i+1]]`` with columns ``colidx[rowstr[i]:rowstr[i+1]]``.
+    """
+
+    n: int
+    rowstr: np.ndarray  # int64, shape (n+1,)
+    colidx: np.ndarray  # int64, shape (nnz,)
+    a: np.ndarray       # float64, shape (nnz,)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.rowstr[-1])
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Dense ``A @ x`` (reference path; the benchmark uses slab matvec)."""
+        products = self.a * x[self.colidx]
+        return np.add.reduceat(products, self.rowstr[:-1])
+
+    def to_dense(self) -> np.ndarray:
+        """Dense copy, for small-matrix tests only."""
+        dense = np.zeros((self.n, self.n))
+        for i in range(self.n):
+            sl = slice(self.rowstr[i], self.rowstr[i + 1])
+            dense[i, self.colidx[sl]] += self.a[sl]
+        return dense
+
+
+class _Stream:
+    """Buffered scalar view of the LCG so ``sprnvc`` stays cheap in Python."""
+
+    __slots__ = ("rng", "_buf", "_pos")
+
+    def __init__(self, rng: Randlc, buffer_size: int = 1 << 14):
+        self.rng = rng
+        self._buf = rng.batch(buffer_size)
+        self._pos = 0
+
+    def next(self) -> float:
+        if self._pos >= len(self._buf):
+            self._buf = self.rng.batch(len(self._buf))
+            self._pos = 0
+        value = self._buf[self._pos]
+        self._pos += 1
+        return value
+
+
+def _sprnvc(n: int, nz: int, nn1: int, stream: _Stream) -> tuple[list, list]:
+    """One sparse random vector: ``nz`` (value, 1-based index) pairs.
+
+    Follows the Fortran rejection scheme exactly: each candidate consumes
+    two LCG draws; indices above ``n`` or already present are discarded
+    (with their draws).
+    """
+    values: list[float] = []
+    indices: list[int] = []
+    seen: set[int] = set()
+    while len(values) < nz:
+        vecelt = stream.next()
+        vecloc = stream.next()
+        i = int(nn1 * vecloc) + 1  # icnvrt: truncate toward zero
+        if i > n or i in seen:
+            continue
+        seen.add(i)
+        values.append(vecelt)
+        indices.append(i)
+    return values, indices
+
+
+def _vecset(values: list, indices: list, i: int, val: float) -> None:
+    """Force element ``i`` (1-based) of the sparse vector to ``val``."""
+    for k, idx in enumerate(indices):
+        if idx == i:
+            values[k] = val
+            return
+    values.append(val)
+    indices.append(i)
+
+
+def makea(n: int, nonzer: int, rcond: float, shift: float,
+          rng: Randlc) -> CSRMatrix:
+    """Build the CG matrix for order ``n`` (the Fortran ``makea``).
+
+    ``rng`` carries the LCG state; the caller must already have consumed the
+    single draw the CG main program makes before ``makea`` (the initial
+    ``zeta = randlc(tran, amult)``).
+    """
+    stream = _Stream(rng)
+    nn1 = 1
+    while nn1 < n:
+        nn1 *= 2
+
+    size = 1.0
+    ratio = rcond ** (1.0 / n)
+
+    arow_parts: list[np.ndarray] = []
+    acol_parts: list[np.ndarray] = []
+    aelt_parts: list[np.ndarray] = []
+
+    for iouter in range(1, n + 1):
+        values, indices = _sprnvc(n, nonzer, nn1, stream)
+        _vecset(values, indices, iouter, 0.5)
+        v = np.asarray(values)
+        iv = np.asarray(indices, dtype=np.int64)
+        nzv = len(v)
+        # Outer product block in Fortran scan order:
+        #   for ivelt (column), for ivelt1 (row):
+        #     aelt = size * v[ivelt] * v[ivelt1]
+        acol_parts.append(np.repeat(iv, nzv))
+        arow_parts.append(np.tile(iv, nzv))
+        aelt_parts.append((size * np.outer(v, v)).ravel())
+        size *= ratio
+
+    # Shifted identity, appended after all outer products (Fortran order).
+    diag = np.arange(1, n + 1, dtype=np.int64)
+    arow_parts.append(diag)
+    acol_parts.append(diag)
+    aelt_parts.append(np.full(n, rcond - shift))
+
+    arow = np.concatenate(arow_parts) - 1  # to 0-based
+    acol = np.concatenate(acol_parts) - 1
+    aelt = np.concatenate(aelt_parts)
+    return _sparse(n, arow, acol, aelt)
+
+
+def _sparse(n: int, arow: np.ndarray, acol: np.ndarray,
+            aelt: np.ndarray) -> CSRMatrix:
+    """CSR assembly matching the Fortran ``sparse`` routine.
+
+    Duplicates are summed in scan order, exact zeros dropped, and each row's
+    columns ordered by first occurrence in the scan.
+    """
+    keys = arow * np.int64(n) + acol
+    unique_keys, first_idx, inverse = np.unique(
+        keys, return_index=True, return_inverse=True
+    )
+    sums = np.zeros(len(unique_keys))
+    np.add.at(sums, inverse, aelt)  # accumulates in scan order within groups
+
+    rows = unique_keys // n
+    # Order: primary by row, secondary by first occurrence in the scan.
+    order = np.lexsort((first_idx, rows))
+    rows = rows[order]
+    cols = (unique_keys % n)[order]
+    vals = sums[order]
+
+    keep = vals != 0.0
+    rows, cols, vals = rows[keep], cols[keep], vals[keep]
+
+    rowstr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(rowstr, rows + 1, 1)
+    np.cumsum(rowstr, out=rowstr)
+    return CSRMatrix(n=n, rowstr=rowstr, colidx=cols.astype(np.int64), a=vals)

@@ -1,0 +1,45 @@
+"""CG problem-class parameters and verification constants (NPB npbparams)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.params import ProblemClass, lookup_class
+
+
+@dataclass(frozen=True)
+class CGParams:
+    """One row of the CG class table.
+
+    ``na``: matrix order; ``nonzer``: nonzeros per generated sparse vector;
+    ``niter``: outer (timed) iterations; ``shift``: eigenvalue shift;
+    ``zeta_verify``: published reference value of the final zeta.
+    """
+
+    na: int
+    nonzer: int
+    niter: int
+    shift: float
+    zeta_verify: float
+    rcond: float = 0.1
+
+    @property
+    def nz(self) -> int:
+        """Upper bound on stored nonzeros (Fortran array sizing)."""
+        return self.na * (self.nonzer + 1) * (self.nonzer + 1)
+
+
+CG_CLASSES: dict[ProblemClass, CGParams] = {
+    ProblemClass.S: CGParams(1400, 7, 15, 10.0, 8.5971775078648),
+    ProblemClass.W: CGParams(7000, 8, 15, 12.0, 10.362595087124),
+    ProblemClass.A: CGParams(14000, 11, 15, 20.0, 17.130235054029),
+    ProblemClass.B: CGParams(75000, 13, 75, 60.0, 22.712745482631),
+    ProblemClass.C: CGParams(150000, 15, 75, 110.0, 28.973605592845),
+}
+
+#: Relative tolerance of the zeta comparison (cg.f).
+ZETA_EPSILON = 1.0e-10
+
+
+def cg_params(problem_class) -> CGParams:
+    return lookup_class(CG_CLASSES, problem_class, "CG")

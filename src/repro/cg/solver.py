@@ -1,0 +1,92 @@
+"""The CG inner solver and its slab-parallel worker functions.
+
+Each worker function operates on a contiguous row block ``[lo, hi)`` --
+the row-block decomposition of the OpenMP CG that the paper's Java version
+mirrors.  All functions are module-level so the process backend can ship
+them to workers.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.team.base import Team
+
+#: CG inner iterations per outer step (cgitmax in cg.f).
+CG_ITERATIONS = 25
+
+
+def _init_slab(lo: int, hi: int, x, r, p, q, z) -> None:
+    """q = z = 0, r = p = x on the slab (start of conj_grad)."""
+    q[lo:hi] = 0.0
+    z[lo:hi] = 0.0
+    r[lo:hi] = x[lo:hi]
+    p[lo:hi] = x[lo:hi]
+
+
+def _dot_slab(lo: int, hi: int, u, v) -> float:
+    """Partial inner product over the slab."""
+    return float(u[lo:hi] @ v[lo:hi])
+
+
+def _matvec_slab(lo: int, hi: int, rowstr, colidx, a, x, out) -> None:
+    """CSR mat-vec restricted to rows ``[lo, hi)`` (no empty rows assumed)."""
+    if hi <= lo:
+        return
+    start = int(rowstr[lo])
+    end = int(rowstr[hi])
+    products = a[start:end] * x[colidx[start:end]]
+    out[lo:hi] = np.add.reduceat(products, rowstr[lo:hi] - start)
+
+
+def _update_zr_slab(lo: int, hi: int, z, r, p, q, alpha: float) -> None:
+    """z += alpha p; r -= alpha q on the slab."""
+    z[lo:hi] += alpha * p[lo:hi]
+    r[lo:hi] -= alpha * q[lo:hi]
+
+
+def _update_p_slab(lo: int, hi: int, p, r, beta: float) -> None:
+    """p = r + beta p on the slab."""
+    p[lo:hi] *= beta
+    p[lo:hi] += r[lo:hi]
+
+
+def _norm_diff_slab(lo: int, hi: int, x, r) -> float:
+    """Partial sum of (x - r)**2 over the slab."""
+    d = x[lo:hi] - r[lo:hi]
+    return float(d @ d)
+
+
+def _fill_slab(lo: int, hi: int, x, value: float) -> None:
+    x[lo:hi] = value
+
+
+def _scale_into_x_slab(lo: int, hi: int, x, z, factor: float) -> None:
+    """x = factor * z on the slab (outer-iteration normalization)."""
+    x[lo:hi] = factor * z[lo:hi]
+
+
+def conj_grad(team: Team, n: int, rowstr, colidx, a,
+              x, z, p, q, r) -> float:
+    """One outer step: 25 CG iterations solving ``A z = x``.
+
+    Returns ``rnorm = ||x - A z||_2``, the quantity the Fortran code prints
+    each outer iteration.
+    """
+    team.parallel_for(n, _init_slab, x, r, p, q, z)
+    rho = team.reduce_sum(n, _dot_slab, r, r)
+
+    for _ in range(CG_ITERATIONS):
+        team.parallel_for(n, _matvec_slab, rowstr, colidx, a, p, q)
+        d = team.reduce_sum(n, _dot_slab, p, q)
+        alpha = rho / d
+        team.parallel_for(n, _update_zr_slab, z, r, p, q, alpha)
+        rho0 = rho
+        rho = team.reduce_sum(n, _dot_slab, r, r)
+        beta = rho / rho0
+        team.parallel_for(n, _update_p_slab, p, r, beta)
+
+    team.parallel_for(n, _matvec_slab, rowstr, colidx, a, z, r)
+    return math.sqrt(team.reduce_sum(n, _norm_diff_slab, x, r))

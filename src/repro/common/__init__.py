@@ -1,0 +1,31 @@
+"""Shared substrate for the NPB-Python suite.
+
+This package holds everything the individual benchmarks have in common:
+
+* :mod:`repro.common.randdp` -- the exact NPB 46-bit linear congruential
+  pseudo-random number generator (``randlc``/``vranlc``), both scalar and
+  vectorized.  Bit-faithful reproduction of the Fortran generator is what
+  makes the official verification values attainable.
+* :mod:`repro.common.timers` -- the NPB timer facility.
+* :mod:`repro.common.params` -- problem-class definitions (S, W, A, B, C).
+* :mod:`repro.common.verification` -- the verification result record shared
+  by every benchmark.
+"""
+
+from repro.common.randdp import Randlc, randlc, vranlc, ipow46
+from repro.common.timers import Timer, TimerSet
+from repro.common.verification import VerificationResult, within_epsilon
+from repro.common.params import ProblemClass, UnknownClassError
+
+__all__ = [
+    "Randlc",
+    "randlc",
+    "vranlc",
+    "ipow46",
+    "Timer",
+    "TimerSet",
+    "VerificationResult",
+    "within_epsilon",
+    "ProblemClass",
+    "UnknownClassError",
+]

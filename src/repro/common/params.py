@@ -1,0 +1,68 @@
+"""Problem-class machinery shared by all benchmarks.
+
+The NPB define problem classes S (sample), W (workstation), A/B/C
+(increasing production sizes).  Each benchmark package declares a table
+mapping class letters to its own parameter record; this module provides the
+common plumbing: the class enumeration, lookup with a good error message,
+and the canonical ordering used by the harness.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Mapping, TypeVar
+
+
+class UnknownClassError(KeyError):
+    """Raised when a benchmark does not define the requested problem class."""
+
+
+class ProblemClass(str, Enum):
+    """NPB problem classes in increasing-size order (S < W < A < B < C)."""
+
+    S = "S"
+    W = "W"
+    A = "A"
+    B = "B"
+    C = "C"
+
+    @classmethod
+    def parse(cls, value: "str | ProblemClass") -> "ProblemClass":
+        if isinstance(value, ProblemClass):
+            return value
+        try:
+            return cls(str(value).upper())
+        except ValueError as exc:
+            valid = ", ".join(c.value for c in cls)
+            raise UnknownClassError(
+                f"unknown problem class {value!r}; valid classes: {valid}"
+            ) from exc
+
+    def __str__(self) -> str:  # "A" rather than "ProblemClass.A"
+        return self.value
+
+
+#: Canonical harness ordering.
+CLASS_ORDER = [
+    ProblemClass.S,
+    ProblemClass.W,
+    ProblemClass.A,
+    ProblemClass.B,
+    ProblemClass.C,
+]
+
+P = TypeVar("P")
+
+
+def lookup_class(table: Mapping[ProblemClass, P], value: "str | ProblemClass",
+                 benchmark: str) -> P:
+    """Fetch a benchmark's parameter record for a class, with a clear error."""
+    cls = ProblemClass.parse(value)
+    try:
+        return table[cls]
+    except KeyError as exc:
+        available = ", ".join(str(c) for c in table)
+        raise UnknownClassError(
+            f"benchmark {benchmark} does not define class {cls}; "
+            f"available: {available}"
+        ) from exc

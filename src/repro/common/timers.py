@@ -1,0 +1,98 @@
+"""NPB timer facility.
+
+The Fortran benchmarks carry a small array of named timers
+(``timer_clear``, ``timer_start``, ``timer_stop``, ``timer_read``); every
+benchmark reports at least ``t_total`` (the timed region excludes
+initialization, as in the paper).  :class:`TimerSet` reproduces that
+interface; :class:`Timer` is the single-timer building block and also works
+as a context manager.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+
+
+class Timer:
+    """Accumulating stopwatch, NPB style.
+
+    Elapsed time accumulates across start/stop pairs until ``clear``.
+    """
+
+    __slots__ = ("elapsed", "_started_at", "running")
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._started_at = 0.0
+        self.running = False
+
+    def clear(self) -> None:
+        self.elapsed = 0.0
+        self.running = False
+
+    def start(self) -> None:
+        if self.running:
+            raise RuntimeError("timer already running")
+        self._started_at = time.perf_counter()
+        self.running = True
+
+    def stop(self) -> float:
+        if not self.running:
+            raise RuntimeError("timer is not running")
+        self.elapsed += time.perf_counter() - self._started_at
+        self.running = False
+        return self.elapsed
+
+    def read(self) -> float:
+        """Current accumulated time; includes the live interval if running."""
+        if self.running:
+            return self.elapsed + (time.perf_counter() - self._started_at)
+        return self.elapsed
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class TimerSet:
+    """A named collection of timers (the NPB ``timer_*`` array).
+
+    Timers are created on first use, so benchmark code can write
+    ``timers.start("rhs")`` without declaring the timer beforehand.
+    """
+
+    def __init__(self) -> None:
+        self._timers: "OrderedDict[str, Timer]" = OrderedDict()
+
+    def __getitem__(self, name: str) -> Timer:
+        timer = self._timers.get(name)
+        if timer is None:
+            timer = self._timers[name] = Timer()
+        return timer
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._timers
+
+    def names(self) -> list[str]:
+        return list(self._timers)
+
+    def clear_all(self) -> None:
+        for timer in self._timers.values():
+            timer.clear()
+
+    def start(self, name: str) -> None:
+        self[name].start()
+
+    def stop(self, name: str) -> float:
+        return self[name].stop()
+
+    def read(self, name: str) -> float:
+        return self[name].read()
+
+    def report(self) -> dict[str, float]:
+        """Snapshot of all timers, in creation order."""
+        return {name: t.read() for name, t in self._timers.items()}

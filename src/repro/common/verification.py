@@ -1,0 +1,79 @@
+"""Verification result record shared by every benchmark.
+
+Each NPB benchmark ends with a verification stage comparing computed
+quantities (residual norms, checksums, eigenvalue estimates, sort order)
+against published reference values with a per-benchmark epsilon.  The
+Fortran codes print SUCCESSFUL/UNSUCCESSFUL; here the same information is
+carried in a structured record so tests and the harness can assert on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def within_epsilon(computed: float, reference: float, epsilon: float) -> bool:
+    """NPB relative-error acceptance test.
+
+    Matches the Fortran idiom ``abs((computed - reference)/reference) <= eps``
+    with the division guarded when the reference is exactly zero.
+    """
+    if reference == 0.0:
+        return abs(computed) <= epsilon
+    return abs((computed - reference) / reference) <= epsilon
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of a benchmark's verification stage.
+
+    Attributes
+    ----------
+    benchmark, problem_class :
+        Identity of the run.
+    verified :
+        Overall pass/fail (the NPB "Verification Successful" line).
+    checks :
+        One entry per compared quantity: (name, computed, reference,
+        relative_error, passed).  For benchmarks whose reference constants
+        are not defined for a class, ``verified`` is False and ``checks``
+        is empty with ``reason`` set.
+    reason :
+        Human-readable note when verification could not be performed.
+    """
+
+    benchmark: str
+    problem_class: str
+    verified: bool
+    checks: list[tuple[str, float, float, float, bool]] = field(
+        default_factory=list
+    )
+    reason: str = ""
+
+    def add(self, name: str, computed: float, reference: float,
+            epsilon: float) -> bool:
+        """Record one comparison; returns whether it passed."""
+        if reference == 0.0:
+            err = abs(computed)
+        else:
+            err = abs((computed - reference) / reference)
+        ok = within_epsilon(computed, reference, epsilon)
+        self.checks.append((name, float(computed), float(reference), err, ok))
+        if not ok:
+            self.verified = False
+        return ok
+
+    def summary(self) -> str:
+        status = "SUCCESSFUL" if self.verified else "UNSUCCESSFUL"
+        lines = [
+            f"{self.benchmark}.{self.problem_class} verification {status}"
+        ]
+        for name, computed, reference, err, ok in self.checks:
+            flag = "ok " if ok else "FAIL"
+            lines.append(
+                f"  [{flag}] {name}: computed={computed: .15e} "
+                f"reference={reference: .15e} rel.err={err:.3e}"
+            )
+        if self.reason:
+            lines.append(f"  note: {self.reason}")
+        return "\n".join(lines)

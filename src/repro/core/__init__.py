@@ -1,0 +1,26 @@
+"""Core framework: the uniform benchmark API, registry, and the paper's
+basic CFD operations.
+
+The paper's primary contribution is a *method* (literal translation +
+master--worker threading) applied uniformly across the NPB suite.  This
+package captures the uniform part:
+
+* :class:`~repro.core.benchmark.NPBenchmark` -- the base class every
+  benchmark implements (setup / timed iteration / verification / op count);
+* :mod:`repro.core.registry` -- name-based lookup used by the harness;
+* :mod:`repro.core.basic_ops` -- the five basic CFD operations of the
+  paper's Table 1, each in interpreted-loop and NumPy styles, linearized
+  and multidimensional, with software operation counters standing in for
+  SGI ``perfex`` hardware counters.
+"""
+
+from repro.core.benchmark import BenchmarkResult, NPBenchmark
+from repro.core.registry import available_benchmarks, get_benchmark, register
+
+__all__ = [
+    "NPBenchmark",
+    "BenchmarkResult",
+    "register",
+    "get_benchmark",
+    "available_benchmarks",
+]

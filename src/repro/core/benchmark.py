@@ -1,0 +1,134 @@
+"""Uniform benchmark API.
+
+Every NPB benchmark follows the same life cycle, inherited from the Fortran
+originals and preserved by the paper's Java translation:
+
+1. allocate and initialize data (untimed),
+2. optionally run one untimed warm-up iteration and re-initialize,
+3. run ``niter`` timed iterations,
+4. verify computed quantities against published reference values,
+5. report time and Mop/s.
+
+:class:`NPBenchmark` encodes that life cycle once; each benchmark package
+provides the four hooks.  A benchmark instance is bound to a problem class
+and a :class:`~repro.team.base.Team`, so the same object runs serially or
+with any number of workers under any backend.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.common.params import ProblemClass
+from repro.common.timers import TimerSet
+from repro.common.verification import VerificationResult
+from repro.team import SerialTeam, Team
+
+
+@dataclass
+class BenchmarkResult:
+    """Outcome of one benchmark run (the NPB results banner, structured)."""
+
+    name: str
+    problem_class: str
+    backend: str
+    nworkers: int
+    niter: int
+    time_seconds: float
+    mops: float
+    verification: VerificationResult
+    timers: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def verified(self) -> bool:
+        return self.verification.verified
+
+    def banner(self) -> str:
+        """Text banner in the spirit of the NPB ``print_results``."""
+        status = "SUCCESSFUL" if self.verified else "UNSUCCESSFUL"
+        return (
+            f" {self.name} Benchmark Completed.\n"
+            f" Class           = {self.problem_class}\n"
+            f" Iterations      = {self.niter}\n"
+            f" Time in seconds = {self.time_seconds:.4f}\n"
+            f" Mop/s total     = {self.mops:.2f}\n"
+            f" Backend         = {self.backend} x{self.nworkers}\n"
+            f" Verification    = {status}"
+        )
+
+
+class NPBenchmark(ABC):
+    """Base class for all NPB benchmarks.
+
+    Subclasses set :attr:`name`, define per-class parameters in their own
+    package, and implement the four hooks below.  ``run()`` orchestrates
+    the NPB life cycle.
+    """
+
+    #: Benchmark mnemonic ("BT", "CG", ...); set by subclasses.
+    name: str = "??"
+
+    def __init__(self, problem_class: "str | ProblemClass",
+                 team: Team | None = None):
+        self.problem_class = ProblemClass.parse(problem_class)
+        self.team = team if team is not None else SerialTeam()
+        self.timers = TimerSet()
+        self._set_up = False
+
+    # ------------------------------------------------------------------ #
+    # hooks
+
+    @abstractmethod
+    def _setup(self) -> None:
+        """Allocate arrays (via ``self.team.shared``) and initialize data."""
+
+    @abstractmethod
+    def _iterate(self) -> None:
+        """Run the full timed region (all ``niter`` iterations)."""
+
+    @abstractmethod
+    def verify(self) -> VerificationResult:
+        """Compare computed quantities against the reference values."""
+
+    @abstractmethod
+    def op_count(self) -> float:
+        """Total floating-point (or key, for IS) operations of the timed
+        region, from the official NPB operation-count formulas."""
+
+    @property
+    @abstractmethod
+    def niter(self) -> int:
+        """Number of timed iterations for the bound problem class."""
+
+    # ------------------------------------------------------------------ #
+
+    def setup(self) -> None:
+        """Idempotent public setup (untimed initialization)."""
+        if not self._set_up:
+            self._setup()
+            self._set_up = True
+
+    def run(self) -> BenchmarkResult:
+        """Execute the full benchmark life cycle and return the result."""
+        self.setup()
+        # NPB semantics: all timers reset at the start of the timed
+        # region (phase timers therefore exclude the warm-up step).
+        self.timers.clear_all()
+        timer = self.timers["total"]
+        timer.start()
+        self._iterate()
+        elapsed = timer.stop()
+        verification = self.verify()
+        mops = self.op_count() / elapsed / 1.0e6 if elapsed > 0 else 0.0
+        return BenchmarkResult(
+            name=self.name,
+            problem_class=str(self.problem_class),
+            backend=self.team.backend,
+            nworkers=self.team.nworkers,
+            niter=self.niter,
+            time_seconds=elapsed,
+            mops=mops,
+            verification=verification,
+            timers=self.timers.report(),
+        )

@@ -1,0 +1,52 @@
+"""Name-based benchmark registry.
+
+Benchmark packages register their class at import time; the harness looks
+them up by mnemonic.  Import of the benchmark packages is deferred to first
+lookup so that ``import repro`` stays cheap.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+from typing import Type
+
+from repro.core.benchmark import NPBenchmark
+
+_REGISTRY: dict[str, Type[NPBenchmark]] = {}
+
+#: mnemonic -> module that defines (and registers) it
+_PROVIDERS = {
+    "BT": "repro.bt",
+    "SP": "repro.sp",
+    "LU": "repro.lu",
+    "FT": "repro.ft",
+    "MG": "repro.mg",
+    "CG": "repro.cg",
+    "IS": "repro.isort",
+    "EP": "repro.ep",
+}
+
+
+def register(cls: Type[NPBenchmark]) -> Type[NPBenchmark]:
+    """Class decorator: add a benchmark to the registry under its name."""
+    mnemonic = cls.name.upper()
+    _REGISTRY[mnemonic] = cls
+    return cls
+
+
+def get_benchmark(name: str) -> Type[NPBenchmark]:
+    """Look a benchmark class up by mnemonic (case-insensitive)."""
+    mnemonic = name.upper()
+    if mnemonic not in _REGISTRY:
+        provider = _PROVIDERS.get(mnemonic)
+        if provider is None:
+            raise KeyError(
+                f"unknown benchmark {name!r}; known: {sorted(_PROVIDERS)}"
+            )
+        import_module(provider)
+    return _REGISTRY[mnemonic]
+
+
+def available_benchmarks() -> list[str]:
+    """All benchmark mnemonics, in the paper's table order."""
+    return ["BT", "SP", "LU", "FT", "IS", "CG", "MG", "EP"]

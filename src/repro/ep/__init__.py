@@ -1,0 +1,17 @@
+"""EP: Embarrassingly Parallel benchmark.
+
+Generates pairs of Gaussian deviates by the acceptance-rejection (Marsaglia
+polar) method from the NPB 46-bit LCG and tallies them in square annuli.
+There is no communication except a final sum, making EP the upper bound on
+achievable parallel speedup.
+
+EP is not in the paper's Tables 2-6 (the Java suite covered the seven
+NPB2.3-serial codes); it is included here for suite completeness, matching
+the full NPB specification and the related Java Grande / Adelaide ports the
+paper cites.
+"""
+
+from repro.ep.benchmark import EP
+from repro.ep.params import EP_CLASSES, EPParams
+
+__all__ = ["EP", "EPParams", "EP_CLASSES"]

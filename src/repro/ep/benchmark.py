@@ -1,0 +1,94 @@
+"""The EP benchmark: Gaussian pairs by the Marsaglia polar method (ep.f)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.randdp import A_DEFAULT, Randlc, ipow46
+from repro.common.verification import VerificationResult
+from repro.core.benchmark import NPBenchmark
+from repro.core.registry import register
+from repro.ep.params import EP_EPSILON, EP_SEED, MK, NQ, ep_params
+
+
+def _batch_tallies(batch_index: int) -> tuple[float, float, np.ndarray]:
+    """Tally one batch of 2**MK pairs: returns (sx, sy, annulus counts).
+
+    Batch ``k`` starts the generator at state ``s * a**(2*nk*k) mod 2**46``
+    -- the same jump the Fortran code reaches with its binary-method loop --
+    so batches are independent and order-insensitive (the basis of EP's
+    embarrassing parallelism).
+    """
+    nk = 1 << MK
+    rng = Randlc(EP_SEED, A_DEFAULT)
+    rng.skip(2 * nk * batch_index)
+    uniforms = rng.batch(2 * nk)
+    x = 2.0 * uniforms[0::2] - 1.0
+    y = 2.0 * uniforms[1::2] - 1.0
+    t = x * x + y * y
+    accept = t <= 1.0
+    x, y, t = x[accept], y[accept], t[accept]
+    factor = np.sqrt(-2.0 * np.log(t) / t)
+    gx = x * factor
+    gy = y * factor
+    bins = np.maximum(np.abs(gx), np.abs(gy)).astype(np.int64)
+    counts = np.bincount(bins, minlength=NQ)
+    return float(gx.sum()), float(gy.sum()), counts
+
+
+def _batch_range(lo: int, hi: int) -> tuple[float, float, np.ndarray]:
+    """Worker task: tally batches [lo, hi)."""
+    sx = 0.0
+    sy = 0.0
+    counts = np.zeros(NQ, dtype=np.int64)
+    for k in range(lo, hi):
+        bsx, bsy, bcounts = _batch_tallies(k)
+        sx += bsx
+        sy += bsy
+        counts += bcounts
+    return sx, sy, counts
+
+
+@register
+class EP(NPBenchmark):
+    """Embarrassingly Parallel: random-number generation and tabulation."""
+
+    name = "EP"
+
+    def __init__(self, problem_class, team=None):
+        super().__init__(problem_class, team)
+        self.params = ep_params(self.problem_class)
+        self.sx = float("nan")
+        self.sy = float("nan")
+        self.counts = np.zeros(NQ, dtype=np.int64)
+
+    @property
+    def niter(self) -> int:
+        return 1
+
+    def _setup(self) -> None:
+        # EP has no initialization phase; everything is in the timed region.
+        pass
+
+    def _iterate(self) -> None:
+        nbatches = 1 << (self.params.m - MK)
+        partials = self.team.parallel_for(nbatches, _batch_range)
+        self.sx = sum(p[0] for p in partials)
+        self.sy = sum(p[1] for p in partials)
+        self.counts = np.sum([p[2] for p in partials], axis=0)
+
+    def verify(self) -> VerificationResult:
+        result = VerificationResult("EP", str(self.problem_class), True)
+        result.add("sx", self.sx, self.params.sx_verify, EP_EPSILON)
+        result.add("sy", self.sy, self.params.sy_verify, EP_EPSILON)
+        return result
+
+    def op_count(self) -> float:
+        """ep.f counts the Gaussian pair generation as ~25 flops per pair
+        attempt (the official Mop/s normalization uses 2**(m+1))."""
+        return 25.0 * (1 << (self.params.m + 1)) / 2.0
+
+    @property
+    def gaussian_count(self) -> int:
+        """Number of accepted Gaussian pairs (gc in ep.f)."""
+        return int(self.counts.sum())

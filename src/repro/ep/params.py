@@ -1,0 +1,45 @@
+"""EP problem-class parameters and verification constants (ep.f)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.params import ProblemClass, lookup_class
+
+
+@dataclass(frozen=True)
+class EPParams:
+    """``m``: log2 of the number of Gaussian pairs; reference sums sx, sy."""
+
+    m: int
+    sx_verify: float
+    sy_verify: float
+
+    @property
+    def npairs(self) -> int:
+        return 1 << self.m
+
+
+EP_CLASSES: dict[ProblemClass, EPParams] = {
+    ProblemClass.S: EPParams(24, -3.247834652034740e3, -6.958407078382297e3),
+    ProblemClass.W: EPParams(25, -2.863319731645753e3, -6.320053679109499e3),
+    ProblemClass.A: EPParams(28, -4.295875165629892e3, -1.580732573678431e4),
+    ProblemClass.B: EPParams(30, 4.033815542441498e4, -2.660669192809235e4),
+    ProblemClass.C: EPParams(32, 4.764367927995374e4, -8.084072988043731e4),
+}
+
+#: Relative tolerance of the sx/sy comparison (ep.f).
+EP_EPSILON = 1.0e-8
+
+#: Batch size exponent (mk in ep.f): 2**16 pairs per batch.
+MK = 16
+
+#: Number of annulus bins (nq in ep.f).
+NQ = 10
+
+#: LCG seed (s in ep.f).
+EP_SEED = 271828183
+
+
+def ep_params(problem_class) -> EPParams:
+    return lookup_class(EP_CLASSES, problem_class, "EP")

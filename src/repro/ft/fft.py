@@ -1,0 +1,111 @@
+"""From-scratch vectorized Stockham FFT (the cfftz kernel of ft.f).
+
+The Stockham autosort algorithm avoids the bit-reversal permutation by
+ping-ponging between two buffers, which is why the NPB chose it for vector
+machines; the same property makes it a natural fit for NumPy, where every
+butterfly stage is a whole-array expression.
+
+Only power-of-two lengths are supported (all NPB grids are powers of two).
+Conventions follow ft.f: ``sign=+1`` is the forward transform
+``X[k] = sum_j x[j] exp(+2*pi*i*j*k/n)`` and ``sign=-1`` its conjugate;
+neither direction normalizes (the benchmark's checksum divides by the grid
+size instead).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Cache of butterfly root tables keyed by (n, L, sign).
+_ROOTS: dict[tuple[int, int, int], np.ndarray] = {}
+
+
+def _roots(n: int, L: int, sign: int) -> np.ndarray:
+    key = (n, L, sign)
+    table = _ROOTS.get(key)
+    if table is None:
+        table = np.exp(sign * 2j * np.pi * np.arange(L) / (2 * L))
+        _ROOTS[key] = table
+    return table
+
+
+def fft_rows(x: np.ndarray, sign: int) -> np.ndarray:
+    """DFT of each row of a 2-D complex array (Stockham, radix 2).
+
+    Invariant after stage t (block length L = 2**t): ``y[:, j, k]`` holds
+    the length-L DFT of the decimated subsequence ``x[:, j::R]`` at
+    frequency k, with R = n // L.  The decimation-in-time combine step
+    halves R and doubles L until R == 1.
+    """
+    m, n = x.shape
+    if n & (n - 1):
+        raise ValueError("fft_rows requires a power-of-two length")
+    if n == 1:
+        return x.copy()
+    y = x.reshape(m, n, 1).copy()
+    L = 1
+    while L < n:
+        half = y.shape[1] // 2
+        w = _roots(n, L, sign)
+        even = y[:, :half, :]
+        odd = y[:, half:, :] * w
+        y = np.concatenate((even + odd, even - odd), axis=2)
+        L *= 2
+    return y.reshape(m, n)
+
+
+def fft_along_axis(x: np.ndarray, axis: int, sign: int) -> np.ndarray:
+    """DFT along one axis of an n-D complex array; returns a new array."""
+    moved = np.moveaxis(x, axis, -1)
+    shape = moved.shape
+    flat = np.ascontiguousarray(moved).reshape(-1, shape[-1])
+    out = fft_rows(flat, sign).reshape(shape)
+    return np.ascontiguousarray(np.moveaxis(out, -1, axis))
+
+
+def fft3d(x: np.ndarray, sign: int) -> np.ndarray:
+    """Full 3-D transform on a (nz, ny, nx) array.
+
+    Forward (sign=+1) transforms x, then y, then z; inverse (sign=-1)
+    transforms z, then y, then x -- the cffts1/2/3 call order of ft.f.
+    """
+    axes = (2, 1, 0) if sign > 0 else (0, 1, 2)
+    for axis in axes:
+        x = fft_along_axis(x, axis, sign)
+    return x
+
+
+# --------------------------------------------------------------------- #
+# Slab workers used by the FT benchmark (module-level for the process
+# backend).  x/y transforms are partitioned over z planes; the z transform
+# over y rows.
+
+def fft_x_slab(lo: int, hi: int, src, dst, sign: int) -> None:
+    """Transform along x (last axis) for z planes [lo, hi)."""
+    if hi <= lo:
+        return
+    planes = src[lo:hi]
+    nz, ny, nx = planes.shape
+    dst[lo:hi] = fft_rows(planes.reshape(-1, nx), sign).reshape(planes.shape)
+
+
+def fft_y_slab(lo: int, hi: int, src, dst, sign: int) -> None:
+    """Transform along y (middle axis) for z planes [lo, hi)."""
+    if hi <= lo:
+        return
+    planes = src[lo:hi]
+    moved = np.ascontiguousarray(np.moveaxis(planes, 1, -1))
+    ny = moved.shape[-1]
+    out = fft_rows(moved.reshape(-1, ny), sign).reshape(moved.shape)
+    dst[lo:hi] = np.moveaxis(out, -1, 1)
+
+
+def fft_z_slab(lo: int, hi: int, src, dst, sign: int) -> None:
+    """Transform along z (first axis) for y rows [lo, hi)."""
+    if hi <= lo:
+        return
+    rows = src[:, lo:hi, :]
+    moved = np.ascontiguousarray(np.moveaxis(rows, 0, -1))
+    nz = moved.shape[-1]
+    out = fft_rows(moved.reshape(-1, nz), sign).reshape(moved.shape)
+    dst[:, lo:hi, :] = np.moveaxis(out, -1, 0)

@@ -1,0 +1,127 @@
+"""FT problem-class parameters and reference checksums (ft.f).
+
+The class B and C checksum lists are transcribed with lower confidence
+than S/W/A (the test suite exercises S and W, and A in the slow tier);
+see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.params import ProblemClass, lookup_class
+
+
+@dataclass(frozen=True)
+class FTParams:
+    """Grid dims (nx, ny, nz), time steps, and per-step reference checksums."""
+
+    nx: int
+    ny: int
+    nz: int
+    niter: int
+    checksums: tuple[complex, ...]
+
+    @property
+    def ntotal(self) -> int:
+        return self.nx * self.ny * self.nz
+
+
+FT_CLASSES: dict[ProblemClass, FTParams] = {
+    ProblemClass.S: FTParams(
+        64, 64, 64, 6,
+        (
+            5.546087004964e02 + 4.845363331978e02j,
+            5.546385409189e02 + 4.865304269511e02j,
+            5.546148406171e02 + 4.883910722336e02j,
+            5.545423607415e02 + 4.901273169046e02j,
+            5.544255039624e02 + 4.917475857993e02j,
+            5.542683411902e02 + 4.932597244941e02j,
+        ),
+    ),
+    ProblemClass.W: FTParams(
+        128, 128, 32, 6,
+        (
+            5.673612178944e02 + 5.293246849175e02j,
+            5.631436885271e02 + 5.282149986629e02j,
+            5.594024089970e02 + 5.270996558037e02j,
+            5.560698047020e02 + 5.260027904925e02j,
+            5.530898991250e02 + 5.249400845633e02j,
+            5.504159734538e02 + 5.239212247086e02j,
+        ),
+    ),
+    ProblemClass.A: FTParams(
+        256, 256, 128, 6,
+        (
+            5.046735008193e02 + 5.114047905510e02j,
+            5.059412319734e02 + 5.098809666433e02j,
+            5.069376896287e02 + 5.098144042213e02j,
+            5.077892868474e02 + 5.101336130759e02j,
+            5.085233095391e02 + 5.104914655194e02j,
+            5.091487099959e02 + 5.107917842803e02j,
+        ),
+    ),
+    ProblemClass.B: FTParams(
+        512, 256, 256, 20,
+        (
+            5.177643571579e02 + 5.077803458597e02j,
+            5.154521291263e02 + 5.088249431599e02j,
+            5.146409228649e02 + 5.096208912659e02j,
+            5.142378756213e02 + 5.101023387619e02j,
+            5.139626667737e02 + 5.103976610617e02j,
+            5.137423460082e02 + 5.105948019802e02j,
+            5.135547056878e02 + 5.107404165783e02j,
+            5.133910925466e02 + 5.108576573661e02j,
+            5.132470705390e02 + 5.109577278523e02j,
+            5.131197729984e02 + 5.110460304483e02j,
+            5.130070319283e02 + 5.111252433800e02j,
+            5.129070537032e02 + 5.111968077718e02j,
+            5.128182883502e02 + 5.112616233064e02j,
+            5.127393733383e02 + 5.113203605551e02j,
+            5.126691062020e02 + 5.113735928093e02j,
+            5.126064276004e02 + 5.114218460548e02j,
+            5.125504076570e02 + 5.114656139760e02j,
+            5.125002331720e02 + 5.115053595966e02j,
+            5.124551951846e02 + 5.115415130407e02j,
+            5.124146770029e02 + 5.115744692211e02j,
+        ),
+    ),
+    ProblemClass.C: FTParams(
+        512, 512, 512, 20,
+        (
+            5.195078707457e02 + 5.149019699238e02j,
+            5.155422171134e02 + 5.127578201997e02j,
+            5.144678022222e02 + 5.122251847514e02j,
+            5.140150594328e02 + 5.121090289018e02j,
+            5.137550426810e02 + 5.121143685824e02j,
+            5.135811056728e02 + 5.121496764568e02j,
+            5.134569343165e02 + 5.121870921893e02j,
+            5.133651975661e02 + 5.122193250322e02j,
+            5.132955192805e02 + 5.122454735794e02j,
+            5.132410471738e02 + 5.122663649603e02j,
+            5.131971141679e02 + 5.122830879827e02j,
+            5.131605205716e02 + 5.122965784633e02j,
+            5.131290734194e02 + 5.123075927445e02j,
+            5.131012720314e02 + 5.123166486553e02j,
+            5.130760908195e02 + 5.123241541685e02j,
+            5.130528295923e02 + 5.123304037599e02j,
+            5.130310107773e02 + 5.123356167976e02j,
+            5.130103090133e02 + 5.123399592211e02j,
+            5.129905029333e02 + 5.123435588985e02j,
+            5.129714421109e02 + 5.123465164008e02j,
+        ),
+    ),
+}
+
+#: Diffusivity (alpha in ft.f).
+ALPHA = 1.0e-6
+
+#: Relative tolerance of each checksum component (ft.f).
+FT_EPSILON = 1.0e-12
+
+#: LCG seed for the initial conditions.
+FT_SEED = 314159265
+
+
+def ft_params(problem_class) -> FTParams:
+    return lookup_class(FT_CLASSES, problem_class, "FT")

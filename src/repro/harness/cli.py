@@ -1,0 +1,188 @@
+"""Command-line interface (``npb`` console script / ``python -m repro``).
+
+Subcommands::
+
+    npb run BT -c S -b process -w 4    run one benchmark
+    npb verify -c S                    run + verify the whole suite
+    npb table 3 [--measured] [-c A]    regenerate a paper table
+    npb tables [--measured]            regenerate all seven tables
+    npb list                           list benchmarks and classes
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import available_benchmarks, run_benchmark
+from repro.common.params import CLASS_ORDER
+from repro.harness.report import format_table
+from repro.harness.tables import TABLES, generate_table
+
+
+def _cmd_run(args) -> int:
+    result = run_benchmark(args.benchmark.upper(), args.problem_class,
+                           args.backend, args.workers)
+    print(result.banner())
+    if args.verbose:
+        print(result.verification.summary())
+    return 0 if result.verified else 1
+
+
+def _cmd_verify(args) -> int:
+    failures = 0
+    for name in available_benchmarks():
+        result = run_benchmark(name, args.problem_class, args.backend,
+                               args.workers)
+        status = "ok  " if result.verified else "FAIL"
+        print(f"[{status}] {name}.{args.problem_class}  "
+              f"{result.time_seconds:8.2f}s  {result.mops:10.1f} Mop/s")
+        if not result.verified:
+            failures += 1
+            print(result.verification.summary())
+    return 1 if failures else 0
+
+
+def _cmd_table(args) -> int:
+    mode = "measured" if args.measured else "simulated"
+    numbers = [args.number] if args.number else list(TABLES)
+    for n in numbers:
+        table = generate_table(n, mode, args.problem_class)
+        print(format_table(table))
+        print()
+    return 0
+
+
+def _cmd_speedup(args) -> int:
+    import time
+
+    from repro.core.registry import get_benchmark
+    from repro.harness.report import Table
+    from repro.machines import MACHINES, speedup_curve
+    from repro.team import make_team
+
+    name = args.benchmark.upper()
+    cls = get_benchmark(name)
+    counts = [1, 2, 4][: args.max_workers.bit_length()]
+
+    rows = Table(
+        f"Speedup study: {name}.{args.problem_class}",
+        ["Configuration", "seconds", "speedup"],
+    )
+    bench = cls(args.problem_class)
+    bench.setup()
+    t0 = time.perf_counter()
+    bench._iterate()
+    serial = time.perf_counter() - t0
+    rows.add_row("serial (this host)", serial, 1.0)
+    for workers in counts:
+        with make_team(args.backend, workers) as team:
+            parallel = cls(args.problem_class, team)
+            parallel.setup()
+            t0 = time.perf_counter()
+            parallel._iterate()
+            elapsed = time.perf_counter() - t0
+            assert parallel.verify().verified
+        rows.add_row(f"{args.backend} x{workers} (this host)", elapsed,
+                     serial / elapsed)
+    print(format_table(rows))
+    print()
+    modeled = Table(
+        f"Modeled {name}.A Java speedups on the paper's machines",
+        ["Machine"] + [f"{p}thr" for p in (1, 2, 4, 8, 16, 32)],
+    )
+    for key, spec in MACHINES.items():
+        curve = speedup_curve(spec, name, "A", warmup_load=True)
+        modeled.add_row(key, *[curve.get(p, float("nan"))
+                               for p in (1, 2, 4, 8, 16, 32)])
+    print(format_table(modeled))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.harness.findings import generate_report
+
+    print(generate_report(include_tables=not args.no_tables))
+    return 0
+
+
+def _cmd_list(args) -> int:
+    print("Benchmarks:", ", ".join(available_benchmarks()))
+    print("Classes:   ", ", ".join(str(c) for c in CLASS_ORDER))
+    print("Backends:   serial, threads, process")
+    print("Tables:    ", ", ".join(str(t) for t in TABLES))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="npb",
+        description="NAS Parallel Benchmarks in Python "
+                    "(reproduction of Frumkin et al., IPPS 2003)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one benchmark")
+    run.add_argument("benchmark", choices=available_benchmarks(),
+                     type=str.upper)
+    _common(run)
+    run.add_argument("-v", "--verbose", action="store_true")
+    run.set_defaults(fn=_cmd_run)
+
+    verify = sub.add_parser("verify", help="run and verify the whole suite")
+    _common(verify)
+    verify.set_defaults(fn=_cmd_verify)
+
+    table = sub.add_parser("table", help="regenerate one paper table")
+    table.add_argument("number", type=int, choices=TABLES)
+    table.add_argument("--measured", action="store_true",
+                       help="measure on this host instead of simulating "
+                            "the paper's machines")
+    table.add_argument("-c", "--problem-class", default="A",
+                       help="problem class for tables 2-6 (default A "
+                            "simulated; use S/W for measured runs)")
+    table.set_defaults(fn=_cmd_table)
+
+    tables = sub.add_parser("tables", help="regenerate all seven tables")
+    tables.add_argument("--measured", action="store_true")
+    tables.add_argument("-c", "--problem-class", default="A")
+    tables.set_defaults(fn=_cmd_table, number=None)
+
+    speedup = sub.add_parser(
+        "speedup", help="measured host speedups + modeled paper-machine "
+                        "speedup curves for one benchmark")
+    speedup.add_argument("benchmark", choices=available_benchmarks(),
+                         type=str.upper)
+    speedup.add_argument("-c", "--problem-class", default="S")
+    speedup.add_argument("-b", "--backend", default="process",
+                         choices=["threads", "process"])
+    speedup.add_argument("-w", "--max-workers", type=int, default=4)
+    speedup.set_defaults(fn=_cmd_speedup)
+
+    report = sub.add_parser(
+        "report", help="evaluate every paper claim against the models "
+                       "and print a markdown findings report")
+    report.add_argument("--no-tables", action="store_true",
+                        help="omit the simulated tables")
+    report.set_defaults(fn=_cmd_report)
+
+    lst = sub.add_parser("list", help="list benchmarks, classes, tables")
+    lst.set_defaults(fn=_cmd_list)
+    return parser
+
+
+def _common(sub_parser) -> None:
+    sub_parser.add_argument("-c", "--problem-class", default="S")
+    sub_parser.add_argument("-b", "--backend", default="serial",
+                            choices=["serial", "threads", "process"])
+    sub_parser.add_argument("-w", "--workers", type=int, default=1)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Quantitative targets that survive in the paper's text.
+
+The available scan of the paper lost most numeric table cells; what
+remains -- and what this reproduction treats as its quantitative targets
+-- are the in-text anchors below.  Each constant cites its sentence in
+the paper.
+"""
+
+# Section 3 / Table 1 ---------------------------------------------------
+#: "The grid size is 81x81x100, the matrices are 5x5, and vectors are 5-D."
+TABLE1_GRID = (81, 81, 100)
+
+#: "Java serial code is a factor of 3.3 (Assignment) to 12.4 (Second
+#: Order Stencil) slower than the corresponding Fortran operations."
+JAVA_SERIAL_RATIO_MIN = 3.3
+JAVA_SERIAL_RATIO_MAX = 12.4
+
+#: "Java thread overhead (1 thread versus serial) contributes no more
+#: than 20% to the execution time."
+ONE_THREAD_OVERHEAD_MAX = 0.20
+
+#: "The speedup with 16 threads is around 7 for the computationally
+#: expensive operations (2-4) and is around 5-6 for less intensive
+#: operations (1 and 5)."
+SPEEDUP16_COMPUTE_OPS = (6.0, 9.5)
+SPEEDUP16_MEMORY_OPS = (4.5, 7.0)
+
+#: "The version that preserves the array dimension was [2-3] times slower
+#: than the linearized version" (factor garbled in the scan; the decision
+#: it motivated -- linearized arrays -- is unambiguous).
+MULTIDIM_SLOWDOWN_MIN = 1.3
+
+#: perfex: "the Java code executes twice as many floating point
+#: instructions ... the JIT compiler does not use the madd instruction."
+FP_INSTRUCTION_RATIO = 2.0
+
+# Section 5.1 -----------------------------------------------------------
+#: "On the p690, the ratio for this group is within interval [garbled]";
+#: conclusions: "on IBM p690 ... the performance of Java codes is
+#: typically within a factor of 3 of the performance of FORTRAN codes."
+P690_RATIO_MAX = 3.0
+
+#: Structured-grid group on the Origin2000 lies inside the basic-op
+#: interval [3.3, 12.4]; the unstructured group (CG, IS) is much lower.
+STRUCTURED_GROUP = ("BT", "SP", "LU", "FT", "MG")
+UNSTRUCTURED_GROUP = ("IS", "CG")
+UNSTRUCTURED_RATIO_MAX = 3.3
+
+# Section 5.2 -----------------------------------------------------------
+#: "Overall the multithreading introduces an overhead of about 10%-20%."
+MULTITHREAD_OVERHEAD_RANGE = (0.05, 0.20)
+
+#: "The speedup of BT, SP, and LU with 16 threads is in the range of
+#: 6-12 (efficiency 0.38-0.75)."
+BT_SP_LU_SPEEDUP16 = (6.0, 12.0)
+
+#: "FT.A uses about 350 MB"; "inability of the JVM to use more than 4
+#: processors to run applications requiring significant amounts of
+#: memory" (SUN E10000).
+FT_A_MEMORY_MB = 350.0
+E10000_BIG_JOB_CPU_CAP = 4
+
+#: "the JVM ran all the [CG] threads in 1-2 Posix threads ... by
+#: initializing the thread load, we were able to get a visible speedup
+#: of CG."
+CG_COALESCED_CPUS = 2
+
+#: "On the Linux PIII PC we did not obtain any speedup on any benchmark
+#: when using 2 threads."
+LINUX_PC_SPEEDUP2_MAX = 1.05
+
+#: Conclusions: "Efficiency of parallelization with threads is about 0.5
+#: for up to 16 threads."
+THREAD_EFFICIENCY_16 = 0.5
+
+# Table 7 ---------------------------------------------------------------
+#: "the algorithm used in lufact benchmark performs poorly relative to
+#: LINPACK" (DGETRF, BLAS3) and "our Assignment base operation ... about
+#: the same Java/Fortran performance ratio as the lufact benchmark."
+LUFACT_CLASSES = {"A": 500, "B": 1000, "C": 2000}

@@ -1,0 +1,52 @@
+"""Plain-text table rendering for the harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Table:
+    """A rendered experiment table."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        self.rows.append([_fmt(c) for c in cells])
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN -> not measured / not applicable
+            return "-"
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        if abs(cell) >= 0.1:
+            return f"{cell:.2f}"
+        return f"{cell:.2e}"
+    return str(cell)
+
+
+def format_table(table: Table) -> str:
+    widths = [len(h) for h in table.headers]
+    for row in table.rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells, pad=" "):
+        return "  ".join(c.rjust(w) if i else c.ljust(w)
+                         for i, (c, w) in enumerate(zip(cells, widths)))
+
+    out = [table.title, "=" * len(table.title),
+           line(table.headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in table.rows)
+    for note in table.notes:
+        out.append(f"  note: {note}")
+    return "\n".join(out)

@@ -1,0 +1,19 @@
+"""IS: Integer Sort benchmark.
+
+Ranks (and finally sorts) a stream of integer keys with a linear-time
+counting sort based on the key histogram.  The keys are drawn from the NPB
+LCG with a four-draw sum per key, giving an approximately Gaussian key
+distribution.
+
+IS is the second of the paper's "unstructured" benchmarks; the paper found
+its thread scalability poor because per-thread work is small relative to
+the data movement -- a property the workload profile in
+:mod:`repro.machines` captures.
+
+(The package is named ``isort`` because ``is`` is a Python keyword.)
+"""
+
+from repro.isort.benchmark import IS
+from repro.isort.params import IS_CLASSES, ISParams
+
+__all__ = ["IS", "ISParams", "IS_CLASSES"]

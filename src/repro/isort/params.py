@@ -1,0 +1,91 @@
+"""IS problem-class parameters and partial-verification constants (is.c)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.params import ProblemClass, lookup_class
+
+
+@dataclass(frozen=True)
+class ISParams:
+    """One row of the IS class table.
+
+    ``total_keys_log2``/``max_key_log2`` size the key stream and key range;
+    ``test_index``/``test_rank`` are the five spot-check positions and their
+    published ranks; ``rank_adjust`` gives, for each spot check, the sign
+    pattern of the per-iteration rank drift the verification expects
+    (the class-specific ``switch`` in is.c's partial_verify).
+    """
+
+    total_keys_log2: int
+    max_key_log2: int
+    test_index: tuple[int, ...]
+    test_rank: tuple[int, ...]
+    #: (offset, sign) per test slot: expected rank = test_rank + sign*(iteration + offset)
+    rank_adjust: tuple[tuple[int, int], ...]
+
+    @property
+    def num_keys(self) -> int:
+        return 1 << self.total_keys_log2
+
+    @property
+    def max_key(self) -> int:
+        return 1 << self.max_key_log2
+
+
+#: Timed ranking iterations (MAX_ITERATIONS in is.c).
+MAX_ITERATIONS = 10
+
+#: Spot checks per iteration (TEST_ARRAY_SIZE in is.c).
+TEST_ARRAY_SIZE = 5
+
+#: LCG seed for key generation.
+IS_SEED = 314159265
+
+
+def _adjust(*signs_offsets) -> tuple[tuple[int, int], ...]:
+    return tuple(signs_offsets)
+
+
+IS_CLASSES: dict[ProblemClass, ISParams] = {
+    # is.c class S: i<=2 -> rank+iteration, else rank-iteration
+    ProblemClass.S: ISParams(
+        16, 11,
+        (48427, 17148, 23627, 62548, 4431),
+        (0, 18, 346, 64917, 65463),
+        _adjust((0, 1), (0, 1), (0, 1), (0, -1), (0, -1)),
+    ),
+    # class W: i<2 -> rank+(iteration-2), else rank-iteration
+    ProblemClass.W: ISParams(
+        20, 16,
+        (357773, 934767, 875723, 898999, 404505),
+        (1249, 11698, 1039987, 1043896, 1048018),
+        _adjust((-2, 1), (-2, 1), (0, -1), (0, -1), (0, -1)),
+    ),
+    # class A: i<=2 -> rank+(iteration-1), else rank-(iteration-1)
+    ProblemClass.A: ISParams(
+        23, 19,
+        (2112377, 662041, 5336171, 3642833, 4250760),
+        (104, 17523, 123928, 8288932, 8388264),
+        _adjust((-1, 1), (-1, 1), (-1, 1), (-1, -1), (-1, -1)),
+    ),
+    # class B: i==1,2,4 -> rank+iteration, else rank-iteration
+    ProblemClass.B: ISParams(
+        25, 21,
+        (41869, 812306, 5102857, 18232239, 26860214),
+        (33422937, 10244, 59149, 33135281, 99),
+        _adjust((0, -1), (0, 1), (0, 1), (0, -1), (0, 1)),
+    ),
+    # class C: i<=2 -> rank+iteration, else rank-iteration
+    ProblemClass.C: ISParams(
+        27, 23,
+        (44172927, 72999161, 74326391, 129606274, 21736814),
+        (61147, 882988, 266290, 133997595, 133525895),
+        _adjust((0, 1), (0, 1), (0, 1), (0, -1), (0, -1)),
+    ),
+}
+
+
+def is_params(problem_class) -> ISParams:
+    return lookup_class(IS_CLASSES, problem_class, "IS")

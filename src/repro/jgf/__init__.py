@@ -1,0 +1,40 @@
+"""Java Grande Forum kernels: resolving the paper's section 5.1 discrepancy.
+
+The Java Grande Benchmarking Group reported Java within a factor of ~2 of
+C/Fortran on "almost all" of its kernels, in sharp contrast with the
+paper's 3-12x on the NPB.  The paper traces the difference to workload
+mix: the JGF kernels are dominated by transcendental math, irregular
+access and data movement -- categories where the Fortran compiler's
+regular-stride optimizations buy little -- while the NPB structured-grid
+codes live exactly where those optimizations shine (the paper dissects
+``lufact``, see :mod:`repro.lufact`; this package covers three more JGF
+Section-2 kernels).
+
+Each kernel is implemented in the two roles used throughout this
+reproduction (vectorized NumPy = compiled; interpreted loops = the
+translated-Java role), self-validated, and classified into the machine
+model's operation categories so the JGF-vs-NPB ratio bands can be
+compared on the same modeled JVMs (:func:`repro.jgf.study.jgf_ratio_band`).
+"""
+
+from repro.jgf.series import series_loops, series_numpy
+from repro.jgf.sor import sor_loops, sor_numpy
+from repro.jgf.sparsematmult import (
+    make_sparse_system,
+    sparsematmult_loops,
+    sparsematmult_numpy,
+)
+from repro.jgf.study import JGF_KERNELS, jgf_ratio_band, measured_ratios
+
+__all__ = [
+    "series_numpy",
+    "series_loops",
+    "sor_numpy",
+    "sor_loops",
+    "sparsematmult_numpy",
+    "sparsematmult_loops",
+    "make_sparse_system",
+    "JGF_KERNELS",
+    "jgf_ratio_band",
+    "measured_ratios",
+]

@@ -1,0 +1,58 @@
+"""JGF Series: Fourier coefficients of (x+1)^x on [0, 2].
+
+The kernel computes the first n coefficient pairs
+
+    a_k = integral (x+1)^x cos(k pi x) dx,   b_k = ... sin(k pi x) dx
+
+by the composite trapezoid rule with 1000 intervals.  Runtime is
+dominated by ``pow``/``cos``/``sin`` library calls, which is why the
+Java Grande study found Java competitive here: the transcendental
+library, not compiled loop code, sets the pace.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: Trapezoid intervals per coefficient (the JGF constant).
+INTERVALS = 1000
+
+
+def series_numpy(n: int) -> np.ndarray:
+    """First n coefficient pairs, vectorized; shape (n, 2), row 0 holds
+    (a_0, 0)."""
+    x = np.linspace(0.0, 2.0, INTERVALS + 1)
+    fx = (x + 1.0) ** x
+    weights = np.full(INTERVALS + 1, 2.0 / INTERVALS)
+    weights[0] *= 0.5
+    weights[-1] *= 0.5
+    out = np.empty((n, 2))
+    out[0, 0] = float(fx @ weights) / 2.0
+    out[0, 1] = 0.0
+    k = np.arange(1, n)[:, None]
+    phase = k * np.pi * x[None, :]
+    out[1:, 0] = (np.cos(phase) * fx[None, :]) @ weights / 2.0
+    out[1:, 1] = (np.sin(phase) * fx[None, :]) @ weights / 2.0
+    return out
+
+
+def series_loops(n: int) -> list[tuple[float, float]]:
+    """Same computation with interpreted per-point loops (JGF style)."""
+    dx = 2.0 / INTERVALS
+    out: list[tuple[float, float]] = []
+    for k in range(n):
+        acc_a = 0.0
+        acc_b = 0.0
+        for i in range(INTERVALS + 1):
+            x = i * dx
+            fx = math.pow(x + 1.0, x)
+            w = dx if 0 < i < INTERVALS else 0.5 * dx
+            if k == 0:
+                acc_a += fx * w
+            else:
+                acc_a += math.cos(k * math.pi * x) * fx * w
+                acc_b += math.sin(k * math.pi * x) * fx * w
+        out.append((acc_a / 2.0, acc_b / 2.0 if k else 0.0))
+    return out

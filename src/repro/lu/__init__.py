@@ -1,0 +1,18 @@
+"""LU: Lower-Upper symmetric Gauss-Seidel simulated CFD application.
+
+Solves the same discrete Navier-Stokes system as BT/SP with an SSOR
+scheme: the implicit operator is split into block lower and upper
+triangular parts swept in opposite directions each pseudo-time step.
+The triangular solves are vectorized over hyperplanes (i+j+k = const),
+the standard wavefront formulation whose per-point arithmetic is
+identical to the Fortran k/j/i ordering.
+
+The paper singles LU out for its lower thread scalability: the Java
+version synchronizes inside a loop over one grid dimension, which the
+hyperplane decomposition makes explicit (one barrier per wavefront).
+"""
+
+from repro.lu.benchmark import LU
+from repro.lu.params import LU_CLASSES, LUParams
+
+__all__ = ["LU", "LUParams", "LU_CLASSES"]

@@ -1,0 +1,193 @@
+"""The LU spatial operator (rhs/erhs in lu.f), slab-parallel.
+
+LU formulates the discrete operator with explicit flux pencils instead of
+the expanded per-term form of BT/SP: per direction, a convective flux
+vector E(u), a viscous flux built from first differences of the
+velocities, and the common 4th-order dissipation.  ``apply_operator_slab``
+accumulates the operator of any field into an output array, so it serves
+both ``erhs`` (operator of the exact solution -> forcing) and ``rhs``
+(operator of u minus forcing -> residual).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cfd.constants import CFDConstants
+
+_AXIS = {"x": 2, "y": 1, "z": 0}
+
+
+def _interior_view(f, axis: int, offset: int, lo: int, hi: int):
+    """Interior view (k in [1+lo,1+hi), j, i interior) of scalar field,
+    with the swept axis displaced by ``offset``."""
+    slices = [slice(1 + lo, 1 + hi), slice(1, -1), slice(1, -1)]
+    base = slices[axis]
+    stop = base.stop if base.stop > 0 else f.shape[axis] + base.stop
+    slices[axis] = slice(base.start + offset, stop + offset)
+    return f[tuple(slices)]
+
+
+def _convective_flux(field, vel: int, c: CFDConstants):
+    """E(field) for the direction with momentum component ``vel``;
+    full-grid arrays, shape (nz, ny, nx) per component."""
+    u1 = field[..., 0]
+    uvel = field[..., vel]
+    v = uvel / u1
+    q = 0.5 * (field[..., 1] ** 2 + field[..., 2] ** 2
+               + field[..., 3] ** 2) / u1
+    flux = np.empty(field.shape)
+    flux[..., 0] = uvel
+    for m in (1, 2, 3):
+        if m == vel:
+            flux[..., m] = field[..., m] * v + c.c2 * (field[..., 4] - q)
+        else:
+            flux[..., m] = field[..., m] * v
+    flux[..., 4] = (c.c1 * field[..., 4] - c.c2 * q) * v
+    return flux
+
+
+def _viscous_flux(field, vel: int, t3: float, c: CFDConstants):
+    """Viscous flux differences along the swept axis.
+
+    Defined at positions 1..n-1 of the swept axis (difference of point i
+    and i-1); returned as a full-shape array with position 0 unused.
+    """
+    axis = {1: 2, 2: 1, 3: 0}[vel]
+    tmp = 1.0 / field[..., 0]
+    vels = [field[..., m] * tmp for m in (1, 2, 3)]
+    e = field[..., 4] * tmp
+
+    def d(g):  # first difference along the swept axis, at positions 1..n-1
+        out = np.zeros_like(g)
+        sl_hi = [slice(None)] * 3
+        sl_lo = [slice(None)] * 3
+        sl_hi[axis] = slice(1, None)
+        sl_lo[axis] = slice(0, -1)
+        tgt = [slice(None)] * 3
+        tgt[axis] = slice(1, None)
+        out[tuple(tgt)] = g[tuple(sl_hi)] - g[tuple(sl_lo)]
+        return out
+
+    flux = np.zeros(field.shape)
+    for m in (1, 2, 3):
+        coeff = (4.0 / 3.0) if m == vel else 1.0
+        flux[..., m] = coeff * t3 * d(vels[m - 1])
+    sumsq = vels[0] ** 2 + vels[1] ** 2 + vels[2] ** 2
+    flux[..., 4] = (0.5 * (1.0 - c.c1 * c.c5) * t3 * d(sumsq)
+                    + (1.0 / 6.0) * t3 * d(vels[vel - 1] ** 2)
+                    + c.c1 * c.c5 * t3 * d(e))
+    return flux
+
+
+def apply_operator_slab(lo: int, hi: int, field, out,
+                        c: CFDConstants) -> None:
+    """Accumulate the LU spatial operator of ``field`` into ``out`` for
+    interior k planes [1+lo, 1+hi).
+
+    ``out`` must already hold its base value (0 for erhs, -frct for rhs)
+    on those planes.
+    """
+    if hi <= lo:
+        return
+
+    for direction, vel in (("x", 1), ("y", 2), ("z", 3)):
+        axis = _AXIS[direction]
+        t1 = getattr(c, f"t{direction}1")
+        t2 = getattr(c, f"t{direction}2")
+        t3 = getattr(c, f"t{direction}3")
+        dvec = [getattr(c, f"d{direction}{m}") for m in range(1, 6)]
+
+        eflux = _convective_flux(field, vel, c)
+        vflux = _viscous_flux(field, vel, t3, c)
+
+        def C(g, o):
+            return _interior_view(g, axis, o, lo, hi)
+
+        for m in range(5):
+            out[1 + lo : 1 + hi, 1:-1, 1:-1, m] -= (
+                t2 * (C(eflux[..., m], 1) - C(eflux[..., m], -1)))
+        out[1 + lo : 1 + hi, 1:-1, 1:-1, 0] += dvec[0] * t1 * (
+            C(field[..., 0], -1) - 2.0 * C(field[..., 0], 0)
+            + C(field[..., 0], 1))
+        for m in range(1, 5):
+            fm = field[..., m]
+            out[1 + lo : 1 + hi, 1:-1, 1:-1, m] += (
+                t3 * c.c3 * c.c4 * (C(vflux[..., m], 1)
+                                    - C(vflux[..., m], 0))
+                + dvec[m] * t1 * (C(fm, -1) - 2.0 * C(fm, 0) + C(fm, 1)))
+
+        _dissipation(out, field, axis, lo, hi, c.dssp)
+
+
+def _dissipation(out, field, axis: int, lo: int, hi: int,
+                 dssp: float) -> None:
+    """Standard NPB 4th-order dissipation of ``field`` subtracted from
+    ``out`` on the slab interior (same stencil family as BT/SP)."""
+    n = field.shape[axis]
+
+    if axis != 0:
+        def F(alo, ahi, off):
+            slices = [slice(1 + lo, 1 + hi), slice(1, -1), slice(1, -1),
+                      slice(None)]
+            slices[axis] = slice(alo + off, ahi + off + 1)
+            return field[tuple(slices)]
+
+        def T(alo, ahi):
+            slices = [slice(1 + lo, 1 + hi), slice(1, -1), slice(1, -1),
+                      slice(None)]
+            slices[axis] = slice(alo, ahi + 1)
+            return out[tuple(slices)]
+
+        T(1, 1)[...] -= dssp * (5.0 * F(1, 1, 0) - 4.0 * F(1, 1, 1)
+                                + F(1, 1, 2))
+        T(2, 2)[...] -= dssp * (-4.0 * F(2, 2, -1) + 6.0 * F(2, 2, 0)
+                                - 4.0 * F(2, 2, 1) + F(2, 2, 2))
+        alo, ahi = 3, n - 4
+        if ahi >= alo:
+            T(alo, ahi)[...] -= dssp * (
+                F(alo, ahi, -2) - 4.0 * F(alo, ahi, -1)
+                + 6.0 * F(alo, ahi, 0) - 4.0 * F(alo, ahi, 1)
+                + F(alo, ahi, 2))
+        i = n - 3
+        T(i, i)[...] -= dssp * (F(i, i, -2) - 4.0 * F(i, i, -1)
+                                + 6.0 * F(i, i, 0) - 4.0 * F(i, i, 1))
+        i = n - 2
+        T(i, i)[...] -= dssp * (F(i, i, -2) - 4.0 * F(i, i, -1)
+                                + 5.0 * F(i, i, 0))
+        return
+
+    for k in range(1 + lo, 1 + hi):
+        target = out[k, 1:-1, 1:-1, :]
+
+        def fk(o, _k=k):
+            return field[_k + o, 1:-1, 1:-1, :]
+
+        if k == 1:
+            target -= dssp * (5.0 * fk(0) - 4.0 * fk(1) + fk(2))
+        elif k == 2:
+            target -= dssp * (-4.0 * fk(-1) + 6.0 * fk(0)
+                              - 4.0 * fk(1) + fk(2))
+        elif k == n - 3:
+            target -= dssp * (fk(-2) - 4.0 * fk(-1) + 6.0 * fk(0)
+                              - 4.0 * fk(1))
+        elif k == n - 2:
+            target -= dssp * (fk(-2) - 4.0 * fk(-1) + 5.0 * fk(0))
+        else:
+            target -= dssp * (fk(-2) - 4.0 * fk(-1) + 6.0 * fk(0)
+                              - 4.0 * fk(1) + fk(2))
+
+
+def rhs_slab(lo: int, hi: int, u, rsd, frct, c: CFDConstants) -> None:
+    """rsd = operator(u) - frct on interior planes (rhs in lu.f).
+
+    Boundary planes/rows of rsd are set to -frct by the slabs that own
+    them (the triangular sweeps never read them, matching the Fortran,
+    whose rsd boundary entries are -frct as well)."""
+    if hi <= lo:
+        return
+    nz = u.shape[0]
+    klo = 0 if lo == 0 else 1 + lo
+    khi = nz if hi == nz - 2 else 1 + hi
+    rsd[klo:khi] = -frct[klo:khi]
+    apply_operator_slab(lo, hi, u, rsd, c)

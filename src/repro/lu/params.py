@@ -1,0 +1,80 @@
+"""LU problem-class parameters and verification constants (lu.f verify).
+
+xcrref = reference residual norms, xceref = reference error norms,
+xciref = reference surface integral.  Classes W, B and C are transcribed
+with lower confidence than S/A (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.params import ProblemClass, lookup_class
+
+
+@dataclass(frozen=True)
+class LUParams:
+    problem_size: int
+    dt: float
+    niter: int
+    xcrref: tuple[float, ...]
+    xceref: tuple[float, ...]
+    xciref: float
+
+
+LU_CLASSES: dict[ProblemClass, LUParams] = {
+    ProblemClass.S: LUParams(
+        12, 0.5, 50,
+        (1.6196343210976702e-02, 2.1976745164821318e-03,
+         1.5179927653399185e-03, 1.5029584435994323e-03,
+         3.4264073155896461e-02),
+        (6.4223319957960924e-04, 8.4144342047347926e-05,
+         5.8588269616485186e-05, 5.8474222595157350e-05,
+         1.3103347914111294e-03),
+        7.8418928865937083e00,
+    ),
+    ProblemClass.W: LUParams(
+        33, 1.5e-3, 300,
+        (0.1236511638192e02, 0.1317228477799e01, 0.2550120713095e01,
+         0.2326187750252e01, 0.2826799444189e02),
+        (0.4867877144216e00, 0.5064652880982e-01, 0.9281818101960e-01,
+         0.8570126542733e-01, 0.1084277417792e01),
+        0.1161399311023e02,
+    ),
+    ProblemClass.A: LUParams(
+        64, 2.0, 250,
+        (7.7902107606689367e02, 6.3402765259692413e01,
+         1.9499249727292479e02, 1.7845301160418537e02,
+         1.8384760349464247e03),
+        (2.9964085685471943e01, 2.8194576365003349e00,
+         7.3473412698774742e00, 6.7139225687777051e00,
+         7.0715315688392578e01),
+        2.6030925604886277e01,
+    ),
+    ProblemClass.B: LUParams(
+        102, 2.0, 250,
+        (0.3553267296599e04, 0.2621475079531e03, 0.8833372185095e03,
+         0.7781277473943e03, 0.6519435425530e04),
+        (0.1142368232542e03, 0.1154577714343e02, 0.2427237191410e02,
+         0.2129619988461e02, 0.3618687605869e03),
+        0.6334565710256e02,
+    ),
+    ProblemClass.C: LUParams(
+        162, 2.0, 250,
+        (0.1036218059210e05, 0.9112227813931e03, 0.2886457274248e04,
+         0.2578388445913e04, 0.2135744342983e05),
+        (0.6298388882073e00, 0.6298388882073e00, 0.6298388882073e00,
+         0.6298388882073e00, 0.6298388882073e00),
+        0.6649818118e02,
+    ),
+}
+
+#: SSOR relaxation parameter (omega in lu.f).
+OMEGA = 1.2
+
+#: Relative tolerance of each comparison (lu.f).
+LU_EPSILON = 1.0e-8
+
+
+def lu_params(problem_class) -> LUParams:
+    return lookup_class(LU_CLASSES, problem_class, "LU")

@@ -1,0 +1,94 @@
+"""LU initial and boundary values (setbv/setiv) and the surface integral
+(pintgr)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cfd.constants import CFDConstants
+from repro.cfd.exact import exact_solution, grid_coordinates
+
+
+def setbv(u: np.ndarray, c: CFDConstants) -> None:
+    """Exact solution on the six boundary faces (setbv in lu.f)."""
+    nx, ny, nz = c.nx, c.ny, c.nz
+    xi = grid_coordinates(nx, c.dnxm1)[None, :]
+    eta = grid_coordinates(ny, c.dnym1)[None, :]
+    zeta = grid_coordinates(nz, c.dnzm1)[:, None]
+    u[0, :, :, :] = exact_solution(xi, eta.T, 0.0)
+    u[nz - 1, :, :, :] = exact_solution(xi, eta.T, 1.0)
+    u[:, 0, :, :] = exact_solution(xi, 0.0, zeta)
+    u[:, ny - 1, :, :] = exact_solution(xi, 1.0, zeta)
+    u[:, :, 0, :] = exact_solution(0.0, eta, zeta)
+    u[:, :, nx - 1, :] = exact_solution(1.0, eta, zeta)
+
+
+def setiv(u: np.ndarray, c: CFDConstants) -> None:
+    """Interior initial values by face interpolation (setiv in lu.f).
+
+    Unlike BT/SP's Boolean-sum of all six faces at once, LU interpolates
+    between opposite exact faces per direction and combines with the same
+    trilinear blending; only interior points are written.
+    """
+    nx, ny, nz = c.nx, c.ny, c.nz
+    xi = grid_coordinates(nx, c.dnxm1)[None, None, 1:-1, None]
+    eta = grid_coordinates(ny, c.dnym1)[None, 1:-1, None, None]
+    zeta = grid_coordinates(nz, c.dnzm1)[1:-1, None, None, None]
+
+    xirow = grid_coordinates(nx, c.dnxm1)[None, 1:-1]
+    etarow = grid_coordinates(ny, c.dnym1)[None, 1:-1]
+    zetacol = grid_coordinates(nz, c.dnzm1)[1:-1, None]
+
+    # Exact values on the faces, restricted to the interior of the
+    # other two directions.
+    ue_x0 = exact_solution(0.0, etarow, zetacol)[:, :, None, :]
+    ue_x1 = exact_solution(1.0, etarow, zetacol)[:, :, None, :]
+    ue_y0 = exact_solution(xirow, 0.0, zetacol)[:, None, :, :]
+    ue_y1 = exact_solution(xirow, 1.0, zetacol)[:, None, :, :]
+    ue_z0 = exact_solution(xirow, etarow.T, 0.0)[None, :, :, :]
+    ue_z1 = exact_solution(xirow, etarow.T, 1.0)[None, :, :, :]
+
+    pxi = (1.0 - xi) * ue_x0 + xi * ue_x1
+    peta = (1.0 - eta) * ue_y0 + eta * ue_y1
+    pzeta = (1.0 - zeta) * ue_z0 + zeta * ue_z1
+    u[1:-1, 1:-1, 1:-1, :] = (pxi + peta + pzeta
+                              - pxi * peta - peta * pzeta - pxi * pzeta
+                              + pxi * peta * pzeta)
+
+
+def pintgr(u: np.ndarray, c: CFDConstants) -> float:
+    """Surface integral of the pressure over three box faces (pintgr)."""
+    nx, ny, nz = c.nx, c.ny, c.nz
+    # Fortran 1-based bounds: ii1=2, ii2=nx-1, ji1=2, ji2=ny-2,
+    # ki1=3, ki2=nz-1 -> 0-based:
+    ib, ie = 1, nx - 2   # i in [ib, ie]
+    jb, je = 1, ny - 3   # j in [jb, je]
+    kb, ke = 2, nz - 2   # k in [kb, ke]
+
+    def phi(k, j, i):
+        """c2 * (u5 - dynamic pressure); k/j/i are index arrays or slices."""
+        sub = u[k, j, i, :]
+        return c.c2 * (sub[..., 4] - 0.5 * (
+            sub[..., 1] ** 2 + sub[..., 2] ** 2 + sub[..., 3] ** 2
+        ) / sub[..., 0])
+
+    def cellsum(p1, p2):
+        """Sum of the 8 corner values over all 2x2 cells of two faces."""
+        quad1 = p1[:-1, :-1] + p1[1:, :-1] + p1[:-1, 1:] + p1[1:, 1:]
+        quad2 = p2[:-1, :-1] + p2[1:, :-1] + p2[:-1, 1:] + p2[1:, 1:]
+        return float(np.sum(quad1 + quad2))
+
+    isl = slice(ib, ie + 1)
+    jsl = slice(jb, je + 1)
+    ksl = slice(kb, ke + 1)
+
+    frc1 = cellsum(phi(kb, jsl, isl), phi(ke, jsl, isl))
+    frc1 *= c.dnxm1 * c.dnym1
+
+    frc2 = cellsum(phi(ksl, jb, isl), phi(ksl, je, isl))
+    frc2 *= c.dnxm1 * c.dnzm1
+
+    frc3 = cellsum(phi(ksl, jsl, ib), phi(ksl, jsl, ie))
+    frc3 *= c.dnym1 * c.dnzm1
+
+    return 0.25 * (frc1 + frc2 + frc3)

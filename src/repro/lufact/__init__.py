@@ -1,0 +1,43 @@
+"""Java Grande ``lufact`` and LINPACK DGETRF (the paper's Table 7).
+
+The paper resolves its disagreement with the Java Grande Forum's
+"Java is within 2x of Fortran" finding by dissecting the JGF ``lufact``
+benchmark: lufact is a direct translation of the LINPACK DGEFA routine,
+which is built on BLAS1 (daxpy) column operations with poor cache reuse,
+so both the Java and the Fortran versions stall on memory and the
+language gap shrinks to roughly the Assignment basic-op ratio.  A
+cache-blocked DGETRF (BLAS3) runs several times faster in either
+language.
+
+This package rebuilds that experiment from scratch in three styles:
+
+* :func:`lufact_loops` -- per-element interpreted loops (the Java role);
+* :func:`lufact_numpy` -- the same BLAS1 algorithm with vectorized
+  column operations (the Fortran role);
+* :func:`dgetrf_blocked` -- a blocked right-looking factorization whose
+  trailing update is a matrix-matrix multiply (the LINPACK DGETRF role).
+"""
+
+from repro.lufact.lu import (
+    LU_CLASSES_TABLE7,
+    dgetrf_blocked,
+    lufact_loops,
+    lufact_numpy,
+    lu_solve,
+    lu_solve_lapack,
+    lufact_ops,
+    make_system,
+    residual_check,
+)
+
+__all__ = [
+    "lufact_loops",
+    "lufact_numpy",
+    "dgetrf_blocked",
+    "lu_solve",
+    "lu_solve_lapack",
+    "make_system",
+    "residual_check",
+    "lufact_ops",
+    "LU_CLASSES_TABLE7",
+]

@@ -1,0 +1,38 @@
+"""Performance models of the paper's five test machines.
+
+The paper's Tables 2-6 are functions of a small set of machine facts:
+CPU clock and count, the JVM's per-operation-category inefficiency
+(calibrated by the basic-op microbenchmarks of Table 1), thread creation
+and synchronization overheads, and two JVM scheduler pathologies
+(coalescing of low-work threads; the memory-driven CPU cap on the SUN
+E10000).  This package encodes those facts per machine and derives every
+table row from per-benchmark workload profiles -- an analytical model in
+the tradition of the paper's own perfex analysis, not a lookup table of
+the paper's results.
+
+Modeled machines: IBM p690, SGI Origin2000, SUN Enterprise10000,
+a 2-CPU Pentium-III Linux PC, and a 2-CPU Apple Xserve G4.
+"""
+
+from repro.machines.spec import JVMModel, MachineSpec, OpCategory
+from repro.machines.specs import MACHINES, machine
+from repro.machines.workloads import WORKLOADS, WorkloadProfile, workload
+from repro.machines.simulator import (
+    predict_basic_op,
+    predict_benchmark,
+    speedup_curve,
+)
+
+__all__ = [
+    "MachineSpec",
+    "JVMModel",
+    "OpCategory",
+    "MACHINES",
+    "machine",
+    "WORKLOADS",
+    "WorkloadProfile",
+    "workload",
+    "predict_benchmark",
+    "predict_basic_op",
+    "speedup_curve",
+]

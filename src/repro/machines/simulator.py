@@ -1,0 +1,205 @@
+"""Analytical time predictions for the paper's machines.
+
+The model::
+
+    t_f77_serial  = ops / (fortran_mops * 1e6)
+    t_java_serial = t_f77_serial * sum(mix_c * jvm.op_ratio[c])
+    t(p) = t_serial * (f + (1 - f)/p_eff) * (1 + runtime_overhead)
+           + nsyncs * sync_cost * (1 + log2(p))
+
+with ``p_eff`` the number of CPUs the threads actually land on after the
+JVM scheduler quirks (idle-thread coalescing, big-heap CPU cap, the Linux
+JVM's single-CPU placement) and ``f`` the machine's serial fraction.
+
+The same formula with the OpenMP runtime constants (and no JVM quirks)
+produces the f77-OpenMP rows of Tables 2-3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.counters import profile_operation
+from repro.core.basic_ops import PAPER_GRID
+from repro.machines.spec import MachineSpec, OpCategory
+from repro.machines.workloads import (
+    CLASS_A_MEMORY_MB,
+    benchmark_size_and_iters,
+    total_ops,
+    workload,
+)
+
+#: Work per timestep below which the paper's JVMs coalesced a job's
+#: threads onto few CPUs (observed for CG and IS, whose per-step work is
+#: 1-2 orders of magnitude below the structured-grid codes').
+LOW_WORK_THRESHOLD = 1.5e8
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Predicted wall-clock seconds for one configuration."""
+
+    machine: str
+    benchmark: str
+    problem_class: str
+    language: str        # "java" or "f77"
+    nthreads: int        # 0 means serial (no threading runtime at all)
+    seconds: float
+    effective_cpus: int
+
+
+def _effective_cpus(spec: MachineSpec, nthreads: int, memory_mb: float,
+                    work_per_step: float, warmup_load: bool) -> int:
+    jvm = spec.jvm
+    p = min(nthreads, spec.ncpus)
+    if jvm.parallel_cpu_limit is not None:
+        p = min(p, jvm.parallel_cpu_limit)
+    if jvm.big_job_cpu_cap is not None:
+        threshold, cap = jvm.big_job_cpu_cap
+        if memory_mb > threshold:
+            p = min(p, cap)
+    if (jvm.coalesces_idle_threads and not warmup_load
+            and work_per_step < LOW_WORK_THRESHOLD):
+        p = min(p, jvm.low_work_cpu_limit)
+    return max(1, p)
+
+
+def _parallel_time(serial_seconds: float, p_eff: int, nthreads: int,
+                   serial_fraction: float, overhead: float,
+                   nsyncs: int, sync_us: float) -> float:
+    amdahl = serial_fraction + (1.0 - serial_fraction) / p_eff
+    sync_cost = nsyncs * sync_us * 1e-6 * (1.0 + math.log2(max(1, nthreads)))
+    return serial_seconds * amdahl * (1.0 + overhead) + sync_cost
+
+
+def predict_benchmark(spec: MachineSpec, name: str, problem_class: str,
+                      language: str = "java", nthreads: int = 0,
+                      warmup_load: bool = False) -> Prediction:
+    """Predict one table cell.
+
+    ``nthreads=0`` is the serial program (no master-worker machinery);
+    ``nthreads=1`` is the threaded program with one worker (the paper's
+    <= 20% overhead column).  ``warmup_load`` applies the paper's fix for
+    the thread-coalescing pathology (heavy per-thread initialization).
+    """
+    profile = workload(name)
+    ops = total_ops(name, problem_class)
+    size, niter = benchmark_size_and_iters(name, problem_class)
+    t_f77 = ops / (spec.fortran_mops * 1e6)
+
+    if language == "f77":
+        if nthreads == 0:
+            seconds = t_f77
+            p_eff = 1
+        else:
+            p_eff = min(nthreads, spec.ncpus)
+            f = (profile.serial_fraction
+                 if profile.serial_fraction is not None
+                 else spec.serial_fraction)
+            seconds = _parallel_time(
+                t_f77, p_eff, nthreads, f,
+                spec.openmp_overhead, profile.syncs(size, niter),
+                spec.openmp_sync_us)
+    elif language == "java":
+        ratio = profile.java_ratio(spec.jvm.op_ratio)
+        t_java = t_f77 * ratio
+        if nthreads == 0:
+            seconds = t_java
+            p_eff = 1
+        else:
+            memory = CLASS_A_MEMORY_MB.get(name.upper(), 10.0)
+            if str(problem_class) != "A":
+                memory = memory * {"S": 0.01, "W": 0.1, "A": 1.0,
+                                   "B": 4.0, "C": 16.0}.get(
+                                       str(problem_class), 1.0)
+            work_per_step = ops / max(1, niter)
+            p_eff = _effective_cpus(spec, nthreads, memory,
+                                    work_per_step, warmup_load)
+            f = (profile.serial_fraction
+                 if profile.serial_fraction is not None
+                 else spec.serial_fraction)
+            seconds = _parallel_time(
+                t_java, p_eff, nthreads, f,
+                spec.jvm.thread_overhead, profile.syncs(size, niter),
+                spec.jvm.sync_us)
+    else:
+        raise ValueError(f"unknown language {language!r}")
+
+    return Prediction(machine=spec.name, benchmark=name.upper(),
+                      problem_class=str(problem_class), language=language,
+                      nthreads=nthreads, seconds=seconds,
+                      effective_cpus=p_eff)
+
+
+def speedup_curve(spec: MachineSpec, name: str, problem_class: str,
+                  language: str = "java",
+                  warmup_load: bool = False) -> dict[int, float]:
+    """Speedup vs the serial program for each power-of-two thread count."""
+    serial = predict_benchmark(spec, name, problem_class, language, 0)
+    curve = {}
+    for p in spec.worker_counts():
+        t = predict_benchmark(spec, name, problem_class, language, p,
+                              warmup_load)
+        curve[p] = serial.seconds / t.seconds
+    return curve
+
+
+# --------------------------------------------------------------------- #
+# Basic operations (Table 1)
+
+#: Parallel characteristics of the basic ops: (serial fraction) -- the
+#: memory-bound ops (assignment, reduction) saturate earlier, giving the
+#: paper's 16-thread speedups of 5-6 vs ~7 for the compute ops.
+_BASIC_OP_SERIAL_FRACTION = {
+    "assignment": 0.085,
+    "stencil1": 0.045,
+    "stencil2": 0.045,
+    "matvec5": 0.045,
+    "reduction": 0.075,
+}
+
+_BASIC_OP_CATEGORY = {
+    "assignment": OpCategory.COPY,
+    "stencil1": OpCategory.STENCIL,
+    "stencil2": OpCategory.STENCIL,
+    "matvec5": OpCategory.BLOCKSOLVE,
+    "reduction": OpCategory.REDUCTION,
+}
+
+#: Anchor Java/Fortran ratios for Table 1 on the Origin2000 (paper text:
+#: 3.3 for assignment ... 12.4 for the second-order stencil).
+_TABLE1_RATIO_ANCHORS = {
+    "assignment": 3.3,
+    "stencil1": 7.0,
+    "stencil2": 12.4,
+    "matvec5": 7.5,
+    "reduction": 5.0,
+}
+
+
+def predict_basic_op(spec: MachineSpec, op: str, language: str = "java",
+                     nthreads: int = 0,
+                     grid: tuple[int, int, int] = PAPER_GRID) -> float:
+    """Predicted seconds for one Table 1 basic operation."""
+    profile = profile_operation(op, grid)
+    t_f77 = profile.fortran_instructions / (spec.fortran_mops * 1e6)
+    if language == "f77":
+        if nthreads:
+            raise ValueError("Table 1 reports Fortran serial only")
+        return t_f77
+    anchor = _TABLE1_RATIO_ANCHORS[op]
+    category = _BASIC_OP_CATEGORY[op]
+    # Scale the anchor by the machine's JVM quality relative to the O2K.
+    scale = spec.jvm.op_ratio[category] / {
+        OpCategory.COPY: 3.3, OpCategory.STENCIL: 9.0,
+        OpCategory.BLOCKSOLVE: 7.5, OpCategory.REDUCTION: 5.0,
+        OpCategory.IRREGULAR: 2.0,
+    }[category]
+    t_java = t_f77 * anchor * scale
+    if nthreads == 0:
+        return t_java
+    f = _BASIC_OP_SERIAL_FRACTION[op]
+    p_eff = min(nthreads, spec.ncpus)
+    return _parallel_time(t_java, p_eff, nthreads, f,
+                          spec.jvm.thread_overhead, 2, spec.jvm.sync_us)

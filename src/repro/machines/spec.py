@@ -1,0 +1,88 @@
+"""Machine and JVM model records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class OpCategory(str, Enum):
+    """Basic-operation categories that benchmark work decomposes into.
+
+    The first four correspond to the paper's Table 1 microbenchmarks;
+    IRREGULAR covers indirect addressing (CG's sparse matvec, IS's
+    histogram), where the Fortran compiler's regular-stride advantage --
+    and hence the Java gap -- largely disappears.
+    """
+
+    COPY = "copy"             # assignment / data movement
+    STENCIL = "stencil"       # star-stencil filters
+    BLOCKSOLVE = "blocksolve"  # 5x5 matrix-vector / line-solve arithmetic
+    REDUCTION = "reduction"
+    IRREGULAR = "irregular"
+
+
+@dataclass(frozen=True)
+class JVMModel:
+    """Per-JVM translation inefficiency and threading behaviour.
+
+    ``op_ratio`` maps each operation category to the Java/Fortran serial
+    time ratio for that category (calibrated from Table 1 for the
+    Origin2000's JVM and scaled by JIT quality for the others).
+
+    ``thread_overhead`` is the fractional cost of running under the
+    master-worker machinery with one worker (paper: <= 20%).
+
+    ``sync_us`` is the cost of one barrier / notify-wait round trip in
+    microseconds.
+
+    ``coalesces_idle_threads`` reproduces the pathology of section 5.2:
+    threads with little work are scheduled onto 1-2 processors unless an
+    artificial per-thread warm-up load forces placement.
+
+    ``big_job_cpu_cap``: (memory_mb_threshold, cpu_cap) -- the E10000 JVM
+    refused to use more than 4 CPUs for jobs with large heaps (FT.A at
+    ~350 MB).  None when the JVM has no such cap.
+    """
+
+    name: str
+    op_ratio: dict[OpCategory, float]
+    thread_overhead: float = 0.15
+    sync_us: float = 50.0
+    coalesces_idle_threads: bool = False
+    low_work_cpu_limit: int = 2
+    big_job_cpu_cap: "tuple[float, int] | None" = None
+    #: hard cap on CPUs the JVM actually spreads threads over (the 2001
+    #: Linux JVM pinned all threads to one CPU); None = no cap.
+    parallel_cpu_limit: "int | None" = None
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One SMP machine from the paper's evaluation."""
+
+    name: str
+    clock_mhz: float
+    ncpus: int
+    #: sustained Mop/s of compiled (f77) code on structured CFD work,
+    #: per CPU.  Sets the absolute scale of predicted times.
+    fortran_mops: float
+    #: relative memory-bandwidth generosity (1.0 = balanced); discounts
+    #: the Java penalty for memory-bound categories.
+    memory_balance: float
+    jvm: JVMModel
+    #: f77-OpenMP runtime: fractional overhead and barrier cost.
+    openmp_overhead: float = 0.05
+    openmp_sync_us: float = 10.0
+    #: serial (non-parallelizable) fraction of benchmark work; a machine
+    #: property in the model because it folds in the cost of the memory
+    #: system under parallel load.
+    serial_fraction: float = 0.02
+
+    def worker_counts(self) -> list[int]:
+        counts = []
+        w = 1
+        while w <= self.ncpus:
+            counts.append(w)
+            w *= 2
+        return counts

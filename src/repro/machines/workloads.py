@@ -1,0 +1,160 @@
+"""Per-benchmark workload profiles for the machine model.
+
+A profile decomposes a benchmark's work into the basic-operation
+categories of Table 1 (fixing its effective Java/Fortran ratio on a given
+JVM), counts its synchronization events (fixing the threading overhead
+shape -- the paper singles out LU's sync-inside-a-grid-loop), and states
+its memory footprint (driving the E10000 big-job CPU cap, felt by FT.A
+at ~350 MB).
+
+Total operation counts come from the benchmarks' own official NPB
+operation-count formulas (``op_count``), so the model and the real code
+share one source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common.params import ProblemClass
+from repro.core.registry import get_benchmark
+from repro.machines.spec import OpCategory
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Machine-model-relevant structure of one benchmark."""
+
+    name: str
+    #: fraction of work per basic-op category (sums to 1)
+    op_mix: dict[OpCategory, float]
+    #: barriers per timed run, as a function of (grid/problem size, niter)
+    syncs: Callable[[int, int], int]
+    #: resident set in MB as a function of the problem-size parameter
+    memory_mb: Callable[[int], float]
+    #: benchmark-specific serial fraction override (None -> machine
+    #: default).  IS is data-movement bound (paper: work per thread too
+    #: small for the data movement it causes); CG parallelizes well once
+    #: thread placement is fixed.
+    serial_fraction: "float | None" = None
+
+    def java_ratio(self, op_ratio: dict[OpCategory, float]) -> float:
+        """Serial Java/Fortran ratio under a JVM's category ratios."""
+        return sum(frac * op_ratio[cat] for cat, frac in self.op_mix.items())
+
+
+def _grid_mb(n: int, fields: int) -> float:
+    return n ** 3 * fields * 8.0 / 1e6
+
+
+WORKLOADS: dict[str, WorkloadProfile] = {
+    # BT: flux stencils + 5x5 block line solves; ~8 barriers per step.
+    "BT": WorkloadProfile(
+        "BT",
+        {OpCategory.STENCIL: 0.35, OpCategory.BLOCKSOLVE: 0.55,
+         OpCategory.COPY: 0.10},
+        syncs=lambda n, niter: 8 * niter,
+        memory_mb=lambda n: _grid_mb(n, 3 * 5 + 6),
+    ),
+    # SP: stencils dominate; scalar line solves; ~10 barriers per step.
+    "SP": WorkloadProfile(
+        "SP",
+        {OpCategory.STENCIL: 0.50, OpCategory.BLOCKSOLVE: 0.40,
+         OpCategory.COPY: 0.10},
+        syncs=lambda n, niter: 10 * niter,
+        memory_mb=lambda n: _grid_mb(n, 3 * 5 + 7),
+    ),
+    # LU: block arithmetic with synchronization inside the sweep over one
+    # grid dimension: O(n) barriers per step (the paper's explanation of
+    # LU's lower scalability).
+    "LU": WorkloadProfile(
+        "LU",
+        {OpCategory.STENCIL: 0.35, OpCategory.BLOCKSOLVE: 0.55,
+         OpCategory.COPY: 0.10},
+        syncs=lambda n, niter: (4 * n + 4) * niter,
+        memory_mb=lambda n: _grid_mb(n, 3 * 5),
+    ),
+    # FT: butterfly passes (regular strided compute) + transposed copies.
+    "FT": WorkloadProfile(
+        "FT",
+        {OpCategory.STENCIL: 0.65, OpCategory.COPY: 0.30,
+         OpCategory.REDUCTION: 0.05},
+        syncs=lambda n, niter: 8 * niter,
+        # three complex arrays + one real on nx*ny*nz points; n here is
+        # the largest dimension, footprint filled in below per class.
+        memory_mb=lambda n: float("nan"),
+    ),
+    # MG: pure 27-point stencils across the grid hierarchy.
+    "MG": WorkloadProfile(
+        "MG",
+        {OpCategory.STENCIL: 0.90, OpCategory.COPY: 0.10},
+        syncs=lambda n, niter: 12 * niter,
+        memory_mb=lambda n: _grid_mb(n, 3) * 8.0 / 7.0,
+    ),
+    # CG: sparse matvec (irregular) + dot products; 25 CG iterations of
+    # ~4 barriers per outer step.
+    "CG": WorkloadProfile(
+        "CG",
+        {OpCategory.IRREGULAR: 0.85, OpCategory.REDUCTION: 0.15},
+        syncs=lambda n, niter: 110 * niter,
+        memory_mb=lambda n: n * 160.0 / 1e6 + n * 5 * 8.0 / 1e6,
+        serial_fraction=0.04,
+    ),
+    # IS: histogram ranking -- irregular scatter plus copies.
+    "IS": WorkloadProfile(
+        "IS",
+        {OpCategory.IRREGULAR: 0.70, OpCategory.COPY: 0.30},
+        syncs=lambda n, niter: 3 * niter,
+        memory_mb=lambda n: n * 8.0 * 2 / 1e6,
+        serial_fraction=0.25,
+    ),
+    # EP: pure compute, one final reduction.
+    "EP": WorkloadProfile(
+        "EP",
+        {OpCategory.BLOCKSOLVE: 0.95, OpCategory.REDUCTION: 0.05},
+        syncs=lambda n, niter: 2,
+        memory_mb=lambda n: 2.0,
+    ),
+}
+
+
+#: Memory footprints in MB for the class-A runs of Tables 2-4 (FT.A is
+#: the paper's ~350 MB problem child).
+CLASS_A_MEMORY_MB = {
+    "BT": 110.0, "SP": 116.0, "LU": 79.0, "FT": 350.0,
+    "MG": 460.0, "CG": 28.0, "IS": 71.0, "EP": 2.0,
+}
+
+
+def workload(name: str) -> WorkloadProfile:
+    try:
+        return WORKLOADS[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"no workload profile for {name!r}; known: {sorted(WORKLOADS)}"
+        ) from None
+
+
+def total_ops(name: str, problem_class: "str | ProblemClass") -> float:
+    """Official NPB operation count via the benchmark's own formula."""
+    cls = get_benchmark(name)
+    return cls(problem_class).op_count()
+
+
+def benchmark_size_and_iters(name: str,
+                             problem_class: "str | ProblemClass"
+                             ) -> tuple[int, int]:
+    """(characteristic size, niter) for the sync-count formulas."""
+    bench = get_benchmark(name)(problem_class)
+    params = bench.params
+    size = getattr(params, "problem_size", None)
+    if size is None:
+        size = getattr(params, "nx", None)
+    if size is None:
+        size = getattr(params, "na", None)
+    if size is None:
+        size = getattr(params, "num_keys", None)
+    if size is None:
+        size = getattr(params, "m", 0)
+    return int(size), bench.niter

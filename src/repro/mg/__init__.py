@@ -1,0 +1,16 @@
+"""MG: Multi-Grid benchmark.
+
+Approximates the solution of the 3-D scalar Poisson equation with periodic
+boundaries using a V-cycle multigrid with one smoothing pass per level.
+The right-hand side is a set of +1/-1 point charges at the positions of
+the ten largest and ten smallest values of an LCG-generated random field.
+
+MG belongs to the paper's structured-grid group: its 27-point stencils are
+exactly the "compact 3x3x3 filter" basic operation of Table 1, so its
+Java/Fortran ratio tracks the stencil microbenchmark.
+"""
+
+from repro.mg.benchmark import MG
+from repro.mg.params import MG_CLASSES, MGParams
+
+__all__ = ["MG", "MGParams", "MG_CLASSES"]

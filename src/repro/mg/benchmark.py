@@ -1,0 +1,101 @@
+"""The MG benchmark driver (mg.f main program and mg3P)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.verification import VerificationResult
+from repro.core.benchmark import NPBenchmark
+from repro.core.registry import register
+from repro.mg.operators import interp, norm2u3, psinv, resid, rprj3, zero3
+from repro.mg.params import (
+    A_COEFFS,
+    MG_EPSILON,
+    MG_SEED,
+    mg_params,
+    smoother_coeffs,
+)
+from repro.mg.zran3 import zran3
+
+
+@register
+class MG(NPBenchmark):
+    """V-cycle multigrid for the 3-D periodic Poisson equation."""
+
+    name = "MG"
+
+    def __init__(self, problem_class, team=None):
+        super().__init__(problem_class, team)
+        self.params = mg_params(self.problem_class)
+        self.a = A_COEFFS
+        self.c = smoother_coeffs(self.problem_class)
+        self.rnm2 = float("nan")
+
+    @property
+    def niter(self) -> int:
+        return self.params.nit
+
+    # ------------------------------------------------------------------ #
+
+    def _setup(self) -> None:
+        nx = self.params.nx
+        lt = self.params.lt
+        team = self.team
+        # Level k (1..lt) has interior 2**k and shape (2**k + 2,)*3.
+        self.u = {k: team.shared(((1 << k) + 2,) * 3) for k in range(1, lt + 1)}
+        self.r = {k: team.shared(((1 << k) + 2,) * 3) for k in range(1, lt + 1)}
+        self.v = team.shared((nx + 2,) * 3)
+        self._charges = zran3(self.v, nx, MG_SEED)
+
+        # One untimed warm-up cycle (mg.f), then re-initialize.
+        resid(team, self.u[lt], self.v, self.r[lt], self.a)
+        self._mg3p()
+        resid(team, self.u[lt], self.v, self.r[lt], self.a)
+        for k in self.u:
+            zero3(self.u[k])
+        zran3(self.v, nx, MG_SEED, self._charges)
+
+    def _mg3p(self) -> None:
+        """One V-cycle (mg3P in mg.f); lb = 1."""
+        team = self.team
+        lt = self.params.lt
+        a, c = self.a, self.c
+        for k in range(lt, 1, -1):
+            rprj3(team, self.r[k], self.r[k - 1])
+        zero3(self.u[1])
+        psinv(team, self.r[1], self.u[1], c)
+        for k in range(2, lt):
+            zero3(self.u[k])
+            interp(team, self.u[k - 1], self.u[k])
+            resid(team, self.u[k], self.r[k], self.r[k], a)
+            psinv(team, self.r[k], self.u[k], c)
+        interp(team, self.u[lt - 1], self.u[lt])
+        resid(team, self.u[lt], self.v, self.r[lt], a)
+        psinv(team, self.r[lt], self.u[lt], c)
+
+    def _iterate(self) -> None:
+        team = self.team
+        lt = self.params.lt
+        nx = self.params.nx
+        with self.timers["resid"]:
+            resid(team, self.u[lt], self.v, self.r[lt], self.a)
+        for _ in range(self.params.nit):
+            with self.timers["mg3P"]:
+                self._mg3p()
+            with self.timers["resid"]:
+                resid(team, self.u[lt], self.v, self.r[lt], self.a)
+        self.rnm2, _ = norm2u3(team, self.r[lt], nx, nx, nx)
+
+    # ------------------------------------------------------------------ #
+
+    def verify(self) -> VerificationResult:
+        result = VerificationResult("MG", str(self.problem_class), True)
+        result.add("rnm2", self.rnm2, self.params.rnm2_verify, MG_EPSILON)
+        return result
+
+    def op_count(self) -> float:
+        """Flops per point per cycle: ~58 (the mg.f accounting), over all
+        levels (geometric factor 8/7), nit cycles plus the extra resid."""
+        n3 = float(self.params.nx) ** 3
+        points = n3 * 8.0 / 7.0
+        return 58.0 * points * self.params.nit

@@ -1,0 +1,51 @@
+"""MG problem-class parameters and verification constants (mg.f)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.params import ProblemClass, lookup_class
+
+
+@dataclass(frozen=True)
+class MGParams:
+    """``nx``: grid size per dimension (cube); ``nit``: V-cycles;
+    ``rnm2_verify``: published L2 residual norm after the timed cycles."""
+
+    nx: int
+    nit: int
+    rnm2_verify: float
+
+    @property
+    def lt(self) -> int:
+        """Number of grid levels (log2 of the finest grid size)."""
+        return self.nx.bit_length() - 1
+
+
+MG_CLASSES: dict[ProblemClass, MGParams] = {
+    ProblemClass.S: MGParams(32, 4, 0.5307707005734e-04),
+    ProblemClass.W: MGParams(128, 4, 0.6467329375339e-05),
+    ProblemClass.A: MGParams(256, 4, 0.2433365309069e-05),
+    ProblemClass.B: MGParams(256, 20, 0.1800564401355e-05),
+    ProblemClass.C: MGParams(512, 20, 0.5706732285740e-06),
+}
+
+#: Relative tolerance of the rnm2 comparison (mg.f).
+MG_EPSILON = 1.0e-8
+
+#: LCG seed for the random charge field (zran3).
+MG_SEED = 314159265
+
+#: Residual stencil coefficients a(0..3) (mg.f; a(1) = 0 is never applied).
+A_COEFFS = (-8.0 / 3.0, 0.0, 1.0 / 6.0, 1.0 / 12.0)
+
+
+def smoother_coeffs(problem_class: ProblemClass) -> tuple[float, float, float, float]:
+    """Smoother coefficients c(0..3); classes B and C use the stronger set."""
+    if problem_class in (ProblemClass.B, ProblemClass.C):
+        return (-3.0 / 17.0, 1.0 / 33.0, -1.0 / 61.0, 0.0)
+    return (-3.0 / 8.0, 1.0 / 32.0, -1.0 / 64.0, 0.0)
+
+
+def mg_params(problem_class) -> MGParams:
+    return lookup_class(MG_CLASSES, problem_class, "MG")

@@ -1,0 +1,34 @@
+"""Message-passing substrate and MPI-style NPB implementations.
+
+The paper's related work contrasts its shared-memory Java threads with
+the University of Westminster's ``javampi`` NPB codes (FT and IS over a
+JNI MPI binding) and notes that MPI/HPF parallelizations of the NPB
+out-scaled the Java-thread versions on the SGI and SUN machines.  This
+package supplies that comparison point natively:
+
+* :mod:`repro.mpi.comm` -- a from-scratch SPMD message-passing runtime on
+  forked processes and OS pipes: point-to-point send/recv plus the
+  collectives the NPB-MPI codes use (barrier, bcast, reduce, allreduce,
+  alltoall).
+* :mod:`repro.mpi.ft_mpi` -- the distributed-transpose 3-D FFT of the
+  NPB2 FT-MPI code (slab decomposition, alltoall transpose), verified
+  against the same official checksums as the shared-memory FT.
+* :mod:`repro.mpi.is_mpi` -- the bucketed key redistribution of IS-MPI,
+  verified with the same partial/full verification.
+* :mod:`repro.mpi.cg_ep_mpi` -- row-block CG (allreduce dot products)
+  and EP (pure allreduce), the two ends of the communication spectrum.
+"""
+
+from repro.mpi.comm import Communicator, mpi_run
+from repro.mpi.ft_mpi import ft_mpi_checksums
+from repro.mpi.is_mpi import is_mpi_verify
+from repro.mpi.cg_ep_mpi import cg_mpi_zeta, ep_mpi_sums
+
+__all__ = [
+    "Communicator",
+    "mpi_run",
+    "ft_mpi_checksums",
+    "is_mpi_verify",
+    "cg_mpi_zeta",
+    "ep_mpi_sums",
+]

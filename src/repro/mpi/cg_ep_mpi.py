@@ -1,0 +1,108 @@
+"""CG and EP over message passing: the two ends of the communication
+spectrum.
+
+CG: 1-D row-block decomposition of the sparse matrix; every CG iteration
+performs one local sparse mat-vec on the owned row block, two allreduced
+dot products, and an allgather of the updated direction vector -- the
+communication structure of the NPB CG-MPI code (collapsed to 1-D).
+
+EP: each rank tallies a block of Gaussian batches; three allreduces at
+the end.  Near-zero communication, the scalability upper bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.cg.makea import makea
+from repro.cg.params import cg_params
+from repro.cg.solver import CG_ITERATIONS
+from repro.common.randdp import A_DEFAULT, Randlc
+from repro.ep.benchmark import _batch_range
+from repro.ep.params import MK, NQ, ep_params
+from repro.mpi.comm import Communicator, mpi_run
+from repro.team.partition import block_partition, partition_bounds
+
+CG_SEED = 314159265
+
+
+def _allgather_vector(comm: Communicator, local: np.ndarray,
+                      n: int) -> np.ndarray:
+    chunks = comm.alltoall([local] * comm.size)
+    return np.concatenate(chunks)
+
+
+def _cg_rank_program(comm: Communicator, problem_class: str) -> float:
+    params = cg_params(problem_class)
+    n = params.na
+    # Deterministic generation: every rank builds the matrix and keeps
+    # its row block (the reference code distributes generation; the
+    # result is identical).
+    rng = Randlc(CG_SEED, A_DEFAULT)
+    rng.next()
+    matrix = makea(n, params.nonzer, params.rcond, params.shift, rng)
+    lo, hi = partition_bounds(n, comm.size, comm.rank)
+    row_start = matrix.rowstr[lo:hi + 1]
+    base = row_start[0]
+    local_a = matrix.a[row_start[0]:row_start[-1]]
+    local_cols = matrix.colidx[row_start[0]:row_start[-1]]
+    local_ptr = row_start - base
+
+    def local_matvec(x: np.ndarray) -> np.ndarray:
+        if hi <= lo:
+            return np.empty(0)
+        products = local_a * x[local_cols]
+        return np.add.reduceat(products, local_ptr[:-1])
+
+    def dot(u_local: np.ndarray, v_local: np.ndarray) -> float:
+        return comm.allreduce(float(u_local @ v_local),
+                              op=lambda a, b: a + b)
+
+    x = np.ones(n)
+    zeta = 0.0
+    for _ in range(params.niter):
+        # conj_grad
+        z_local = np.zeros(hi - lo)
+        r_local = x[lo:hi].copy()
+        p = x.copy()
+        rho = dot(r_local, r_local)
+        for _ in range(CG_ITERATIONS):
+            q_local = local_matvec(p)
+            d = dot(p[lo:hi], q_local)
+            alpha = rho / d
+            z_local += alpha * p[lo:hi]
+            r_local -= alpha * q_local
+            rho0 = rho
+            rho = dot(r_local, r_local)
+            beta = rho / rho0
+            p_local = r_local + beta * p[lo:hi]
+            p = _allgather_vector(comm, p_local, n)
+        norm_xz = dot(x[lo:hi], z_local)
+        norm_zz = dot(z_local, z_local)
+        zeta = params.shift + 1.0 / norm_xz
+        x = _allgather_vector(comm, z_local / math.sqrt(norm_zz), n)
+    return zeta
+
+
+def cg_mpi_zeta(problem_class: str = "S", nprocs: int = 4) -> float:
+    """Distributed CG; returns the final zeta (compare with
+    cg_params(...).zeta_verify)."""
+    return mpi_run(nprocs, _cg_rank_program, problem_class)[0]
+
+
+def _ep_rank_program(comm: Communicator, problem_class: str):
+    params = ep_params(problem_class)
+    nbatches = 1 << (params.m - MK)
+    lo, hi = partition_bounds(nbatches, comm.size, comm.rank)
+    sx, sy, counts = _batch_range(lo, hi)
+    sx = comm.allreduce(sx, op=lambda a, b: a + b)
+    sy = comm.allreduce(sy, op=lambda a, b: a + b)
+    counts = comm.allreduce(counts, op=lambda a, b: a + b)
+    return sx, sy, counts
+
+
+def ep_mpi_sums(problem_class: str = "S", nprocs: int = 4):
+    """Distributed EP; returns (sx, sy, annulus counts)."""
+    return mpi_run(nprocs, _ep_rank_program, problem_class)[0]

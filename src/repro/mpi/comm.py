@@ -1,0 +1,210 @@
+"""A from-scratch SPMD message-passing runtime (the MPI substrate).
+
+``mpi_run(nprocs, fn, *args)`` forks ``nprocs`` ranks, each executing
+``fn(comm, *args)`` SPMD-style, and returns the list of per-rank return
+values.  Ranks communicate over pre-created pairwise OS pipes
+(``multiprocessing.Pipe``), so the runtime has no daemon, no sockets and
+no third-party dependency.
+
+Deadlock discipline: all collectives are built from :meth:`Communicator.
+sendrecv`, whose pairwise protocol orders the two sides (lower rank sends
+first) so bounded pipe buffers can never deadlock, and from binomial
+trees rooted at rank 0.
+
+This is deliberately the minimal surface the NPB-MPI codes need:
+send/recv, sendrecv, barrier, bcast, reduce, allreduce, alltoall,
+gather.  Messages are arbitrary picklable objects; NumPy arrays ride the
+pickle path (Connection.send handles chunking).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import traceback
+from typing import Any, Callable
+
+
+class MPIWorkerError(RuntimeError):
+    """A rank raised during an SPMD run; carries the remote traceback."""
+
+
+class Communicator:
+    """Per-rank handle: identity plus the pairwise pipe mesh."""
+
+    def __init__(self, rank: int, size: int, pipes: dict):
+        self.rank = rank
+        self.size = size
+        self._pipes = pipes  # peer rank -> Connection
+
+    # ------------------------------------------------------------ #
+    # point to point
+
+    def send(self, obj: Any, dest: int) -> None:
+        if dest == self.rank:
+            raise ValueError("self-send is not supported; keep the value")
+        self._pipes[dest].send(obj)
+
+    def recv(self, source: int) -> Any:
+        if source == self.rank:
+            raise ValueError("self-recv is not supported")
+        return self._pipes[source].recv()
+
+    def sendrecv(self, obj: Any, peer: int) -> Any:
+        """Exchange with a peer; safe for arbitrarily large messages.
+
+        The lower rank writes first while the higher rank drains, then
+        roles swap -- pipe buffers can therefore never fill on both
+        sides at once.
+        """
+        if peer == self.rank:
+            return obj
+        if self.rank < peer:
+            self.send(obj, peer)
+            return self.recv(peer)
+        incoming = self.recv(peer)
+        self.send(obj, peer)
+        return incoming
+
+    # ------------------------------------------------------------ #
+    # collectives (binomial trees rooted at 0)
+
+    def barrier(self) -> None:
+        self.reduce(0, op=lambda a, b: 0)
+        self.bcast(None)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Binomial-tree broadcast; every rank returns the value."""
+        rel = (self.rank - root) % self.size
+        mask = 1
+        while mask < self.size:
+            if rel < mask:
+                peer_rel = rel + mask
+                if peer_rel < self.size:
+                    self.send(obj, (peer_rel + root) % self.size)
+            elif rel < 2 * mask:
+                obj = self.recv(((rel - mask) + root) % self.size)
+            mask <<= 1
+        return obj
+
+    def reduce(self, value: Any, op: Callable[[Any, Any], Any],
+               root: int = 0) -> Any:
+        """Binomial-tree reduction; the result is valid on ``root`` only.
+
+        ``op`` must be associative; partials combine as op(lower, higher)
+        in rank order, matching a left fold.
+        """
+        rel = (self.rank - root) % self.size
+        mask = 1
+        acc = value
+        while mask < self.size:
+            if rel & mask:
+                self.send(acc, ((rel - mask) + root) % self.size)
+                break
+            peer_rel = rel | mask
+            if peer_rel < self.size:
+                other = self.recv(((peer_rel) + root) % self.size)
+                acc = op(acc, other)
+            mask <<= 1
+        return acc if self.rank == root else None
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any]) -> Any:
+        return self.bcast(self.reduce(value, op))
+
+    def gather(self, value: Any, root: int = 0) -> "list | None":
+        """Gather per-rank values to ``root`` in rank order."""
+        chunks = self.reduce({self.rank: value},
+                             op=lambda a, b: {**a, **b}, root=root)
+        if self.rank != root:
+            return None
+        return [chunks[r] for r in range(self.size)]
+
+    def alltoall(self, chunks: list) -> list:
+        """Personalized all-to-all: ``chunks[d]`` goes to rank d; returns
+        the list of chunks received, indexed by source rank.
+
+        Round-robin tournament schedule: in round t every rank pairs with
+        ``(t - rank) mod size`` -- an involution, so both members of a
+        pair exchange in the same round via the deadlock-safe sendrecv,
+        and every ordered pair is covered exactly once across the
+        ``size`` rounds (a rank sits a round out when paired with
+        itself).
+        """
+        if len(chunks) != self.size:
+            raise ValueError("alltoall needs exactly one chunk per rank")
+        received: list = [None] * self.size
+        received[self.rank] = chunks[self.rank]
+        for round_number in range(self.size):
+            partner = (round_number - self.rank) % self.size
+            if partner == self.rank:
+                continue
+            received[partner] = self.sendrecv(chunks[partner], partner)
+        return received
+
+
+def _rank_main(rank: int, size: int, pipes: dict, result_conn,
+               fn: Callable, args: tuple) -> None:
+    try:
+        comm = Communicator(rank, size, pipes)
+        result = fn(comm, *args)
+        result_conn.send(("ok", result))
+    except BaseException:
+        result_conn.send(("err", traceback.format_exc()))
+    finally:
+        result_conn.close()
+        for conn in pipes.values():
+            conn.close()
+
+
+def mpi_run(nprocs: int, fn: Callable, *args: Any,
+            timeout: float = 300.0) -> list:
+    """Run ``fn(comm, *args)`` on ``nprocs`` forked ranks; returns the
+    per-rank results in rank order."""
+    if nprocs < 1:
+        raise ValueError("nprocs must be >= 1")
+    ctx = mp.get_context("fork")
+    # pairwise mesh: mesh[i][j] is rank i's connection to rank j
+    mesh: dict[int, dict[int, Any]] = {r: {} for r in range(nprocs)}
+    for i in range(nprocs):
+        for j in range(i + 1, nprocs):
+            a, b = ctx.Pipe()
+            mesh[i][j] = a
+            mesh[j][i] = b
+    result_pipes = []
+    procs = []
+    for rank in range(nprocs):
+        parent, child = ctx.Pipe()
+        result_pipes.append(parent)
+        proc = ctx.Process(target=_rank_main,
+                           args=(rank, nprocs, mesh[rank], child, fn, args),
+                           daemon=True, name=f"npb-mpi-{rank}")
+        proc.start()
+        child.close()
+        procs.append(proc)
+    # The parent must close its copies of the mesh ends so EOF propagates.
+    for i in mesh:
+        for conn in mesh[i].values():
+            conn.close()
+
+    results = [None] * nprocs
+    failure = None
+    for rank, pipe in enumerate(result_pipes):
+        if pipe.poll(timeout):
+            status, value = pipe.recv()
+            if status == "err" and failure is None:
+                failure = value
+            results[rank] = value
+        elif failure is None:
+            failure = f"rank {rank} timed out after {timeout}s"
+    for proc in procs:
+        proc.join(timeout=10.0)
+        if proc.is_alive():
+            proc.terminate()
+    if failure is not None:
+        raise MPIWorkerError(f"SPMD run failed:\n{failure}")
+    return results
+
+
+def cpu_friendly_nprocs(requested: int) -> int:
+    """Clamp rank counts on tiny CI hosts (kept simple and explicit)."""
+    return max(1, min(requested, (os.cpu_count() or 1) * 8))

@@ -1,0 +1,18 @@
+"""SP: Scalar Pentadiagonal simulated CFD application.
+
+Beam-Warming approximate factorization of the implicit 3-D compressible
+Navier-Stokes operator.  Diagonalization decouples the 5x5 block systems
+of BT into five independent scalar pentadiagonal systems per grid line,
+solved sequentially along each of the three dimensions per time step, with
+pointwise similarity transforms (txinvr / ninvr / pinvr / tzetar) between
+sweeps.
+
+SP is in the paper's structured-grid group (serial Java/Fortran ratio
+2.6-3.8 on the Origin 2000) and scales well with threads (speedup 6-12 at
+16 threads).
+"""
+
+from repro.sp.benchmark import SP
+from repro.sp.params import SP_CLASSES, SPParams
+
+__all__ = ["SP", "SPParams", "SP_CLASSES"]

@@ -1,0 +1,105 @@
+"""SP pointwise similarity transforms (txinvr, ninvr, pinvr, tzetar).
+
+The Beam-Warming diagonalization conjugates each directional implicit
+operator by the eigenvector matrix of its flux Jacobian; these four
+routines apply the relevant (inverse) eigenvector matrices to the
+right-hand side between sweeps.  All are slab-parallel over interior k.
+"""
+
+from __future__ import annotations
+
+from repro.cfd.constants import CFDConstants
+
+
+def txinvr_slab(lo: int, hi: int, rhs, rho_i, us, vs, ws, qs, speed,
+                c: CFDConstants) -> None:
+    """Multiply rhs by T_x^{-1} (txinvr), planes [1+lo, 1+hi)."""
+    if hi <= lo:
+        return
+    sl = (slice(1 + lo, 1 + hi), slice(1, -1), slice(1, -1))
+    ru1 = rho_i[sl]
+    uu = us[sl]
+    vv = vs[sl]
+    ww = ws[sl]
+    ac = speed[sl]
+    ac2inv = 1.0 / (ac * ac)
+    r1 = rhs[sl + (0,)].copy()
+    r2 = rhs[sl + (1,)].copy()
+    r3 = rhs[sl + (2,)].copy()
+    r4 = rhs[sl + (3,)].copy()
+    r5 = rhs[sl + (4,)].copy()
+    t1 = c.c2 * ac2inv * (qs[sl] * r1 - uu * r2 - vv * r3 - ww * r4 + r5)
+    t2 = c.bt * ru1 * (uu * r1 - r2)
+    t3 = (c.bt * ru1 * ac) * t1
+    rhs[sl + (0,)] = r1 - t1
+    rhs[sl + (1,)] = -ru1 * (ww * r1 - r4)
+    rhs[sl + (2,)] = ru1 * (vv * r1 - r3)
+    rhs[sl + (3,)] = -t2 + t3
+    rhs[sl + (4,)] = t2 + t3
+
+
+def ninvr_slab(lo: int, hi: int, rhs, c: CFDConstants) -> None:
+    """Block-diagonal inversion after the x sweep (ninvr)."""
+    if hi <= lo:
+        return
+    sl = (slice(1 + lo, 1 + hi), slice(1, -1), slice(1, -1))
+    r1 = rhs[sl + (0,)].copy()
+    r2 = rhs[sl + (1,)].copy()
+    r3 = rhs[sl + (2,)].copy()
+    r4 = rhs[sl + (3,)].copy()
+    r5 = rhs[sl + (4,)].copy()
+    t1 = c.bt * r3
+    t2 = 0.5 * (r4 + r5)
+    rhs[sl + (0,)] = -r2
+    rhs[sl + (1,)] = r1
+    rhs[sl + (2,)] = c.bt * (r4 - r5)
+    rhs[sl + (3,)] = -t1 + t2
+    rhs[sl + (4,)] = t1 + t2
+
+
+def pinvr_slab(lo: int, hi: int, rhs, c: CFDConstants) -> None:
+    """Block-diagonal inversion after the y sweep (pinvr)."""
+    if hi <= lo:
+        return
+    sl = (slice(1 + lo, 1 + hi), slice(1, -1), slice(1, -1))
+    r1 = rhs[sl + (0,)].copy()
+    r2 = rhs[sl + (1,)].copy()
+    r3 = rhs[sl + (2,)].copy()
+    r4 = rhs[sl + (3,)].copy()
+    r5 = rhs[sl + (4,)].copy()
+    t1 = c.bt * r1
+    t2 = 0.5 * (r4 + r5)
+    rhs[sl + (0,)] = c.bt * (r4 - r5)
+    rhs[sl + (1,)] = -r3
+    rhs[sl + (2,)] = r2
+    rhs[sl + (3,)] = -t1 + t2
+    rhs[sl + (4,)] = t1 + t2
+
+
+def tzetar_slab(lo: int, hi: int, rhs, u, us, vs, ws, qs, speed,
+                c: CFDConstants) -> None:
+    """Multiply rhs by T_zeta (tzetar) after the z sweep."""
+    if hi <= lo:
+        return
+    sl = (slice(1 + lo, 1 + hi), slice(1, -1), slice(1, -1))
+    xvel = us[sl]
+    yvel = vs[sl]
+    zvel = ws[sl]
+    ac = speed[sl]
+    ac2u = ac * ac
+    r1 = rhs[sl + (0,)].copy()
+    r2 = rhs[sl + (1,)].copy()
+    r3 = rhs[sl + (2,)].copy()
+    r4 = rhs[sl + (3,)].copy()
+    r5 = rhs[sl + (4,)].copy()
+    uzik1 = u[sl + (0,)]
+    btuz = c.bt * uzik1
+    t1 = btuz / ac * (r4 + r5)
+    t2 = r3 + t1
+    t3 = btuz * (r4 - r5)
+    rhs[sl + (0,)] = t2
+    rhs[sl + (1,)] = -uzik1 * r2 + xvel * t2
+    rhs[sl + (2,)] = uzik1 * r1 + yvel * t2
+    rhs[sl + (3,)] = zvel * t2 + t3
+    rhs[sl + (4,)] = (uzik1 * (-xvel * r2 + yvel * r1)
+                      + qs[sl] * t2 + c.c2iv * ac2u * t1 + zvel * t3)

@@ -1,0 +1,171 @@
+"""SP scalar pentadiagonal line solves (x_solve / y_solve / z_solve).
+
+Each sweep solves, for every grid line in its direction, three scalar
+pentadiagonal systems sharing one matrix (the u +/- 0 eigenvalues) plus
+two more for the u +/- c acoustic eigenvalues (lhsp / lhsm).  The Thomas
+elimination is sequential along the line; everything else is vectorized
+over the lines of the worker's slab.
+
+Slab decomposition follows the OpenMP SP: x and y sweeps are partitioned
+over interior k planes, the z sweep over interior j planes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cfd.constants import CFDConstants
+
+
+def _build_lhs(cv, rho_line, spd, dt1, dt2, c2dt1, c: CFDConstants):
+    """Assemble lhs/lhsp/lhsm of shape cv.shape + (5,).
+
+    ``cv``/``rho_line``/``spd`` have the sweep direction as last axis
+    (full length n including boundary points).
+    """
+    n = cv.shape[-1]
+    lhs = np.zeros(cv.shape + (5,))
+    lhs[..., 0, 2] = 1.0
+    lhs[..., n - 1, 2] = 1.0
+    sl = slice(1, n - 1)
+    lhs[..., sl, 1] = -dt2 * cv[..., : n - 2] - dt1 * rho_line[..., : n - 2]
+    lhs[..., sl, 2] = 1.0 + c2dt1 * rho_line[..., sl]
+    lhs[..., sl, 3] = dt2 * cv[..., 2:] - dt1 * rho_line[..., 2:]
+
+    # 4th-order dissipation terms on the matrix.
+    lhs[..., 1, 2] += c.comz5
+    lhs[..., 1, 3] -= c.comz4
+    lhs[..., 1, 4] += c.comz1
+    lhs[..., 2, 1] -= c.comz4
+    lhs[..., 2, 2] += c.comz6
+    lhs[..., 2, 3] -= c.comz4
+    lhs[..., 2, 4] += c.comz1
+    mid = slice(3, n - 3)
+    lhs[..., mid, 0] += c.comz1
+    lhs[..., mid, 1] -= c.comz4
+    lhs[..., mid, 2] += c.comz6
+    lhs[..., mid, 3] -= c.comz4
+    lhs[..., mid, 4] += c.comz1
+    lhs[..., n - 3, 0] += c.comz1
+    lhs[..., n - 3, 1] -= c.comz4
+    lhs[..., n - 3, 2] += c.comz6
+    lhs[..., n - 3, 3] -= c.comz4
+    lhs[..., n - 2, 0] += c.comz1
+    lhs[..., n - 2, 1] -= c.comz4
+    lhs[..., n - 2, 2] += c.comz5
+
+    lhsp = lhs.copy()
+    lhsm = lhs.copy()
+    lhsp[..., sl, 1] -= dt2 * spd[..., : n - 2]
+    lhsp[..., sl, 3] += dt2 * spd[..., 2:]
+    lhsm[..., sl, 1] += dt2 * spd[..., : n - 2]
+    lhsm[..., sl, 3] -= dt2 * spd[..., 2:]
+    return lhs, lhsp, lhsm
+
+
+def _eliminate(lhs, r, comps) -> None:
+    """Forward elimination of the pentadiagonal factor for the rhs
+    components in ``comps`` (sweep axis at -2 of r, -2 of lhs)."""
+    n = r.shape[-2]
+    for i in range(n - 2):
+        fac1 = 1.0 / lhs[..., i, 2]
+        lhs[..., i, 3] *= fac1
+        lhs[..., i, 4] *= fac1
+        for m in comps:
+            r[..., i, m] *= fac1
+        l1 = lhs[..., i + 1, 1]
+        lhs[..., i + 1, 2] -= l1 * lhs[..., i, 3]
+        lhs[..., i + 1, 3] -= l1 * lhs[..., i, 4]
+        for m in comps:
+            r[..., i + 1, m] -= l1 * r[..., i, m]
+        l0 = lhs[..., i + 2, 0]
+        lhs[..., i + 2, 1] -= l0 * lhs[..., i, 3]
+        lhs[..., i + 2, 2] -= l0 * lhs[..., i, 4]
+        for m in comps:
+            r[..., i + 2, m] -= l0 * r[..., i, m]
+    # Last two rows.
+    i = n - 2
+    fac1 = 1.0 / lhs[..., i, 2]
+    lhs[..., i, 3] *= fac1
+    lhs[..., i, 4] *= fac1
+    for m in comps:
+        r[..., i, m] *= fac1
+    l1 = lhs[..., i + 1, 1]
+    lhs[..., i + 1, 2] -= l1 * lhs[..., i, 3]
+    lhs[..., i + 1, 3] -= l1 * lhs[..., i, 4]
+    for m in comps:
+        r[..., i + 1, m] -= l1 * r[..., i, m]
+    fac2 = 1.0 / lhs[..., i + 1, 2]
+    for m in comps:
+        r[..., i + 1, m] *= fac2
+
+
+def _sweep(r, cv, rho_line, spd, dt1, dt2, c2dt1, c: CFDConstants) -> None:
+    """Build the three factors and solve all five systems along the lines."""
+    lhs, lhsp, lhsm = _build_lhs(cv, rho_line, spd, dt1, dt2, c2dt1, c)
+    _eliminate(lhs, r, (0, 1, 2))
+    _eliminate(lhsp, r, (3,))
+    _eliminate(lhsm, r, (4,))
+    i = r.shape[-2] - 2
+    for m in (0, 1, 2):
+        r[..., i, m] -= lhs[..., i, 3] * r[..., i + 1, m]
+    r[..., i, 3] -= lhsp[..., i, 3] * r[..., i + 1, 3]
+    r[..., i, 4] -= lhsm[..., i, 3] * r[..., i + 1, 4]
+    for i in range(r.shape[-2] - 3, -1, -1):
+        for m in (0, 1, 2):
+            r[..., i, m] -= (lhs[..., i, 3] * r[..., i + 1, m]
+                             + lhs[..., i, 4] * r[..., i + 2, m])
+        r[..., i, 3] -= (lhsp[..., i, 3] * r[..., i + 1, 3]
+                         + lhsp[..., i, 4] * r[..., i + 2, 3])
+        r[..., i, 4] -= (lhsm[..., i, 3] * r[..., i + 1, 4]
+                         + lhsm[..., i, 4] * r[..., i + 2, 4])
+
+
+def x_solve_slab(lo: int, hi: int, rhs, rho_i, us, speed,
+                 c: CFDConstants) -> None:
+    """Pentadiagonal solves along x for interior k planes [1+lo, 1+hi)."""
+    if hi <= lo:
+        return
+    sl = (slice(1 + lo, 1 + hi), slice(1, -1), slice(None))
+    ru1 = c.c3c4 * rho_i[sl]
+    cv = us[sl]
+    rhon = np.maximum(
+        np.maximum(c.dx2 + c.con43 * ru1, c.dx5 + c.c1c5 * ru1),
+        np.maximum(c.dxmax + ru1, np.float64(c.dx1)),
+    )
+    r = rhs[sl]
+    _sweep(r, cv, rhon, speed[sl], c.dttx1, c.dttx2, c.c2dttx1, c)
+
+
+def y_solve_slab(lo: int, hi: int, rhs, rho_i, vs, speed,
+                 c: CFDConstants) -> None:
+    """Pentadiagonal solves along y for interior k planes [1+lo, 1+hi)."""
+    if hi <= lo:
+        return
+    sl = (slice(1 + lo, 1 + hi), slice(None), slice(1, -1))
+    ru1 = c.c3c4 * np.swapaxes(rho_i[sl], 1, 2)
+    cv = np.swapaxes(vs[sl], 1, 2)
+    rhoq = np.maximum(
+        np.maximum(c.dy3 + c.con43 * ru1, c.dy5 + c.c1c5 * ru1),
+        np.maximum(c.dymax + ru1, np.float64(c.dy1)),
+    )
+    spd = np.swapaxes(speed[sl], 1, 2)
+    r = np.swapaxes(rhs[sl], 1, 2)
+    _sweep(r, cv, rhoq, spd, c.dtty1, c.dtty2, c.c2dtty1, c)
+
+
+def z_solve_slab(lo: int, hi: int, rhs, rho_i, ws, speed,
+                 c: CFDConstants) -> None:
+    """Pentadiagonal solves along z for interior j planes [1+lo, 1+hi)."""
+    if hi <= lo:
+        return
+    sl = (slice(None), slice(1 + lo, 1 + hi), slice(1, -1))
+    ru1 = c.c3c4 * np.moveaxis(rho_i[sl], 0, 2)
+    cv = np.moveaxis(ws[sl], 0, 2)
+    rhos = np.maximum(
+        np.maximum(c.dz4 + c.con43 * ru1, c.dz5 + c.c1c5 * ru1),
+        np.maximum(c.dzmax + ru1, np.float64(c.dz1)),
+    )
+    spd = np.moveaxis(speed[sl], 0, 2)
+    r = np.moveaxis(rhs[sl], 0, 2)
+    _sweep(r, cv, rhos, spd, c.dttz1, c.dttz2, c.c2dttz1, c)

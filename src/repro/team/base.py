@@ -1,0 +1,85 @@
+"""Abstract Team interface.
+
+A *team* is one master plus ``nworkers`` workers.  Benchmarks express their
+parallel structure exclusively through this interface so that the same code
+runs under all backends:
+
+``parallel_for(n, fn, *args)``
+    The workhorse.  ``range(n)`` (the outermost grid dimension, as in the
+    OpenMP NPB) is block-partitioned; each worker calls
+    ``fn(lo, hi, *args)`` on its block.  Returns the list of per-worker
+    return values in rank order, which is how reductions are expressed
+    (each worker returns its partial, the master combines).  The return of
+    ``parallel_for`` is a full barrier: all workers have finished.
+
+``run_on_all(fn, *args)``
+    Every worker calls ``fn(rank, nworkers, *args)`` once -- used for
+    worker-private setup such as the paper's CG "initialization load"
+    warm-up fix.
+
+``shared(shape, dtype)``
+    Allocate an array visible to master and all workers.  Plain ``np.zeros``
+    for serial/threads; POSIX shared memory for the process backend.
+
+For the process backend, ``fn`` must be a module-level (picklable) function
+and array arguments must be team-shared arrays; the serial and thread
+backends accept anything callable.  Benchmarks in this suite follow the
+stricter convention throughout.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+
+class Team(ABC):
+    """One master plus ``nworkers`` workers executing slab tasks."""
+
+    #: backend name, set by subclasses
+    backend: str = "abstract"
+
+    @property
+    @abstractmethod
+    def nworkers(self) -> int:
+        """Number of workers (1 for the serial backend)."""
+
+    @abstractmethod
+    def parallel_for(self, n: int, fn: Callable, *args: Any) -> list[Any]:
+        """Block-partition ``range(n)``; worker ``r`` runs ``fn(lo_r, hi_r, *args)``.
+
+        Implicit barrier on return.  Returns per-worker results in rank order.
+        """
+
+    @abstractmethod
+    def run_on_all(self, fn: Callable, *args: Any) -> list[Any]:
+        """Every worker runs ``fn(rank, nworkers, *args)`` once; barrier."""
+
+    def shared(self, shape: Sequence[int] | int, dtype=np.float64) -> np.ndarray:
+        """Allocate a zero-initialized array visible to all team members."""
+        return np.zeros(shape, dtype=dtype)
+
+    def reduce_sum(self, n: int, fn: Callable, *args: Any) -> float:
+        """Sum of per-worker partials from ``fn(lo, hi, *args)``."""
+        return float(sum(self.parallel_for(n, fn, *args)))
+
+    def close(self) -> None:
+        """Shut workers down and release shared resources (idempotent)."""
+
+    def __enter__(self) -> "Team":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def team_worker_counts(max_workers: int) -> list[int]:
+    """Thread counts used in the paper's tables: 1, 2, 4, ... up to the limit."""
+    counts = []
+    w = 1
+    while w <= max_workers:
+        counts.append(w)
+        w *= 2
+    return counts

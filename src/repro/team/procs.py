@@ -1,0 +1,224 @@
+"""Process backend: true parallelism over POSIX shared memory.
+
+The reproduction notes for this paper flag the CPython GIL as the obstacle
+to Java-style thread scalability, and call for a NumPy/multiprocessing
+rework.  This backend is that rework: persistent forked worker processes,
+benchmark arrays placed in ``multiprocessing.shared_memory`` segments, and
+slab tasks shipped over pipes as (function, argument) pairs with shared
+arrays passed *by reference* (name + shape + dtype), never by value.
+
+Constraints (enforced by convention across the suite):
+
+* task functions must be module-level (picklable);
+* mutable arrays must come from ``team.shared(...)``;
+* other arguments are pickled by value and therefore treated as read-only.
+
+The master's ``parallel_for`` waits for every worker's reply, which doubles
+as the barrier, mirroring the thread backend.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import traceback
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.team.base import Team
+from repro.team.partition import partition_bounds
+
+
+@dataclass(frozen=True)
+class SharedArrayRef:
+    """Pickle-friendly handle to a team-shared array segment."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+def _worker_main(rank: int, nworkers: int, conn) -> None:
+    """Worker loop: resolve array refs, run the slab task, reply."""
+    attached: dict[str, tuple[shared_memory.SharedMemory, None]] = {}
+
+    def resolve(arg: Any) -> Any:
+        if isinstance(arg, SharedArrayRef):
+            entry = attached.get(arg.name)
+            if entry is None:
+                # The master started the resource tracker before forking, so
+                # this register call lands in the shared tracker's cache
+                # (idempotent) rather than spawning a per-worker tracker
+                # that would unlink segments on worker exit (gh-82300).
+                shm = shared_memory.SharedMemory(name=arg.name)
+                attached[arg.name] = entry = (shm, None)
+            shm = entry[0]
+            return np.ndarray(arg.shape, dtype=np.dtype(arg.dtype),
+                              buffer=shm.buf)
+        return arg
+
+    try:
+        while True:
+            msg = conn.recv()
+            if msg is None:
+                break
+            kind, fn, args, n = msg
+            try:
+                args = tuple(resolve(a) for a in args)
+                if kind == "for":
+                    lo, hi = partition_bounds(n, nworkers, rank)
+                    result = fn(lo, hi, *args)
+                else:
+                    result = fn(rank, nworkers, *args)
+                conn.send(("ok", result))
+            except BaseException:
+                conn.send(("err", traceback.format_exc()))
+    finally:
+        for shm, _ in attached.values():
+            shm.close()
+        conn.close()
+
+
+class WorkerError(RuntimeError):
+    """A worker process raised; carries the remote traceback."""
+
+
+class ProcessTeam(Team):
+    """Persistent forked workers sharing arrays through POSIX shared memory."""
+
+    backend = "process"
+
+    def __init__(self, nworkers: int):
+        if nworkers < 1:
+            raise ValueError("nworkers must be >= 1")
+        self._nworkers = nworkers
+        self._ctx = mp.get_context("fork")
+        # Start the resource tracker now so every forked worker inherits it;
+        # see the note in _worker_main's resolve().
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._array_ids: list[int] = []
+        self._pipes: list = []
+        self._procs: list = []
+        self._closed = False
+        for rank in range(nworkers):
+            parent, child = self._ctx.Pipe()
+            proc = self._ctx.Process(
+                target=_worker_main, args=(rank, nworkers, child),
+                daemon=True, name=f"npb-worker-{rank}",
+            )
+            proc.start()
+            child.close()
+            self._pipes.append(parent)
+            self._procs.append(proc)
+
+    @property
+    def nworkers(self) -> int:
+        return self._nworkers
+
+    # ------------------------------------------------------------------ #
+
+    def shared(self, shape: Sequence[int] | int, dtype=np.float64) -> np.ndarray:
+        dtype = np.dtype(dtype)
+        if isinstance(shape, int):
+            shape = (shape,)
+        shape = tuple(int(s) for s in shape)
+        nbytes = max(1, int(np.prod(shape)) * dtype.itemsize)
+        shm = shared_memory.SharedMemory(
+            create=True, size=nbytes, name=f"npb_{os.getpid()}_{len(self._segments)}"
+        )
+        self._segments.append(shm)
+        array = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+        array.fill(0)
+        # Remember the segment name on the array so arguments can be
+        # translated back to references when dispatching.
+        _SHM_BY_ID[id(array)] = (shm.name, array)
+        self._array_ids.append(id(array))
+        return array
+
+    def _translate(self, arg: Any) -> Any:
+        if isinstance(arg, np.ndarray):
+            entry = _SHM_BY_ID.get(id(arg))
+            if entry is not None and entry[1] is arg:
+                return SharedArrayRef(entry[0], arg.shape, arg.dtype.str)
+            # Views of shared arrays must not be shipped: the worker could
+            # not reconstruct them, and silently pickling them by value
+            # would break write visibility.
+            base = arg.base
+            while base is not None:
+                if isinstance(base, np.ndarray):
+                    base_entry = _SHM_BY_ID.get(id(base))
+                    if base_entry is not None and base_entry[1] is base:
+                        raise ValueError(
+                            "pass whole team-shared arrays to parallel "
+                            "tasks, not views; slice inside the task function"
+                        )
+                    base = base.base
+                else:
+                    break
+        return arg
+
+    def _dispatch(self, kind: str, n: int, fn: Callable, args: tuple) -> list[Any]:
+        if self._closed:
+            raise RuntimeError("team is closed")
+        payload = tuple(self._translate(a) for a in args)
+        for pipe in self._pipes:
+            pipe.send((kind, fn, payload, n))
+        results: list[Any] = []
+        failure: str | None = None
+        for pipe in self._pipes:
+            status, value = pipe.recv()
+            if status == "err" and failure is None:
+                failure = value
+            results.append(value)
+        if failure is not None:
+            raise WorkerError(f"worker failed:\n{failure}")
+        return results
+
+    def parallel_for(self, n: int, fn: Callable, *args: Any) -> list[Any]:
+        return self._dispatch("for", n, fn, args)
+
+    def run_on_all(self, fn: Callable, *args: Any) -> list[Any]:
+        return self._dispatch("all", 0, fn, args)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for pipe in self._pipes:
+            try:
+                pipe.send(None)
+                pipe.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+        for array_id in self._array_ids:
+            _SHM_BY_ID.pop(array_id, None)
+        self._array_ids.clear()
+        for shm in self._segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._segments.clear()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+#: id(array) -> (segment name, owning array).  Keyed by object identity; the
+#: owning-array reference keeps the ndarray alive so ids are never recycled
+#: while registered.
+_SHM_BY_ID: dict[int, tuple[str, np.ndarray]] = {}

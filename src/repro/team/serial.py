@@ -1,0 +1,28 @@
+"""Serial backend: the reference implementation of the Team interface."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.team.base import Team
+
+
+class SerialTeam(Team):
+    """No workers; every task runs inline on the master.
+
+    This is the baseline against which the paper measures thread overhead
+    (its "Serial" column), and the correctness reference for the parallel
+    backends.
+    """
+
+    backend = "serial"
+
+    @property
+    def nworkers(self) -> int:
+        return 1
+
+    def parallel_for(self, n: int, fn: Callable, *args: Any) -> list[Any]:
+        return [fn(0, n, *args)]
+
+    def run_on_all(self, fn: Callable, *args: Any) -> list[Any]:
+        return [fn(0, 1, *args)]

@@ -1,0 +1,116 @@
+"""Thread backend: the paper's master--worker scheme with wait()/notify().
+
+Section 4 of the paper: every benchmark object is a thread; the master
+switches workers between blocked and runnable states with ``wait()`` and
+``notify()``.  Here each worker blocks on a shared condition variable until
+the master publishes a new task generation, executes its slab, and reports
+completion; the master's ``parallel_for`` returns only when all workers have
+checked in (the barrier).
+
+Python's GIL serializes interpreted bytecode, but NumPy kernels release the
+GIL, so slab-level NumPy work can overlap.  On this suite the backend's role
+is structural fidelity (overhead and synchronization behaviour) rather than
+raw speedup -- the process backend is the true-parallelism path.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.team.base import Team
+from repro.team.partition import partition_bounds
+
+
+class ThreadTeam(Team):
+    """Persistent worker threads coordinated by a condition variable."""
+
+    backend = "threads"
+
+    def __init__(self, nworkers: int):
+        if nworkers < 1:
+            raise ValueError("nworkers must be >= 1")
+        self._nworkers = nworkers
+        self._cond = threading.Condition()
+        self._generation = 0
+        self._pending = 0
+        self._task: tuple[str, Callable, tuple, int] | None = None
+        self._results: list[Any] = [None] * nworkers
+        self._error: BaseException | None = None
+        self._shutdown = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, args=(rank,), daemon=True,
+                name=f"npb-worker-{rank}",
+            )
+            for rank in range(nworkers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    @property
+    def nworkers(self) -> int:
+        return self._nworkers
+
+    # ------------------------------------------------------------------ #
+
+    def _worker_loop(self, rank: int) -> None:
+        seen = 0
+        while True:
+            with self._cond:
+                # blocked state: wait() until the master notify()s a new task
+                while self._generation == seen and not self._shutdown:
+                    self._cond.wait()
+                if self._shutdown:
+                    return
+                seen = self._generation
+                kind, fn, args, n = self._task
+            try:
+                if kind == "for":
+                    lo, hi = partition_bounds(n, self._nworkers, rank)
+                    result = fn(lo, hi, *args)
+                else:  # "all"
+                    result = fn(rank, self._nworkers, *args)
+            except BaseException as exc:  # propagate to master
+                result = None
+                with self._cond:
+                    if self._error is None:
+                        self._error = exc
+            with self._cond:
+                self._results[rank] = result
+                self._pending -= 1
+                if self._pending == 0:
+                    self._cond.notify_all()
+
+    def _dispatch(self, kind: str, n: int, fn: Callable, args: tuple) -> list[Any]:
+        with self._cond:
+            if self._shutdown:
+                raise RuntimeError("team is closed")
+            self._task = (kind, fn, args, n)
+            self._results = [None] * self._nworkers
+            self._error = None
+            self._pending = self._nworkers
+            self._generation += 1
+            self._cond.notify_all()  # runnable state
+            while self._pending > 0:
+                self._cond.wait()
+            if self._error is not None:
+                raise self._error
+            return list(self._results)
+
+    # ------------------------------------------------------------------ #
+
+    def parallel_for(self, n: int, fn: Callable, *args: Any) -> list[Any]:
+        return self._dispatch("for", n, fn, args)
+
+    def run_on_all(self, fn: Callable, *args: Any) -> list[Any]:
+        return self._dispatch("all", 0, fn, args)
+
+    def close(self) -> None:
+        with self._cond:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            self._cond.notify_all()
+        for t in self._threads:
+            t.join(timeout=5.0)

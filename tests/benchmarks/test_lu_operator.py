@@ -1,0 +1,83 @@
+"""Tests for the LU spatial operator and setup routines."""
+
+import numpy as np
+import pytest
+
+from repro.cfd.constants import CFDConstants
+from repro.cfd.exact import exact_field
+from repro.lu.operator import apply_operator_slab, rhs_slab
+from repro.lu.setup import setbv, setiv
+from repro.team.partition import block_partition
+
+
+@pytest.fixture(scope="module")
+def constants():
+    return CFDConstants(12, 12, 12, 0.5)
+
+
+class TestOperatorInvariants:
+    def test_residual_of_exact_field_vanishes(self, constants):
+        """erhs builds frct = OP(exact); rhs computes OP(u) - frct, so at
+        u = exact the residual must vanish identically."""
+        c = constants
+        ue = exact_field(c.nx, c.ny, c.nz, c.dnxm1, c.dnym1, c.dnzm1)
+        frct = np.zeros(ue.shape)
+        apply_operator_slab(0, c.nz - 2, ue, frct, c)
+        rsd = np.empty(ue.shape)
+        rhs_slab(0, c.nz - 2, ue, rsd, frct, c)
+        assert np.abs(rsd[1:-1, 1:-1, 1:-1]).max() < 1e-13
+
+    def test_slab_splitting_invariance(self, constants):
+        c = constants
+        ue = exact_field(c.nx, c.ny, c.nz, c.dnxm1, c.dnym1, c.dnzm1)
+        u = ue * (1.0 + 0.01 * np.sin(np.arange(ue.size).reshape(ue.shape)))
+        frct = np.zeros(u.shape)
+        apply_operator_slab(0, c.nz - 2, ue, frct, c)
+
+        reference = np.empty(u.shape)
+        rhs_slab(0, c.nz - 2, u, reference, frct, c)
+        for nslabs in (2, 3, 5):
+            out = np.empty(u.shape)
+            for lo, hi in block_partition(c.nz - 2, nslabs):
+                rhs_slab(lo, hi, u, out, frct, c)
+            assert np.array_equal(out, reference)
+
+    def test_operator_accumulates(self, constants):
+        """apply_operator_slab adds into ``out``; calling twice doubles
+        the contribution."""
+        c = constants
+        ue = exact_field(c.nx, c.ny, c.nz, c.dnxm1, c.dnym1, c.dnzm1)
+        once = np.zeros(ue.shape)
+        apply_operator_slab(0, c.nz - 2, ue, once, c)
+        twice = np.zeros(ue.shape)
+        apply_operator_slab(0, c.nz - 2, ue, twice, c)
+        apply_operator_slab(0, c.nz - 2, ue, twice, c)
+        assert np.allclose(twice[1:-1, 1:-1, 1:-1],
+                           2 * once[1:-1, 1:-1, 1:-1], atol=1e-12)
+
+
+class TestSetup:
+    def test_setbv_faces_are_exact(self, constants):
+        c = constants
+        u = np.zeros((c.nz, c.ny, c.nx, 5))
+        setbv(u, c)
+        ue = exact_field(c.nx, c.ny, c.nz, c.dnxm1, c.dnym1, c.dnzm1)
+        assert np.array_equal(u[0], ue[0])
+        assert np.array_equal(u[:, :, -1], ue[:, :, -1])
+        # interior untouched
+        assert np.all(u[1:-1, 1:-1, 1:-1] == 0)
+
+    def test_setiv_writes_interior_only(self, constants):
+        c = constants
+        u = np.full((c.nz, c.ny, c.nx, 5), -7.0)
+        setiv(u, c)
+        assert np.all(u[0] == -7.0)
+        assert np.all(u[:, 0] == -7.0)
+        assert np.all(u[1:-1, 1:-1, 1:-1] != -7.0)
+
+    def test_setiv_density_positive(self, constants):
+        c = constants
+        u = np.zeros((c.nz, c.ny, c.nx, 5))
+        setbv(u, c)
+        setiv(u, c)
+        assert u[..., 0].min() > 0

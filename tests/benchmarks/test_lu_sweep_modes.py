@@ -1,0 +1,51 @@
+"""Tests for the two LU sweep orderings (hyperplane vs paper-style plane)."""
+
+import numpy as np
+import pytest
+
+from repro.lu import LU
+from repro.lu.sweep import hyperplanes, plane_wavefronts
+from repro.team import ThreadTeam
+
+
+class TestPlaneWavefronts:
+    def test_covers_interior_once(self):
+        k, j, i, offsets = plane_wavefronts(7, 6, 5)
+        points = set(zip(k.tolist(), j.tolist(), i.tolist()))
+        assert len(points) == len(k) == 5 * 4 * 3
+        assert offsets[-1] == len(k)
+
+    def test_groups_constant_in_k_and_diagonal(self):
+        k, j, i, offsets = plane_wavefronts(8, 8, 8)
+        for s in range(len(offsets) - 1):
+            sel = slice(int(offsets[s]), int(offsets[s + 1]))
+            if offsets[s] == offsets[s + 1]:
+                continue
+            assert np.all(k[sel] == k[sel][0])
+            diag = j[sel] + i[sel]
+            assert np.all(diag == diag[0])
+
+    def test_many_more_groups_than_hyperplane(self):
+        """The paper's sync-inside-a-grid-loop pattern: O(n^2) barriers
+        instead of O(n)."""
+        _, _, _, hp = hyperplanes(18, 18, 18)
+        _, _, _, pw = plane_wavefronts(18, 18, 18)
+        assert len(pw) > 5 * len(hp)
+
+
+class TestSweepModeEquivalence:
+    def test_identical_results(self):
+        a = LU("S")
+        a.run()
+        b = LU("S", sweep_mode="plane")
+        b.run()
+        assert np.array_equal(a.rsdnm, b.rsdnm)
+        assert a.frc == b.frc
+
+    def test_plane_mode_verifies_threaded(self):
+        with ThreadTeam(2) as team:
+            assert LU("S", team, sweep_mode="plane").run().verified
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="sweep_mode"):
+            LU("S", sweep_mode="diagonal")

@@ -1,0 +1,60 @@
+"""Property tests on the MG grid-transfer operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mg.operators import comm3, interp, rprj3
+from repro.team import SerialTeam
+
+
+def _random_periodic(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    x = rng.random((n, n, n))
+    comm3(x)
+    return x
+
+
+class TestTransferAdjointness:
+    def test_interp_reproduces_affine_functions(self):
+        """Trilinear prolongation is exact on affine functions: fine
+        values must equal the function evaluated at fine coordinates."""
+        team = SerialTeam()
+        mm = 6
+        n = 2 * mm - 2
+        c3, c2, c1 = np.meshgrid(np.arange(mm), np.arange(mm),
+                                 np.arange(mm), indexing="ij")
+
+        def f(z, y, x):
+            return 1.5 + 0.25 * x - 0.75 * y + 0.5 * z
+
+        coarse = f(c3.astype(float), c2.astype(float), c1.astype(float))
+        fine = np.zeros((n, n, n))
+        interp(team, coarse, fine)
+        f3, f2, f1 = np.meshgrid(np.arange(n - 1), np.arange(n - 1),
+                                 np.arange(n - 1), indexing="ij")
+        expected = f(f3 / 2.0, f2 / 2.0, f1 / 2.0)
+        assert np.allclose(fine[:-1, :-1, :-1], expected, atol=1e-12)
+
+    def test_interp_preserves_constants(self):
+        team = SerialTeam()
+        coarse = np.full((6, 6, 6), 2.5)
+        fine = np.zeros((10, 10, 10))
+        interp(team, coarse, fine)
+        # every written fine point receives exactly the constant
+        assert np.allclose(fine[:-1, :-1, :-1], 2.5)
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_restriction_linear(self, seed):
+        team = SerialTeam()
+        a = _random_periodic(10, seed)
+        b = _random_periodic(10, seed + 1)
+        ra = np.zeros((6, 6, 6))
+        rb = np.zeros((6, 6, 6))
+        rab = np.zeros((6, 6, 6))
+        rprj3(team, a, ra)
+        rprj3(team, b, rb)
+        rprj3(team, 2.0 * a + 3.0 * b, rab)
+        assert np.allclose(rab, 2.0 * ra + 3.0 * rb, atol=1e-12)

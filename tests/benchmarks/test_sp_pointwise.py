@@ -1,0 +1,96 @@
+"""Tests for SP's pointwise similarity transforms."""
+
+import numpy as np
+import pytest
+
+from repro.cfd.constants import CFDConstants
+from repro.cfd.initialize import initialize
+from repro.cfd.rhs import fields_slab
+from repro.sp.pointwise import ninvr_slab, pinvr_slab, tzetar_slab, txinvr_slab
+
+
+@pytest.fixture(scope="module")
+def state():
+    c = CFDConstants(10, 10, 10, 0.015)
+    shape = (c.nz, c.ny, c.nx)
+    u = np.zeros(shape + (5,))
+    initialize(u, c)
+    fields = {name: np.zeros(shape)
+              for name in ("rho_i", "us", "vs", "ws", "qs", "square",
+                           "speed")}
+    fields_slab(0, c.nz, u, fields["rho_i"], fields["us"], fields["vs"],
+                fields["ws"], fields["qs"], fields["square"],
+                fields["speed"], c)
+    return c, u, fields
+
+
+def _random_rhs(shape, seed=0):
+    return np.random.default_rng(seed).random(shape + (5,))
+
+
+class TestTransforms:
+    def test_ninvr_is_linear_involution_like(self, state):
+        """ninvr applied twice is a known permutation-with-signs: check
+        linearity and invertibility numerically via matrix probing."""
+        c, u, fields = state
+        shape = (c.nz, c.ny, c.nx)
+        basis = np.eye(5)
+        matrix = np.zeros((5, 5))
+        for m in range(5):
+            rhs = np.zeros(shape + (5,))
+            rhs[..., :] = basis[m]
+            ninvr_slab(0, c.nz - 2, rhs, c)
+            matrix[:, m] = rhs[2, 2, 2]
+        assert abs(np.linalg.det(matrix)) > 1e-12  # invertible
+        # bt = sqrt(1/2): the acoustic 2x2 block is a rotation-like map
+        assert matrix[2, 3] == pytest.approx(c.bt)
+        assert matrix[2, 4] == pytest.approx(-c.bt)
+
+    def test_pinvr_invertible(self, state):
+        c, u, fields = state
+        shape = (c.nz, c.ny, c.nx)
+        matrix = np.zeros((5, 5))
+        for m in range(5):
+            rhs = np.zeros(shape + (5,))
+            rhs[..., m] = 1.0
+            pinvr_slab(0, c.nz - 2, rhs, c)
+            matrix[:, m] = rhs[3, 3, 3]
+        assert abs(np.linalg.det(matrix)) > 1e-12
+
+    def test_txinvr_only_touches_interior(self, state):
+        c, u, fields = state
+        rhs = _random_rhs((c.nz, c.ny, c.nx), 1)
+        before = rhs.copy()
+        txinvr_slab(0, c.nz - 2, rhs, fields["rho_i"], fields["us"],
+                    fields["vs"], fields["ws"], fields["qs"],
+                    fields["speed"], c)
+        assert np.array_equal(rhs[0], before[0])
+        assert np.array_equal(rhs[:, :, 0], before[:, :, 0])
+        assert not np.array_equal(rhs[1:-1, 1:-1, 1:-1],
+                                  before[1:-1, 1:-1, 1:-1])
+
+    def test_tzetar_linear_in_rhs(self, state):
+        c, u, fields = state
+        shape = (c.nz, c.ny, c.nx)
+        r1 = _random_rhs(shape, 2)
+        r2 = _random_rhs(shape, 3)
+        combo = 2.0 * r1 + 3.0 * r2
+
+        def apply(rhs):
+            out = rhs.copy()
+            tzetar_slab(0, c.nz - 2, out, u, fields["us"], fields["vs"],
+                        fields["ws"], fields["qs"], fields["speed"], c)
+            return out
+
+        lhs = apply(combo)[1:-1, 1:-1, 1:-1]
+        rhs_lin = (2.0 * apply(r1) + 3.0 * apply(r2))[1:-1, 1:-1, 1:-1]
+        assert np.allclose(lhs, rhs_lin, atol=1e-10)
+
+    def test_slab_split_invariance(self, state):
+        c, u, fields = state
+        rhs_a = _random_rhs((c.nz, c.ny, c.nx), 4)
+        rhs_b = rhs_a.copy()
+        ninvr_slab(0, c.nz - 2, rhs_a, c)
+        for lo, hi in ((0, 3), (3, 5), (5, c.nz - 2)):
+            ninvr_slab(lo, hi, rhs_b, c)
+        assert np.array_equal(rhs_a, rhs_b)

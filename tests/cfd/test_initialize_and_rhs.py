@@ -1,0 +1,131 @@
+"""Tests for BT/SP initialization, forcing, and compute_rhs."""
+
+import numpy as np
+import pytest
+
+from repro.cfd.constants import CFDConstants
+from repro.cfd.exact import exact_field
+from repro.cfd.exact_rhs import compute_forcing
+from repro.cfd.initialize import initialize
+from repro.cfd.norms import error_norm, rhs_norm
+from repro.cfd.rhs import fields_slab, rhs_slab
+from repro.team import SerialTeam, ThreadTeam
+
+
+@pytest.fixture(scope="module")
+def constants():
+    return CFDConstants(12, 12, 12, 0.015)
+
+
+def _alloc(c):
+    shape = (c.nz, c.ny, c.nx)
+    fields = {name: np.zeros(shape) for name in
+              ("rho_i", "us", "vs", "ws", "qs", "square", "speed")}
+    return fields
+
+
+def _compute_rhs(c, u, forcing, nslabs=1):
+    fields = _alloc(c)
+    rhs = np.zeros(u.shape)
+    team = SerialTeam()
+    # emulate slab splitting manually to test invariance
+    from repro.team.partition import block_partition
+
+    for lo, hi in block_partition(c.nz, nslabs):
+        fields_slab(lo, hi, u, fields["rho_i"], fields["us"], fields["vs"],
+                    fields["ws"], fields["qs"], fields["square"],
+                    fields["speed"], c)
+    for lo, hi in block_partition(c.nz - 2, nslabs):
+        rhs_slab(lo, hi, u, rhs, forcing, fields["rho_i"], fields["us"],
+                 fields["vs"], fields["ws"], fields["qs"],
+                 fields["square"], c)
+    return rhs
+
+
+class TestInitialize:
+    def test_boundaries_are_exact(self, constants):
+        c = constants
+        u = np.zeros((c.nz, c.ny, c.nx, 5))
+        initialize(u, c)
+        ue = exact_field(c.nx, c.ny, c.nz, c.dnxm1, c.dnym1, c.dnzm1)
+        for face in (u[0] - ue[0], u[-1] - ue[-1],
+                     u[:, 0] - ue[:, 0], u[:, -1] - ue[:, -1],
+                     u[:, :, 0] - ue[:, :, 0], u[:, :, -1] - ue[:, :, -1]):
+            assert np.abs(face).max() < 1e-14
+
+    def test_interior_differs_from_exact(self, constants):
+        c = constants
+        u = np.zeros((c.nz, c.ny, c.nx, 5))
+        initialize(u, c)
+        ue = exact_field(c.nx, c.ny, c.nz, c.dnxm1, c.dnym1, c.dnzm1)
+        assert np.abs((u - ue)[1:-1, 1:-1, 1:-1]).max() > 1e-6
+
+    def test_error_norm_nonzero_initially(self, constants):
+        c = constants
+        u = np.zeros((c.nz, c.ny, c.nx, 5))
+        initialize(u, c)
+        assert np.all(error_norm(u, c) > 0)
+
+
+class TestForcingStationarity:
+    def test_rhs_of_exact_solution_vanishes(self, constants):
+        """The forcing is defined so the exact field is a fixed point:
+        compute_rhs(exact) must be ~0 (the core invariant of BT/SP)."""
+        c = constants
+        forcing = np.zeros((c.nz, c.ny, c.nx, 5))
+        compute_forcing(forcing, c)
+        ue = exact_field(c.nx, c.ny, c.nz, c.dnxm1, c.dnym1, c.dnzm1)
+        rhs = _compute_rhs(c, ue, forcing)
+        assert np.abs(rhs[1:-1, 1:-1, 1:-1]).max() < 1e-13
+
+    def test_forcing_zero_on_boundary(self, constants):
+        c = constants
+        forcing = np.zeros((c.nz, c.ny, c.nx, 5))
+        compute_forcing(forcing, c)
+        assert np.all(forcing[0] == 0) and np.all(forcing[-1] == 0)
+        assert np.all(forcing[:, 0] == 0) and np.all(forcing[:, :, 0] == 0)
+
+
+class TestRhsSlabInvariance:
+    def test_slab_count_does_not_change_result(self, constants):
+        c = constants
+        u = np.zeros((c.nz, c.ny, c.nx, 5))
+        initialize(u, c)
+        forcing = np.zeros((c.nz, c.ny, c.nx, 5))
+        compute_forcing(forcing, c)
+        reference = _compute_rhs(c, u, forcing, nslabs=1)
+        for nslabs in (2, 3, 5):
+            assert np.array_equal(reference,
+                                  _compute_rhs(c, u, forcing, nslabs))
+
+    def test_team_matches_manual(self, constants):
+        c = constants
+        u = np.zeros((c.nz, c.ny, c.nx, 5))
+        initialize(u, c)
+        forcing = np.zeros((c.nz, c.ny, c.nx, 5))
+        compute_forcing(forcing, c)
+        reference = _compute_rhs(c, u, forcing)
+
+        with ThreadTeam(3) as team:
+            fields = _alloc(c)
+            rhs = np.zeros(u.shape)
+            team.parallel_for(c.nz, fields_slab, u, fields["rho_i"],
+                              fields["us"], fields["vs"], fields["ws"],
+                              fields["qs"], fields["square"],
+                              fields["speed"], c)
+            team.parallel_for(c.nz - 2, rhs_slab, u, rhs, forcing,
+                              fields["rho_i"], fields["us"], fields["vs"],
+                              fields["ws"], fields["qs"],
+                              fields["square"], c)
+        assert np.array_equal(reference, rhs)
+
+
+class TestNorms:
+    def test_rhs_norm_of_zero(self, constants):
+        c = constants
+        assert np.all(rhs_norm(np.zeros((c.nz, c.ny, c.nx, 5)), c) == 0)
+
+    def test_error_norm_of_exact_field(self, constants):
+        c = constants
+        ue = exact_field(c.nx, c.ny, c.nz, c.dnxm1, c.dnym1, c.dnzm1)
+        assert np.all(error_norm(ue, c) == 0)

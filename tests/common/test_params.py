@@ -1,0 +1,39 @@
+"""Tests for problem-class machinery."""
+
+import pytest
+
+from repro.common.params import (
+    CLASS_ORDER,
+    ProblemClass,
+    UnknownClassError,
+    lookup_class,
+)
+
+
+class TestProblemClass:
+    def test_parse_lowercase(self):
+        assert ProblemClass.parse("s") is ProblemClass.S
+
+    def test_parse_identity(self):
+        assert ProblemClass.parse(ProblemClass.A) is ProblemClass.A
+
+    def test_parse_unknown(self):
+        with pytest.raises(UnknownClassError):
+            ProblemClass.parse("X")
+
+    def test_str(self):
+        assert str(ProblemClass.B) == "B"
+
+    def test_order(self):
+        assert [str(c) for c in CLASS_ORDER] == ["S", "W", "A", "B", "C"]
+
+
+class TestLookup:
+    def test_found(self):
+        table = {ProblemClass.S: 1, ProblemClass.A: 2}
+        assert lookup_class(table, "a", "XX") == 2
+
+    def test_missing_class_mentions_available(self):
+        table = {ProblemClass.S: 1}
+        with pytest.raises(UnknownClassError, match="available: S"):
+            lookup_class(table, "C", "XX")

@@ -1,0 +1,56 @@
+"""Statistical quality tests for the NPB LCG.
+
+The benchmarks assume the generator behaves like a uniform source (EP's
+acceptance rate, IS's key distribution, CG's pattern density all depend
+on it).  These tests check first-order statistics at fixed seeds --
+deterministic, so no flakiness."""
+
+import numpy as np
+
+from repro.common.randdp import Randlc, vranlc
+
+N = 200_000
+
+
+class TestUniformity:
+    def test_mean_and_variance(self):
+        values, _ = vranlc(N, 314159265)
+        assert abs(values.mean() - 0.5) < 0.005
+        assert abs(values.var() - 1.0 / 12.0) < 0.002
+
+    def test_chi_square_uniform_bins(self):
+        values, _ = vranlc(N, 271828183)
+        bins = 64
+        counts = np.bincount((values * bins).astype(int), minlength=bins)
+        expected = N / bins
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        # 63 dof: mean 63, std ~11; 200 is a generous deterministic bound
+        assert chi2 < 200.0
+
+    def test_serial_correlation_small(self):
+        values, _ = vranlc(N, 314159265)
+        a = values[:-1] - 0.5
+        b = values[1:] - 0.5
+        corr = float((a * b).mean() / (a.var()))
+        assert abs(corr) < 0.01
+
+    def test_no_values_at_exact_bounds(self):
+        values, _ = vranlc(N, 271828183)
+        assert values.min() > 0.0
+        assert values.max() < 1.0
+
+
+class TestStreamIndependence:
+    def test_distant_streams_uncorrelated(self):
+        a = Randlc(314159265)
+        b = Randlc(314159265)
+        b.skip(10_000_000)
+        va = a.batch(50_000) - 0.5
+        vb = b.batch(50_000) - 0.5
+        corr = float((va * vb).mean() / np.sqrt(va.var() * vb.var()))
+        assert abs(corr) < 0.02
+
+    def test_different_seeds_differ(self):
+        va, _ = vranlc(1000, 314159265)
+        vb, _ = vranlc(1000, 271828183)
+        assert not np.array_equal(va, vb)

@@ -1,0 +1,76 @@
+"""Tests for the NPB timer facility."""
+
+import time
+
+import pytest
+
+from repro.common.timers import Timer, TimerSet
+
+
+class TestTimer:
+    def test_accumulates_across_intervals(self):
+        t = Timer()
+        t.start()
+        time.sleep(0.01)
+        first = t.stop()
+        t.start()
+        time.sleep(0.01)
+        second = t.stop()
+        assert second > first >= 0.01
+
+    def test_read_while_running(self):
+        t = Timer()
+        t.start()
+        time.sleep(0.005)
+        live = t.read()
+        assert live >= 0.005
+        assert t.running
+        t.stop()
+
+    def test_double_start_rejected(self):
+        t = Timer()
+        t.start()
+        with pytest.raises(RuntimeError):
+            t.start()
+        t.stop()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_clear_resets(self):
+        t = Timer()
+        with t:
+            time.sleep(0.001)
+        t.clear()
+        assert t.elapsed == 0.0
+
+    def test_context_manager(self):
+        t = Timer()
+        with t:
+            time.sleep(0.002)
+        assert t.elapsed >= 0.002
+        assert not t.running
+
+
+class TestTimerSet:
+    def test_created_on_first_use(self):
+        ts = TimerSet()
+        ts.start("rhs")
+        ts.stop("rhs")
+        assert "rhs" in ts
+        assert ts.read("rhs") >= 0.0
+
+    def test_report_preserves_creation_order(self):
+        ts = TimerSet()
+        for name in ("total", "rhs", "solve"):
+            ts.start(name)
+            ts.stop(name)
+        assert list(ts.report()) == ["total", "rhs", "solve"]
+
+    def test_clear_all(self):
+        ts = TimerSet()
+        ts.start("a")
+        ts.stop("a")
+        ts.clear_all()
+        assert ts.read("a") == 0.0

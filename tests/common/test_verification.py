@@ -1,0 +1,35 @@
+"""Tests for the verification record."""
+
+from repro.common.verification import VerificationResult, within_epsilon
+
+
+class TestWithinEpsilon:
+    def test_relative(self):
+        assert within_epsilon(1.0 + 1e-9, 1.0, 1e-8)
+        assert not within_epsilon(1.0 + 1e-7, 1.0, 1e-8)
+
+    def test_zero_reference_uses_absolute(self):
+        assert within_epsilon(1e-9, 0.0, 1e-8)
+        assert not within_epsilon(1e-7, 0.0, 1e-8)
+
+
+class TestVerificationResult:
+    def test_add_pass_and_fail(self):
+        r = VerificationResult("XX", "S", True)
+        assert r.add("good", 1.0, 1.0, 1e-8)
+        assert not r.add("bad", 2.0, 1.0, 1e-8)
+        assert not r.verified
+        assert len(r.checks) == 2
+
+    def test_summary_mentions_status(self):
+        r = VerificationResult("XX", "S", True)
+        r.add("q", 1.0, 1.0, 1e-8)
+        assert "SUCCESSFUL" in r.summary()
+        r.add("bad", 5.0, 1.0, 1e-8)
+        assert "UNSUCCESSFUL" in r.summary()
+        assert "FAIL" in r.summary()
+
+    def test_reason_in_summary(self):
+        r = VerificationResult("XX", "C", False,
+                               reason="no reference constants")
+        assert "no reference constants" in r.summary()

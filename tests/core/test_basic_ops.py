@@ -1,0 +1,92 @@
+"""Tests for the Table 1 basic operations (style equivalence)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.basic_ops import (
+    OPERATIONS,
+    STYLES,
+    make_workload,
+    numpy_assignment_slab,
+    numpy_matvec5_slab,
+    numpy_reduction_slab,
+    numpy_stencil1_slab,
+    numpy_stencil2_slab,
+    run_operation,
+)
+from repro.team import ThreadTeam
+
+GRID = (10, 9, 8)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload(GRID)
+
+
+class TestStyleEquivalence:
+    """The paper compares translation styles; all must compute the same
+    values (the performance, not the semantics, differs)."""
+
+    @pytest.mark.parametrize("op", OPERATIONS)
+    def test_python_matches_numpy(self, workload, op):
+        ref = run_operation(op, "numpy", workload)
+        got = run_operation(op, "python", workload)
+        if op == "reduction":
+            assert got == pytest.approx(ref, rel=1e-12)
+        else:
+            assert np.allclose(got, ref, atol=1e-12)
+
+    @pytest.mark.parametrize("op", OPERATIONS)
+    def test_multidim_matches_numpy(self, workload, op):
+        ref = run_operation(op, "numpy", workload)
+        got = run_operation(op, "python_multidim", workload)
+        if op == "reduction":
+            assert got == pytest.approx(ref, rel=1e-12)
+        else:
+            assert np.allclose(got, ref, atol=1e-12)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_equivalence_random_seeds(self, seed):
+        w = make_workload((6, 6, 6), seed=seed)
+        for op in ("stencil2", "matvec5"):
+            ref = run_operation(op, "numpy", w)
+            got = run_operation(op, "python", w)
+            assert np.allclose(got, ref, atol=1e-12)
+
+    def test_unknown_style_rejected(self, workload):
+        with pytest.raises(ValueError):
+            run_operation("stencil1", "rust", workload)
+
+
+class TestSlabVariants:
+    def test_slab_equals_full(self, workload):
+        w = workload
+        with ThreadTeam(3) as team:
+            out = np.zeros_like(w.a)
+            team.parallel_for(w.a.shape[0], numpy_assignment_slab, w.a, out)
+            assert np.array_equal(out, w.a)
+
+            out1 = np.zeros_like(w.a)
+            team.parallel_for(w.a.shape[0], numpy_stencil1_slab, w.a, out1)
+            assert np.allclose(out1, run_operation("stencil1", "numpy", w))
+
+            out2 = np.zeros_like(w.a)
+            team.parallel_for(w.a.shape[0], numpy_stencil2_slab, w.a, out2)
+            assert np.allclose(out2, run_operation("stencil2", "numpy", w))
+
+            outv = np.zeros_like(w.vectors)
+            team.parallel_for(w.a.shape[0], numpy_matvec5_slab, w.matrices,
+                              w.vectors, outv)
+            assert np.allclose(outv, run_operation("matvec5", "numpy", w))
+
+            total = team.reduce_sum(w.a.shape[0], numpy_reduction_slab,
+                                    w.four_d)
+            assert total == pytest.approx(w.four_d.sum(), rel=1e-12)
+
+    def test_styles_enumerated(self):
+        assert set(STYLES) == {"numpy", "python", "python_multidim"}
+        assert len(OPERATIONS) == 5

@@ -1,0 +1,55 @@
+"""Tests for the perfex-analogue counters and the benchmark registry."""
+
+import pytest
+
+from repro.core.basic_ops import PAPER_GRID
+from repro.core.counters import profile_operation
+from repro.core.registry import available_benchmarks, get_benchmark
+from repro.core.benchmark import NPBenchmark
+
+
+class TestCounters:
+    def test_fp_ratio_is_two_for_madd_ops(self):
+        """perfex finding: Java executes ~2x the FP instructions because
+        the JIT does not emit madd."""
+        for op in ("stencil1", "stencil2", "matvec5"):
+            profile = profile_operation(op, PAPER_GRID)
+            assert profile.fp_ratio == pytest.approx(2.0, abs=0.15)
+
+    def test_reduction_has_no_madd_advantage(self):
+        profile = profile_operation("reduction", PAPER_GRID)
+        assert profile.fp_ratio == 1.0
+
+    def test_java_executes_many_more_instructions(self):
+        for op in ("assignment", "stencil1", "stencil2", "matvec5",
+                   "reduction"):
+            profile = profile_operation(op, PAPER_GRID)
+            assert profile.instruction_ratio > 3.0
+
+    def test_counts_scale_with_grid(self):
+        small = profile_operation("matvec5", (4, 4, 4))
+        large = profile_operation("matvec5", (8, 8, 8))
+        assert large.fp_madd == 8 * small.fp_madd
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            profile_operation("gemm", PAPER_GRID)
+
+
+class TestRegistry:
+    def test_all_eight_benchmarks(self):
+        assert sorted(available_benchmarks()) == sorted(
+            ["BT", "SP", "LU", "FT", "MG", "CG", "IS", "EP"])
+
+    def test_lookup_case_insensitive(self):
+        assert get_benchmark("cg") is get_benchmark("CG")
+
+    def test_all_are_npbenchmark_subclasses(self):
+        for name in available_benchmarks():
+            cls = get_benchmark(name)
+            assert issubclass(cls, NPBenchmark)
+            assert cls.name == name
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_benchmark("ZZ")

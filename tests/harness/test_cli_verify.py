@@ -1,0 +1,38 @@
+"""End-to-end CLI tests (verify command and report)."""
+
+import pytest
+
+from repro.harness.cli import main
+
+
+class TestVerifyCommand:
+    def test_whole_suite_class_s(self, capsys):
+        assert main(["verify", "-c", "S"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("[ok  ]") == 8
+        for name in ("BT", "SP", "LU", "FT", "MG", "CG", "IS", "EP"):
+            assert f"{name}.S" in out
+
+    def test_run_verbose_prints_checks(self, capsys):
+        assert main(["run", "MG", "-c", "S", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "rnm2" in out
+
+    def test_run_with_process_backend(self, capsys):
+        assert main(["run", "EP", "-c", "S", "-b", "process",
+                     "-w", "2"]) == 0
+        assert "process x2" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_report_no_tables(self, capsys):
+        assert main(["report", "--no-tables"]) == 0
+        out = capsys.readouterr().out
+        assert "0 failed" in out
+        assert "[FAIL]" not in out
+
+    def test_tables_command_all(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        for n in range(1, 8):
+            assert f"Table {n}" in out

@@ -1,0 +1,12 @@
+"""Test for the speedup CLI subcommand."""
+
+from repro.harness.cli import main
+
+
+def test_speedup_ep_threads(capsys):
+    assert main(["speedup", "EP", "-c", "S", "-b", "threads",
+                 "-w", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Speedup study: EP.S" in out
+    assert "Modeled EP.A" in out
+    assert "origin2000" in out

@@ -1,0 +1,102 @@
+"""Failure injection: verification must actually detect wrong answers.
+
+A verification harness that cannot fail is not evidence of correctness;
+these tests corrupt each benchmark's state or parameters and assert the
+official checks catch it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bt import BT
+from repro.cg import CG
+from repro.ep import EP
+from repro.ft import FT
+from repro.isort import IS
+from repro.lu import LU
+from repro.mg import MG
+from repro.sp import SP
+
+
+class TestVerificationCatchesCorruption:
+    def test_cg_wrong_seed_matrix(self):
+        bench = CG("S")
+        bench.setup()
+        bench.a[:100] *= 1.0 + 1e-4  # perturb matrix entries
+        bench._iterate()
+        assert not bench.verify().verified
+
+    def test_mg_corrupted_charge(self):
+        bench = MG("S")
+        bench.setup()
+        bench.v[5, 5, 5] += 1e-4
+        bench._iterate()
+        assert not bench.verify().verified
+
+    def test_ft_perturbed_initial_state(self):
+        bench = FT("S")
+        bench.setup()
+        bench._iterate()
+        bench.checksums[3] += 1e-8
+        assert not bench.verify().verified
+
+    def test_is_wrong_rank(self):
+        bench = IS("S")
+        bench.setup()
+        bench.keys[12345] = 0  # move one key to the bottom bucket
+        bench._iterate()
+        result = bench.verify()
+        assert not result.verified
+
+    def test_ep_wrong_sum(self):
+        bench = EP("S")
+        bench.setup()
+        bench._iterate()
+        bench.sx *= 1.0 + 1e-6
+        assert not bench.verify().verified
+
+    @pytest.mark.parametrize("cls", [BT, SP])
+    def test_adi_perturbed_solution(self, cls):
+        bench = cls("S")
+        bench.setup()
+        bench._iterate()
+        bench.u[4, 4, 4, 2] += 1e-5
+        assert not bench.verify().verified
+
+    def test_lu_perturbed_solution(self):
+        bench = LU("S")
+        bench.setup()
+        bench._iterate()
+        bench.u[3, 3, 3, 0] += 1e-5
+        assert not bench.verify().verified
+
+    def test_mg_wrong_cycle_count(self):
+        bench = MG("S")
+        bench.setup()
+        # one cycle short of the official nit
+        from repro.mg.operators import norm2u3, resid
+
+        resid(bench.team, bench.u[bench.params.lt], bench.v,
+              bench.r[bench.params.lt], bench.a)
+        for _ in range(bench.params.nit - 1):
+            bench._mg3p()
+            resid(bench.team, bench.u[bench.params.lt], bench.v,
+                  bench.r[bench.params.lt], bench.a)
+        nx = bench.params.nx
+        bench.rnm2, _ = norm2u3(bench.team, bench.r[bench.params.lt],
+                                nx, nx, nx)
+        assert not bench.verify().verified
+
+
+class TestToleranceBoundaries:
+    def test_just_inside_tolerance_passes(self):
+        bench = CG("S")
+        bench.run()
+        bench.zeta = bench.params.zeta_verify * (1.0 + 0.5e-10)
+        assert bench.verify().verified
+
+    def test_just_outside_tolerance_fails(self):
+        bench = CG("S")
+        bench.run()
+        bench.zeta = bench.params.zeta_verify * (1.0 + 2.0e-10)
+        assert not bench.verify().verified

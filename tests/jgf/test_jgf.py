@@ -1,0 +1,124 @@
+"""Tests for the Java Grande kernels and the discrepancy study."""
+
+import numpy as np
+import pytest
+
+from repro.jgf import (
+    JGF_KERNELS,
+    jgf_ratio_band,
+    make_sparse_system,
+    measured_ratios,
+    series_loops,
+    series_numpy,
+    sor_loops,
+    sor_numpy,
+    sparsematmult_loops,
+    sparsematmult_numpy,
+)
+from repro.jgf.sor import sor_residual
+from repro.machines import machine
+from repro.machines.simulator import predict_benchmark
+
+
+class TestSeries:
+    def test_styles_agree(self):
+        fast = series_numpy(8)
+        slow = np.asarray(series_loops(8))
+        assert np.allclose(fast, slow, atol=1e-12)
+
+    def test_first_coefficient_is_mean(self):
+        # a_0 = (1/2) * integral of (x+1)^x over [0,2]; integrand >= 1,
+        # so a_0 in (1, max value) -- and trapezoid vs fine quadrature.
+        x = np.linspace(0, 2, 100_001)
+        reference = np.trapezoid((x + 1) ** x, x) / 2.0
+        assert series_numpy(1)[0, 0] == pytest.approx(reference, rel=1e-5)
+
+    def test_coefficients_decay(self):
+        coeffs = series_numpy(16)
+        magnitudes = np.hypot(coeffs[1:, 0], coeffs[1:, 1])
+        assert magnitudes[-1] < magnitudes[0]
+
+    def test_b0_is_zero(self):
+        assert series_numpy(3)[0, 1] == 0.0
+
+
+class TestSOR:
+    def test_styles_agree_bitwise(self):
+        rng = np.random.default_rng(0)
+        grid = rng.random((20, 20))
+        fast = sor_numpy(grid, 10)
+        slow = sor_loops(grid, 10)
+        assert np.array_equal(fast, slow)
+
+    def test_boundary_untouched(self):
+        rng = np.random.default_rng(1)
+        grid = rng.random((16, 16))
+        relaxed = sor_numpy(grid, 5)
+        assert np.array_equal(relaxed[0], grid[0])
+        assert np.array_equal(relaxed[:, -1], grid[:, -1])
+
+    def test_residual_decreases(self):
+        rng = np.random.default_rng(2)
+        grid = rng.random((32, 32))
+        r0 = sor_residual(grid)
+        r1 = sor_residual(sor_numpy(grid, 50))
+        assert r1 < 0.5 * r0
+
+    def test_input_not_modified(self):
+        rng = np.random.default_rng(3)
+        grid = rng.random((10, 10))
+        copy = grid.copy()
+        sor_numpy(grid, 3)
+        assert np.array_equal(grid, copy)
+
+
+class TestSparseMatmult:
+    def test_styles_agree(self):
+        system = make_sparse_system(500)
+        fast = sparsematmult_numpy(*system, iterations=7)
+        slow = sparsematmult_loops(*system, iterations=7)
+        assert np.allclose(fast, slow, rtol=1e-12)
+
+    def test_linear_in_iterations(self):
+        system = make_sparse_system(300)
+        one = sparsematmult_numpy(*system, iterations=1)
+        five = sparsematmult_numpy(*system, iterations=5)
+        assert np.allclose(five, 5 * one, rtol=1e-12)
+
+    def test_matches_dense(self):
+        rows, cols, vals, x = make_sparse_system(50)
+        dense = np.zeros((50, 50))
+        np.add.at(dense, (rows, cols), vals)
+        assert np.allclose(sparsematmult_numpy(rows, cols, vals, x, 1),
+                           dense @ x, atol=1e-12)
+
+
+class TestDiscrepancyStudy:
+    def test_jgf_band_below_npb_structured_band(self):
+        """The paper's resolution: on the same modeled JVM, the JGF mix
+        sits far below the NPB structured-grid mix."""
+        o2k = machine("origin2000")
+        jgf_lo, jgf_hi = jgf_ratio_band(o2k)
+        npb = [predict_benchmark(o2k, n, "A", "java", 0).seconds
+               / predict_benchmark(o2k, n, "A", "f77", 0).seconds
+               for n in ("BT", "SP", "LU", "FT", "MG")]
+        assert jgf_hi < min(npb)
+
+    def test_jgf_band_about_factor_two(self):
+        """The Java Grande finding itself ("on almost all [kernels]
+        within a factor of 2") on the better JVM of the study era --
+        'almost all' grants the memory-bound SOR its slight excess."""
+        lo, hi = jgf_ratio_band(machine("p690"))
+        assert lo < 2.0
+        assert hi <= 2.3
+
+    def test_all_kernels_classified(self):
+        assert set(JGF_KERNELS) == {"series", "sor", "sparsematmult",
+                                    "lufact"}
+        for kernel in JGF_KERNELS.values():
+            assert sum(kernel.op_mix.values()) == pytest.approx(1.0)
+
+    def test_measured_ratios_positive(self):
+        ratios = measured_ratios(scale=0.2)
+        assert set(ratios) == {"series", "sor", "sparsematmult"}
+        assert all(r > 1.0 for r in ratios.values())

@@ -1,0 +1,99 @@
+"""Tests for the Java Grande lufact / DGETRF reproduction (Table 7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lufact import (
+    LU_CLASSES_TABLE7,
+    dgetrf_blocked,
+    lufact_loops,
+    lufact_numpy,
+    lufact_ops,
+    lu_solve,
+    lu_solve_lapack,
+    make_system,
+    residual_check,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return make_system(120)
+
+
+class TestFactorizations:
+    def test_loops_and_numpy_identical(self, system):
+        a, _ = system
+        lu1, ip1 = lufact_loops(a)
+        lu2, ip2 = lufact_numpy(a)
+        assert np.array_equal(ip1, ip2)
+        assert np.allclose(lu1, lu2, atol=1e-12)
+
+    def test_all_styles_solve_correctly(self, system):
+        a, b = system
+        for factor, solver in ((lufact_loops, lu_solve),
+                               (lufact_numpy, lu_solve),
+                               (dgetrf_blocked, lu_solve_lapack)):
+            lu, ip = factor(a)
+            x = solver(lu, ip, b)
+            assert residual_check(a, x, b) < 10.0
+            assert np.allclose(x, np.linalg.solve(a, b), atol=1e-8)
+
+    def test_blocked_matches_unblocked_solution(self, system):
+        a, b = system
+        lu_u, ip_u = lufact_numpy(a)
+        lu_b, ip_b = dgetrf_blocked(a, block=32)
+        x_u = lu_solve(lu_u, ip_u, b)
+        x_b = lu_solve_lapack(lu_b, ip_b, b)
+        assert np.allclose(x_u, x_b, atol=1e-9)
+
+    @pytest.mark.parametrize("block", [1, 7, 64, 1000])
+    def test_block_size_irrelevant_to_answer(self, system, block):
+        a, b = system
+        lu, ip = dgetrf_blocked(a, block=block)
+        x = lu_solve_lapack(lu, ip, b)
+        assert residual_check(a, x, b) < 10.0
+
+    @given(st.integers(min_value=1, max_value=30),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_random_sizes_and_seeds(self, n, seed):
+        a, b = make_system(n, seed=seed)
+        lu, ip = lufact_numpy(a)
+        x = lu_solve(lu, ip, b)
+        assert residual_check(a, x, b) < 20.0
+
+    def test_pivoting_handles_zero_leading_entry(self):
+        a = np.array([[0.0, 1.0], [1.0, 1.0]])
+        b = np.array([2.0, 3.0])
+        lu, ip = lufact_numpy(a)
+        x = lu_solve(lu, ip, b)
+        assert np.allclose(a @ x, b)
+
+
+class TestTable7Shape:
+    def test_make_system_solution_is_ones(self, system):
+        a, b = system
+        x = np.linalg.solve(a, b)
+        assert np.allclose(x, 1.0, atol=1e-8)
+
+    def test_ops_formula(self):
+        assert lufact_ops(100) == pytest.approx(2e6 / 3 + 2e4)
+
+    def test_classes(self):
+        assert LU_CLASSES_TABLE7 == {"A": 500, "B": 1000, "C": 2000}
+
+    def test_blas3_faster_than_blas1(self):
+        """The crux of the paper's Table 7 analysis, measured."""
+        import time
+
+        a, _ = make_system(400)
+        t0 = time.perf_counter()
+        lufact_numpy(a)
+        blas1 = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        dgetrf_blocked(a)
+        blas3 = time.perf_counter() - t0
+        assert blas3 < blas1

@@ -1,0 +1,78 @@
+"""Tests for workload profiles and the live findings report."""
+
+import pytest
+
+from repro.harness.findings import generate_report
+from repro.machines.spec import OpCategory
+from repro.machines.workloads import (
+    CLASS_A_MEMORY_MB,
+    WORKLOADS,
+    benchmark_size_and_iters,
+    total_ops,
+    workload,
+)
+
+
+class TestWorkloads:
+    def test_every_benchmark_has_profile(self):
+        assert set(WORKLOADS) == {"BT", "SP", "LU", "FT", "MG", "CG",
+                                  "IS", "EP"}
+
+    def test_op_mixes_sum_to_one(self):
+        for profile in WORKLOADS.values():
+            assert sum(profile.op_mix.values()) == pytest.approx(1.0)
+
+    def test_unstructured_benchmarks_irregular_dominated(self):
+        for name in ("CG", "IS"):
+            mix = workload(name).op_mix
+            assert mix.get(OpCategory.IRREGULAR, 0) >= 0.5
+
+    def test_structured_benchmarks_no_irregular(self):
+        for name in ("BT", "SP", "LU", "FT", "MG"):
+            mix = workload(name).op_mix
+            assert OpCategory.IRREGULAR not in mix
+
+    def test_lu_sync_count_linear_in_grid(self):
+        lu = workload("LU")
+        assert lu.syncs(64, 10) > 4 * lu.syncs(16, 10) * 0.9
+        bt = workload("BT")
+        assert bt.syncs(64, 10) == bt.syncs(16, 10)  # grid-independent
+
+    def test_ft_class_a_memory_is_the_paper_number(self):
+        assert CLASS_A_MEMORY_MB["FT"] == 350.0
+
+    def test_total_ops_uses_official_formula(self):
+        from repro.cg import CG
+
+        assert total_ops("CG", "S") == CG("S").op_count()
+
+    def test_size_and_iters(self):
+        size, niter = benchmark_size_and_iters("BT", "S")
+        assert (size, niter) == (12, 60)
+        size, niter = benchmark_size_and_iters("CG", "S")
+        assert (size, niter) == (1400, 15)
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            workload("ZZ")
+
+
+class TestFindingsReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report(include_tables=False)
+
+    def test_all_claims_pass(self, report):
+        assert "[FAIL]" not in report
+        assert "0 failed" in report
+
+    def test_claim_count(self, report):
+        assert report.count("[PASS]") >= 15
+
+    def test_sections_present(self, report):
+        for heading in ("Table 1", "5.1", "5.2", "Java Grande"):
+            assert heading in report
+
+    def test_tables_included_when_asked(self):
+        full = generate_report(include_tables=True)
+        assert "Table 7" in full and "```" in full

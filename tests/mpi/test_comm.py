@@ -1,0 +1,156 @@
+"""Tests for the message-passing runtime."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.comm import Communicator, MPIWorkerError, mpi_run
+
+
+# SPMD programs (module level, picklable).
+
+def prog_identity(comm):
+    return (comm.rank, comm.size)
+
+
+def prog_ring(comm):
+    """Shift values around a ring (send/recv with explicit ordering;
+    sendrecv is a same-peer exchange and would not fit a ring)."""
+    if comm.size == 1:
+        return comm.rank
+    dest = (comm.rank + 1) % comm.size
+    source = (comm.rank - 1) % comm.size
+    if comm.rank == 0:
+        comm.send(comm.rank, dest)
+        return comm.recv(source)
+    value = comm.recv(source)
+    comm.send(comm.rank, dest)
+    return value
+
+
+def prog_bcast(comm):
+    value = f"payload-{comm.rank}" if comm.rank == 0 else None
+    return comm.bcast(value)
+
+
+def prog_bcast_root2(comm):
+    value = 42 if comm.rank == 2 else None
+    return comm.bcast(value, root=2)
+
+
+def prog_reduce(comm):
+    return comm.reduce(comm.rank + 1, op=lambda a, b: a + b)
+
+
+def prog_allreduce_array(comm):
+    return comm.allreduce(np.full(5, float(comm.rank)),
+                          op=lambda a, b: a + b)
+
+
+def prog_gather(comm):
+    return comm.gather(comm.rank * 10)
+
+
+def prog_alltoall(comm):
+    chunks = [f"{comm.rank}->{d}" for d in range(comm.size)]
+    return comm.alltoall(chunks)
+
+
+def prog_alltoall_arrays(comm):
+    chunks = [np.full(3, comm.rank * comm.size + d)
+              for d in range(comm.size)]
+    received = comm.alltoall(chunks)
+    return np.concatenate(received)
+
+
+def prog_large_exchange(comm):
+    """Messages far beyond the 64 KiB pipe buffer must not deadlock."""
+    big = np.full(300_000, float(comm.rank))
+    partner = comm.rank ^ 1
+    if partner < comm.size:
+        other = comm.sendrecv(big, partner)
+        return float(other[0])
+    return float(comm.rank)
+
+
+def prog_barrier_order(comm):
+    comm.barrier()
+    return "after"
+
+
+def prog_fail(comm):
+    if comm.rank == 1:
+        raise RuntimeError("rank 1 exploded")
+    return "ok"
+
+
+class TestRuntime:
+    def test_identity(self):
+        assert mpi_run(3, prog_identity) == [(0, 3), (1, 3), (2, 3)]
+
+    def test_single_rank(self):
+        assert mpi_run(1, prog_identity) == [(0, 1)]
+
+    def test_invalid_nprocs(self):
+        with pytest.raises(ValueError):
+            mpi_run(0, prog_identity)
+
+    def test_error_propagates(self):
+        with pytest.raises(MPIWorkerError, match="rank 1 exploded"):
+            mpi_run(3, prog_fail)
+
+
+class TestPointToPoint:
+    def test_ring_shift(self):
+        assert mpi_run(4, prog_ring) == [3, 0, 1, 2]
+
+    def test_large_messages_no_deadlock(self):
+        results = mpi_run(4, prog_large_exchange)
+        assert results == [1.0, 0.0, 3.0, 2.0]
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 4, 5])
+    def test_bcast(self, nprocs):
+        assert mpi_run(nprocs, prog_bcast) == ["payload-0"] * nprocs
+
+    def test_bcast_nonzero_root(self):
+        assert mpi_run(4, prog_bcast_root2) == [42] * 4
+
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 4, 5])
+    def test_reduce_sum(self, nprocs):
+        results = mpi_run(nprocs, prog_reduce)
+        assert results[0] == nprocs * (nprocs + 1) // 2
+        assert all(r is None for r in results[1:])
+
+    def test_allreduce_arrays(self):
+        results = mpi_run(3, prog_allreduce_array)
+        for r in results:
+            assert np.array_equal(r, np.full(5, 3.0))
+
+    def test_gather(self):
+        results = mpi_run(3, prog_gather)
+        assert results[0] == [0, 10, 20]
+        assert results[1] is None and results[2] is None
+
+    @pytest.mark.parametrize("nprocs", [2, 3, 4, 5])
+    def test_alltoall_strings(self, nprocs):
+        results = mpi_run(nprocs, prog_alltoall)
+        for rank, received in enumerate(results):
+            assert received == [f"{src}->{rank}" for src in range(nprocs)]
+
+    def test_alltoall_arrays(self):
+        results = mpi_run(3, prog_alltoall_arrays)
+        for rank, got in enumerate(results):
+            expected = np.repeat([src * 3 + rank for src in range(3)], 3)
+            assert np.array_equal(got, expected)
+
+    def test_barrier(self):
+        assert mpi_run(4, prog_barrier_order) == ["after"] * 4
+
+    def test_self_send_rejected(self):
+        comm = Communicator(0, 1, {})
+        with pytest.raises(ValueError):
+            comm.send(1, 0)
+        with pytest.raises(ValueError):
+            comm.recv(0)
+        assert comm.sendrecv("x", 0) == "x"

@@ -1,0 +1,155 @@
+"""Tests for the serial, thread, and process team backends."""
+
+import numpy as np
+import pytest
+
+from repro.team import ProcessTeam, SerialTeam, ThreadTeam, make_team
+from repro.team.procs import WorkerError
+
+
+# Module-level task functions (picklable for the process backend).
+
+def fill_slab(lo, hi, out, value):
+    out[lo:hi] = value
+
+
+def square_slab(lo, hi, src, dst):
+    dst[lo:hi] = src[lo:hi] ** 2
+
+
+def partial_sum(lo, hi, data):
+    return float(data[lo:hi].sum())
+
+
+def rank_info(rank, nworkers):
+    return (rank, nworkers)
+
+
+def failing_task(lo, hi):
+    raise ValueError("deliberate failure")
+
+
+def slab_bounds(lo, hi):
+    return (lo, hi)
+
+
+class TestMakeTeam:
+    def test_known_backends(self):
+        assert isinstance(make_team("serial"), SerialTeam)
+        with make_team("threads", 2) as t:
+            assert isinstance(t, ThreadTeam)
+        with make_team("process", 2) as t:
+            assert isinstance(t, ProcessTeam)
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_team("mpi")
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ThreadTeam(0)
+        with pytest.raises(ValueError):
+            ProcessTeam(0)
+
+
+class TestAnyBackend:
+    """Behaviour every backend must share."""
+
+    def test_parallel_for_covers_range(self, any_team):
+        out = any_team.shared(101)
+        any_team.parallel_for(101, fill_slab, out, 7.0)
+        assert np.all(out == 7.0)
+
+    def test_parallel_for_results_in_rank_order(self, any_team):
+        bounds = any_team.parallel_for(20, slab_bounds)
+        flat = [i for lo, hi in bounds for i in range(lo, hi)]
+        assert flat == list(range(20))
+
+    def test_reduction(self, any_team):
+        data = any_team.shared(1000)
+        data[:] = np.arange(1000.0)
+        total = any_team.reduce_sum(1000, partial_sum, data)
+        assert total == pytest.approx(999 * 1000 / 2)
+
+    def test_dependent_stages_see_writes(self, any_team):
+        src = any_team.shared(64)
+        dst = any_team.shared(64)
+        any_team.parallel_for(64, fill_slab, src, 3.0)
+        any_team.parallel_for(64, square_slab, src, dst)
+        assert np.all(dst == 9.0)
+
+    def test_run_on_all(self, any_team):
+        infos = any_team.run_on_all(rank_info)
+        assert infos == [(r, any_team.nworkers)
+                         for r in range(any_team.nworkers)]
+
+    def test_empty_range(self, any_team):
+        out = any_team.shared(4)
+        any_team.parallel_for(0, fill_slab, out, 1.0)
+        assert np.all(out == 0.0)
+
+
+class TestThreadTeam:
+    def test_exception_propagates(self, thread_team):
+        with pytest.raises(ValueError, match="deliberate failure"):
+            thread_team.parallel_for(10, failing_task)
+
+    def test_team_usable_after_exception(self, thread_team):
+        with pytest.raises(ValueError):
+            thread_team.parallel_for(10, failing_task)
+        out = thread_team.shared(10)
+        thread_team.parallel_for(10, fill_slab, out, 2.0)
+        assert np.all(out == 2.0)
+
+    def test_closed_team_rejects_work(self):
+        team = ThreadTeam(2)
+        team.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            team.parallel_for(4, slab_bounds)
+
+    def test_close_idempotent(self):
+        team = ThreadTeam(2)
+        team.close()
+        team.close()
+
+
+class TestProcessTeam:
+    def test_exception_propagates_with_traceback(self, process_team):
+        with pytest.raises(WorkerError, match="deliberate failure"):
+            process_team.parallel_for(10, failing_task)
+
+    def test_team_usable_after_exception(self, process_team):
+        with pytest.raises(WorkerError):
+            process_team.parallel_for(10, failing_task)
+        out = process_team.shared(10)
+        process_team.parallel_for(10, fill_slab, out, 2.0)
+        assert np.all(out == 2.0)
+
+    def test_cross_process_write_visibility(self, process_team):
+        out = process_team.shared(128)
+        process_team.parallel_for(128, fill_slab, out, 5.0)
+        # Master reads what workers wrote.
+        assert out.sum() == 5.0 * 128
+
+    def test_shared_view_rejected(self, process_team):
+        out = process_team.shared((8, 8))
+        with pytest.raises(ValueError, match="not views"):
+            process_team.parallel_for(8, fill_slab, out[2:, :], 1.0)
+
+    def test_non_shared_array_passed_by_value(self, process_team):
+        # Read-only coefficient arrays may be plain numpy (pickled).
+        coeffs = np.arange(4.0)
+        total = process_team.reduce_sum(4, partial_sum, coeffs)
+        assert total == 6.0
+
+    def test_shared_dtype_and_shape(self, process_team):
+        arr = process_team.shared((3, 4), dtype=np.int64)
+        assert arr.shape == (3, 4)
+        assert arr.dtype == np.int64
+        assert np.all(arr == 0)
+
+    def test_closed_team_rejects_work(self):
+        team = ProcessTeam(2)
+        team.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            team.parallel_for(4, slab_bounds)

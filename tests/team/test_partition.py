@@ -1,0 +1,48 @@
+"""Tests for block partitioning."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.team.partition import block_partition, partition_bounds
+
+
+class TestPartitionBounds:
+    def test_even_split(self):
+        assert block_partition(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_remainder_goes_first(self):
+        assert block_partition(10, 4) == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_more_workers_than_work(self):
+        blocks = block_partition(2, 5)
+        assert blocks[0] == (0, 1)
+        assert blocks[1] == (1, 2)
+        assert all(lo == hi for lo, hi in blocks[2:])
+
+    def test_zero_iterations(self):
+        assert all(lo == hi for lo, hi in block_partition(0, 3))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            partition_bounds(4, 0, 0)
+        with pytest.raises(ValueError):
+            partition_bounds(4, 2, 2)
+        with pytest.raises(ValueError):
+            partition_bounds(-1, 2, 0)
+
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=1, max_value=64))
+    def test_blocks_tile_range_exactly(self, n, nworkers):
+        blocks = block_partition(n, nworkers)
+        # contiguous and complete
+        cursor = 0
+        for lo, hi in blocks:
+            assert lo == cursor
+            assert hi >= lo
+            cursor = hi
+        assert cursor == n
+        # balanced: sizes differ by at most one, larger first
+        sizes = [hi - lo for lo, hi in blocks]
+        assert max(sizes) - min(sizes) <= 1
+        assert sizes == sorted(sizes, reverse=True)
