@@ -66,18 +66,18 @@ class BT(NPBenchmark):
         team = self.team
         nz2 = c.nz - 2
         ny2 = c.ny - 2
-        with self.timers["rhs"]:
+        with self.region("rhs"):
             self.compute_rhs()
-        with self.timers["xsolve"]:
+        with self.region("xsolve"):
             team.parallel_for(nz2, x_solve_slab, self.rhs, self.u, self.qs,
                               self.square, c)
-        with self.timers["ysolve"]:
+        with self.region("ysolve"):
             team.parallel_for(nz2, y_solve_slab, self.rhs, self.u, self.qs,
                               self.square, c)
-        with self.timers["zsolve"]:
+        with self.region("zsolve"):
             team.parallel_for(ny2, z_solve_slab, self.rhs, self.u, self.qs,
                               self.square, c)
-        with self.timers["add"]:
+        with self.region("add"):
             team.parallel_for(nz2, add_slab, self.u, self.rhs)
 
     def _iterate(self) -> None:

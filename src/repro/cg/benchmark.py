@@ -80,13 +80,15 @@ class CG(NPBenchmark):
         params = self.params
         n = params.na
         team = self.team
-        rnorm = conj_grad(team, n, self.rowstr, self.colidx, self.a,
-                          self.x, self.z, self.p, self.q, self.r)
-        norm_xz = team.reduce_sum(n, _dot_slab, self.x, self.z)
-        norm_zz = team.reduce_sum(n, _dot_slab, self.z, self.z)
-        zeta = params.shift + 1.0 / norm_xz
-        team.parallel_for(n, _scale_into_x_slab, self.x, self.z,
-                          1.0 / math.sqrt(norm_zz))
+        with self.region("conj_grad"):
+            rnorm = conj_grad(team, n, self.rowstr, self.colidx, self.a,
+                              self.x, self.z, self.p, self.q, self.r)
+        with self.region("norm"):
+            norm_xz = team.reduce_sum(n, _dot_slab, self.x, self.z)
+            norm_zz = team.reduce_sum(n, _dot_slab, self.z, self.z)
+            zeta = params.shift + 1.0 / norm_xz
+            team.parallel_for(n, _scale_into_x_slab, self.x, self.z,
+                              1.0 / math.sqrt(norm_zz))
         return rnorm, zeta
 
     def _iterate(self) -> None:

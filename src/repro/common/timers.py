@@ -20,15 +20,17 @@ class Timer:
     Elapsed time accumulates across start/stop pairs until ``clear``.
     """
 
-    __slots__ = ("elapsed", "_started_at", "running")
+    __slots__ = ("elapsed", "count", "_started_at", "running")
 
     def __init__(self) -> None:
         self.elapsed = 0.0
+        self.count = 0
         self._started_at = 0.0
         self.running = False
 
     def clear(self) -> None:
         self.elapsed = 0.0
+        self.count = 0
         self.running = False
 
     def start(self) -> None:
@@ -41,6 +43,7 @@ class Timer:
         if not self.running:
             raise RuntimeError("timer is not running")
         self.elapsed += time.perf_counter() - self._started_at
+        self.count += 1
         self.running = False
         return self.elapsed
 
@@ -96,3 +99,7 @@ class TimerSet:
     def report(self) -> dict[str, float]:
         """Snapshot of all timers, in creation order."""
         return {name: t.read() for name, t in self._timers.items()}
+
+    def counts(self) -> dict[str, int]:
+        """Completed start/stop intervals per timer, in creation order."""
+        return {name: t.count for name, t in self._timers.items()}

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from repro.common.params import ProblemClass
 from repro.common.timers import TimerSet
 from repro.common.verification import VerificationResult
+from repro.runtime.region import ParallelRegion
 from repro.team import SerialTeam, Team
 
 
@@ -39,10 +40,37 @@ class BenchmarkResult:
     mops: float
     verification: VerificationResult
     timers: dict[str, float] = field(default_factory=dict)
+    #: per-region dispatch accounting of the timed region: region name ->
+    #: {calls, wall_seconds, dispatch_seconds, execute_seconds,
+    #:  barrier_seconds} (see :mod:`repro.runtime.region`)
+    regions: dict[str, dict[str, float]] = field(default_factory=dict)
 
     @property
     def verified(self) -> bool:
         return self.verification.verified
+
+    def to_dict(self) -> dict:
+        """Machine-readable run record (the ``--json`` output)."""
+        return {
+            "benchmark": self.name,
+            "problem_class": self.problem_class,
+            "backend": self.backend,
+            "nworkers": self.nworkers,
+            "niter": self.niter,
+            "time_seconds": self.time_seconds,
+            "mops": self.mops,
+            "verified": self.verified,
+            "verification": [
+                {"quantity": name, "computed": float(computed),
+                 "reference": float(reference),
+                 "relative_error": float(err), "passed": bool(ok)}
+                for name, computed, reference, err, ok
+                in self.verification.checks
+            ],
+            "timers": dict(self.timers),
+            "regions": {name: dict(stats)
+                        for name, stats in self.regions.items()},
+        }
 
     def banner(self) -> str:
         """Text banner in the spirit of the NPB ``print_results``."""
@@ -103,6 +131,17 @@ class NPBenchmark(ABC):
 
     # ------------------------------------------------------------------ #
 
+    def region(self, name: str) -> ParallelRegion:
+        """Name a phase region (``with self.region("rhs"): ...``).
+
+        Starts the NPB phase timer of the same name and attributes every
+        team dispatch inside the block to ``name``, so the run record's
+        ``timers`` (wall) and ``regions`` (dispatch/execute/barrier split)
+        describe the same phases.  Region names follow the NPB ``t_*``
+        convention (see docs/architecture.md).
+        """
+        return ParallelRegion(name, self.team.recorder, self.timers[name])
+
     def setup(self) -> None:
         """Idempotent public setup (untimed initialization)."""
         if not self._set_up:
@@ -112,13 +151,18 @@ class NPBenchmark(ABC):
     def run(self) -> BenchmarkResult:
         """Execute the full benchmark life cycle and return the result."""
         self.setup()
-        # NPB semantics: all timers reset at the start of the timed
-        # region (phase timers therefore exclude the warm-up step).
+        # NPB semantics: all timers and region stats reset at the start of
+        # the timed region (both therefore exclude warm-up and setup).
         self.timers.clear_all()
+        self.team.recorder.clear()
         timer = self.timers["total"]
         timer.start()
         self._iterate()
         elapsed = timer.stop()
+        # Snapshot before verify() so the breakdown covers exactly the
+        # timed region (verify may dispatch, e.g. BT/SP recompute rhs).
+        timers = self.timers.report()
+        regions = self.team.recorder.report()
         verification = self.verify()
         mops = self.op_count() / elapsed / 1.0e6 if elapsed > 0 else 0.0
         return BenchmarkResult(
@@ -130,5 +174,6 @@ class NPBenchmark(ABC):
             time_seconds=elapsed,
             mops=mops,
             verification=verification,
-            timers=self.timers.report(),
+            timers=timers,
+            regions=regions,
         )

@@ -72,10 +72,12 @@ class EP(NPBenchmark):
 
     def _iterate(self) -> None:
         nbatches = 1 << (self.params.m - MK)
-        partials = self.team.parallel_for(nbatches, _batch_range)
-        self.sx = sum(p[0] for p in partials)
-        self.sy = sum(p[1] for p in partials)
-        self.counts = np.sum([p[2] for p in partials], axis=0)
+        with self.region("tally"):
+            partials = self.team.parallel_for(nbatches, _batch_range)
+        with self.region("reduce"):
+            self.sx = sum(p[0] for p in partials)
+            self.sy = sum(p[1] for p in partials)
+            self.counts = np.sum([p[2] for p in partials], axis=0)
 
     def verify(self) -> VerificationResult:
         result = VerificationResult("EP", str(self.problem_class), True)

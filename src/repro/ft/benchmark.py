@@ -118,17 +118,20 @@ class FT(NPBenchmark):
         p = self.params
         team = self.team
         niter = 1 if warmup else p.niter
-        team.parallel_for(p.nz, _indexmap_slab, self.twiddle, self._dims)
-        team.parallel_for(p.nz, _fill_conditions_slab, self.u1, self._dims)
-        _fft3d_team(team, 1, self.u1, self.u0, self.u2)
+        with self.region("setup"):
+            team.parallel_for(p.nz, _indexmap_slab, self.twiddle, self._dims)
+            team.parallel_for(p.nz, _fill_conditions_slab, self.u1,
+                              self._dims)
+        with self.region("fft"):
+            _fft3d_team(team, 1, self.u1, self.u0, self.u2)
         checksums = []
         for _ in range(niter):
-            with self.timers["evolve"]:
+            with self.region("evolve"):
                 team.parallel_for(p.nz, _evolve_slab, self.u0, self.u1,
                                   self.twiddle)
-            with self.timers["fft"]:
+            with self.region("fft"):
                 _fft3d_team(team, -1, self.u1, self.u2, self.u1)
-            with self.timers["checksum"]:
+            with self.region("checksum"):
                 checksums.append(self._checksum(self.u2))
         if not warmup:
             self.checksums = checksums

@@ -6,7 +6,8 @@ of :mod:`repro.machines`, default) or measured mode (real runs of the
 NumPy/Python implementations on the local host, ``--measured``).
 """
 
-from repro.harness.report import Table, format_table
+from repro.harness.report import Table, format_table, region_profile_table
 from repro.harness.tables import TABLES, generate_table
 
-__all__ = ["Table", "format_table", "TABLES", "generate_table"]
+__all__ = ["Table", "format_table", "region_profile_table", "TABLES",
+           "generate_table"]

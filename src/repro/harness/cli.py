@@ -2,8 +2,10 @@
 
 Subcommands::
 
-    npb run BT -c S -b process -w 4    run one benchmark
+    npb run BT -c S -b process -w 4    run one benchmark (--json for a
+                                       structured run record)
     npb verify -c S                    run + verify the whole suite
+    npb profile LU -c S                per-region overhead breakdown
     npb table 3 [--measured] [-c A]    regenerate a paper table
     npb tables [--measured]            regenerate all seven tables
     npb list                           list benchmarks and classes
@@ -12,35 +14,63 @@ Subcommands::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro import available_benchmarks, run_benchmark
 from repro.common.params import CLASS_ORDER
-from repro.harness.report import format_table
+from repro.harness.report import format_table, region_profile_table
 from repro.harness.tables import TABLES, generate_table
 
 
 def _cmd_run(args) -> int:
     result = run_benchmark(args.benchmark.upper(), args.problem_class,
                            args.backend, args.workers)
-    print(result.banner())
-    if args.verbose:
-        print(result.verification.summary())
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.banner())
+        if args.verbose:
+            print(result.verification.summary())
     return 0 if result.verified else 1
 
 
 def _cmd_verify(args) -> int:
     failures = 0
+    records = []
     for name in available_benchmarks():
         result = run_benchmark(name, args.problem_class, args.backend,
                                args.workers)
-        status = "ok  " if result.verified else "FAIL"
-        print(f"[{status}] {name}.{args.problem_class}  "
-              f"{result.time_seconds:8.2f}s  {result.mops:10.1f} Mop/s")
+        if args.json:
+            records.append(result.to_dict())
+        else:
+            status = "ok  " if result.verified else "FAIL"
+            print(f"[{status}] {name}.{args.problem_class}  "
+                  f"{result.time_seconds:8.2f}s  {result.mops:10.1f} Mop/s")
+            if not result.verified:
+                print(result.verification.summary())
         if not result.verified:
             failures += 1
-            print(result.verification.summary())
+    if args.json:
+        print(json.dumps(records, indent=2))
     return 1 if failures else 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.core.registry import get_benchmark
+    from repro.team import make_team
+
+    cls = get_benchmark(args.benchmark.upper())
+    with make_team(args.backend, args.workers) as team:
+        result = cls(args.problem_class, team).run()
+        plan_info = team.plan.cache_info()
+    if args.json:
+        record = result.to_dict()
+        record["plan_cache"] = plan_info
+        print(json.dumps(record, indent=2))
+    else:
+        print(format_table(region_profile_table(result, plan_info)))
+    return 0 if result.verified else 1
 
 
 def _cmd_table(args) -> int:
@@ -60,10 +90,11 @@ def _cmd_speedup(args) -> int:
     from repro.harness.report import Table
     from repro.machines import MACHINES, speedup_curve
     from repro.team import make_team
+    from repro.team.base import team_worker_counts
 
     name = args.benchmark.upper()
     cls = get_benchmark(name)
-    counts = [1, 2, 4][: args.max_workers.bit_length()]
+    counts = team_worker_counts(args.max_workers)
 
     rows = Table(
         f"Speedup study: {name}.{args.problem_class}",
@@ -127,11 +158,27 @@ def build_parser() -> argparse.ArgumentParser:
                      type=str.upper)
     _common(run)
     run.add_argument("-v", "--verbose", action="store_true")
+    run.add_argument("--json", action="store_true",
+                     help="emit a structured run record (timers + "
+                          "per-region dispatch/execute/barrier split)")
     run.set_defaults(fn=_cmd_run)
 
     verify = sub.add_parser("verify", help="run and verify the whole suite")
     _common(verify)
+    verify.add_argument("--json", action="store_true",
+                        help="emit one structured run record per benchmark")
     verify.set_defaults(fn=_cmd_verify)
+
+    profile = sub.add_parser(
+        "profile", help="run one benchmark and report the per-region "
+                        "overhead breakdown (dispatch/execute/barrier)")
+    profile.add_argument("benchmark", choices=available_benchmarks(),
+                         type=str.upper)
+    _common(profile)
+    profile.add_argument("--json", action="store_true",
+                         help="emit the run record plus plan-cache stats "
+                              "as JSON")
+    profile.set_defaults(fn=_cmd_profile)
 
     table = sub.add_parser("table", help="regenerate one paper table")
     table.add_argument("number", type=int, choices=TABLES)

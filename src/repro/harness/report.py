@@ -3,6 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.benchmark import BenchmarkResult
 
 
 @dataclass
@@ -32,6 +36,53 @@ def _fmt(cell) -> str:
             return f"{cell:.2f}"
         return f"{cell:.2e}"
     return str(cell)
+
+
+def region_profile_table(result: "BenchmarkResult",
+                         plan_info: dict[str, int] | None = None) -> Table:
+    """The ``npb profile`` breakdown: one row per instrumented region.
+
+    Columns follow the runtime's dispatch accounting
+    (:mod:`repro.runtime.region`): ``wall`` is master-side elapsed time in
+    the region's dispatches; ``dispatch``/``execute``/``barrier`` are sums
+    over workers; ``sync%`` is the region's synchronization overhead,
+    ``(dispatch + barrier) / (dispatch + execute + barrier)`` -- the
+    paper's per-phase overhead diagnosis (LU inner-loop synchronization,
+    Table 1 start/notify cost) as first-class data.
+    """
+    table = Table(
+        f"Region profile: {result.name}.{result.problem_class} "
+        f"({result.backend} x{result.nworkers}, {result.niter} iterations)",
+        ["region", "calls", "wall s", "dispatch s", "execute s",
+         "barrier s", "sync %"],
+    )
+    totals = {"calls": 0, "wall": 0.0, "dispatch": 0.0, "execute": 0.0,
+              "barrier": 0.0}
+    for name, stats in result.regions.items():
+        sync = stats["dispatch_seconds"] + stats["barrier_seconds"]
+        busy = sync + stats["execute_seconds"]
+        table.add_row(name, stats["calls"], stats["wall_seconds"],
+                      stats["dispatch_seconds"], stats["execute_seconds"],
+                      stats["barrier_seconds"],
+                      100.0 * sync / busy if busy > 0 else 0.0)
+        totals["calls"] += int(stats["calls"])
+        totals["wall"] += stats["wall_seconds"]
+        totals["dispatch"] += stats["dispatch_seconds"]
+        totals["execute"] += stats["execute_seconds"]
+        totals["barrier"] += stats["barrier_seconds"]
+    sync = totals["dispatch"] + totals["barrier"]
+    busy = sync + totals["execute"]
+    table.add_row("TOTAL", totals["calls"], totals["wall"],
+                  totals["dispatch"], totals["execute"], totals["barrier"],
+                  100.0 * sync / busy if busy > 0 else 0.0)
+    table.notes.append(
+        f"timed region {result.time_seconds:.4f}s; dispatch/execute/barrier "
+        f"are summed over {result.nworkers} worker(s)")
+    if plan_info is not None:
+        table.notes.append(
+            f"plan cache: {plan_info['entries']} partitions memoized, "
+            f"{plan_info['hits']} hits / {plan_info['misses']} misses")
+    return table
 
 
 def format_table(table: Table) -> str:

@@ -74,13 +74,14 @@ class IS(NPBenchmark):
         keys[iteration + MAX_ITERATIONS] = params.max_key - iteration
         spot_values = [int(keys[idx]) for idx in params.test_index]
 
-        partials = self.team.parallel_for(
-            params.num_keys, _histogram_slab, keys, params.max_key
-        )
-        counts = partials[0]
-        for p in partials[1:]:
-            counts = counts + p
-        cumulative = np.cumsum(counts)
+        with self.region("rank"):
+            partials = self.team.parallel_for(
+                params.num_keys, _histogram_slab, keys, params.max_key
+            )
+            counts = partials[0]
+            for p in partials[1:]:
+                counts = counts + p
+            cumulative = np.cumsum(counts)
         self._cumulative = cumulative
 
         if not record:

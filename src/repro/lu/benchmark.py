@@ -119,26 +119,29 @@ class LU(NPBenchmark):
         offsets = self._offsets
         nplanes = len(offsets) - 1
         for _ in range(niter):
-            team.parallel_for(c.nz - 2, _scale_rsd_slab, self.rsd, c.dt)
+            with self.region("scale"):
+                team.parallel_for(c.nz - 2, _scale_rsd_slab, self.rsd, c.dt)
             # Lower sweep: ascending wavefronts, one barrier per wavefront.
-            with self.timers["blts"]:
+            with self.region("blts"):
                 for s in range(nplanes):
                     start, end = int(offsets[s]), int(offsets[s + 1])
                     team.parallel_for(end - start, blts_slab, self.rsd,
                                       self.u, self.idx_k, self.idx_j,
                                       self.idx_i, start, OMEGA, c)
             # Upper sweep: descending wavefronts.
-            with self.timers["buts"]:
+            with self.region("buts"):
                 for s in range(nplanes - 1, -1, -1):
                     start, end = int(offsets[s]), int(offsets[s + 1])
                     team.parallel_for(end - start, buts_slab, self.rsd,
                                       self.u, self.idx_k, self.idx_j,
                                       self.idx_i, start, OMEGA, c)
-            team.parallel_for(c.nz - 2, _update_u_slab, self.u, self.rsd,
-                              tmp)
-            with self.timers["rhs"]:
+            with self.region("add"):
+                team.parallel_for(c.nz - 2, _update_u_slab, self.u,
+                                  self.rsd, tmp)
+            with self.region("rhs"):
                 self._rhs()
-        self.rsdnm = self._l2norm()
+        with self.region("l2norm"):
+            self.rsdnm = self._l2norm()
 
     def _iterate(self) -> None:
         self._ssor(self.params.niter)

@@ -77,14 +77,15 @@ class MG(NPBenchmark):
         team = self.team
         lt = self.params.lt
         nx = self.params.nx
-        with self.timers["resid"]:
+        with self.region("resid"):
             resid(team, self.u[lt], self.v, self.r[lt], self.a)
         for _ in range(self.params.nit):
-            with self.timers["mg3P"]:
+            with self.region("mg3P"):
                 self._mg3p()
-            with self.timers["resid"]:
+            with self.region("resid"):
                 resid(team, self.u[lt], self.v, self.r[lt], self.a)
-        self.rnm2, _ = norm2u3(team, self.r[lt], nx, nx, nx)
+        with self.region("norm2"):
+            self.rnm2, _ = norm2u3(team, self.r[lt], nx, nx, nx)
 
     # ------------------------------------------------------------------ #
 

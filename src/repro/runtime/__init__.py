@@ -1,0 +1,39 @@
+"""Plan-based parallel runtime underneath the Team backends.
+
+The paper's central results are *overhead diagnoses*: thread start/notify
+cost (Table 1), LU's synchronization-in-the-inner-loop penalty, and CG's
+thread-placement pathologies.  Reproducing those diagnoses requires more
+than an end-to-end stopwatch, so the execution path is factored into three
+explicit pieces that every backend shares:
+
+:class:`ExecutionPlan`
+    Memoizes block partitions per loop extent so iteration loops that
+    dispatch the same ``parallel_for`` shape thousands of times stop
+    recomputing slab bounds on every call.
+
+dispatch core (:mod:`repro.runtime.dispatch`)
+    The task/result/error bookkeeping that used to be triplicated across
+    the serial, thread, and process backends.  Backends now provide only
+    *transport* (inline call, condition-variable hand-off, process pipe);
+    the core stamps every dispatch with per-worker timing.
+
+:class:`ParallelRegion` / :class:`RegionRecorder`
+    Named instrumentation regions.  Benchmarks wrap their phases
+    (``rhs``, ``xsolve``, ``blts``, ``conj_grad``, ...) in regions; every
+    dispatch inside a region contributes its dispatch latency, task
+    execution time, and barrier-wait time to that region's totals, which
+    surface as ``BenchmarkResult.regions`` and in ``npb profile``.
+"""
+
+from repro.runtime.dispatch import WorkerError, WorkerReply
+from repro.runtime.plan import ExecutionPlan
+from repro.runtime.region import ParallelRegion, RegionRecorder, RegionStats
+
+__all__ = [
+    "ExecutionPlan",
+    "ParallelRegion",
+    "RegionRecorder",
+    "RegionStats",
+    "WorkerError",
+    "WorkerReply",
+]

@@ -1,0 +1,48 @@
+"""Shared dispatch-core types.
+
+The dispatch *logic* lives in :meth:`repro.team.base.Team._dispatch`; this
+module holds the data types the core and the backend transports exchange.
+A transport delivers one task per worker and returns one
+:class:`WorkerReply` per worker, stamped with the worker's own
+``perf_counter`` readings.  On Linux ``perf_counter`` is CLOCK_MONOTONIC,
+which shares an epoch across processes, so the stamps are comparable to
+the master's publish/return times under every backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+class WorkerError(RuntimeError):
+    """A worker raised in a context that cannot re-raise the original
+    exception object (the process backend); carries the remote traceback."""
+
+
+@dataclass(frozen=True)
+class WorkerReply:
+    """One worker's answer to one dispatched task.
+
+    ``value`` is the task's return value when ``ok``; otherwise it is the
+    exception object (thread/serial transports) or the formatted remote
+    traceback string (process transport).
+    """
+
+    rank: int
+    ok: bool
+    value: Any
+    started_at: float
+    finished_at: float
+
+    @property
+    def execute_seconds(self) -> float:
+        return self.finished_at - self.started_at
+
+
+def raise_reply_error(reply: WorkerReply) -> None:
+    """Re-raise a failed reply: the original exception when we have it,
+    a :class:`WorkerError` wrapping the remote traceback otherwise."""
+    if isinstance(reply.value, BaseException):
+        raise reply.value
+    raise WorkerError(f"worker {reply.rank} failed:\n{reply.value}")

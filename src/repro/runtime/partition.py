@@ -1,0 +1,41 @@
+"""Block partitioning of loop ranges, as in the OpenMP NPB static schedule.
+
+The OpenMP versions of the benchmarks (the prototype for the paper's Java
+threading) distribute the outermost loop in contiguous blocks, giving the
+first ``n mod p`` workers one extra iteration.  ``block_partition``
+reproduces that layout.  :class:`~repro.runtime.plan.ExecutionPlan`
+memoizes these bounds per extent; dispatch paths should go through a plan
+rather than call these directly.
+"""
+
+from __future__ import annotations
+
+
+def partition_bounds(n: int, nworkers: int, rank: int) -> tuple[int, int]:
+    """Half-open bounds ``[lo, hi)`` of worker ``rank``'s block of ``range(n)``.
+
+    Matches the OpenMP static schedule: block sizes differ by at most one,
+    larger blocks first.  A worker with no iterations gets ``lo == hi``.
+    """
+    if nworkers <= 0:
+        raise ValueError("nworkers must be positive")
+    if not 0 <= rank < nworkers:
+        raise ValueError(f"rank {rank} out of range for {nworkers} workers")
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    base, extra = divmod(n, nworkers)
+    if rank < extra:
+        lo = rank * (base + 1)
+        hi = lo + base + 1
+    else:
+        lo = extra * (base + 1) + (rank - extra) * base
+        hi = lo + base
+    return lo, hi
+
+
+def block_partition(n: int, nworkers: int) -> list[tuple[int, int]]:
+    """All workers' blocks of ``range(n)``: a list of ``(lo, hi)`` pairs.
+
+    The blocks tile ``range(n)`` exactly: consecutive, disjoint, complete.
+    """
+    return [partition_bounds(n, nworkers, rank) for rank in range(nworkers)]

@@ -1,0 +1,59 @@
+"""Memoized execution plans for slab dispatch.
+
+Every ``parallel_for`` in the suite block-partitions ``range(n)`` over a
+fixed worker count, and the hot iteration loops (25 CG steps per outer
+iteration, one dispatch per LU wavefront, ...) repeat the same handful of
+extents thousands of times.  An :class:`ExecutionPlan` computes each
+partition once per ``(n, nworkers)`` and serves the cached bounds on every
+later call, so partition arithmetic drops out of the dispatch hot path.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.partition import partition_bounds
+
+#: Per-worker half-open bounds, rank order: ((lo_0, hi_0), (lo_1, hi_1), ...)
+Bounds = tuple[tuple[int, int], ...]
+
+
+class ExecutionPlan:
+    """Block partitions for a fixed worker count, memoized by extent.
+
+    The cache is unbounded by design: a benchmark run touches a bounded
+    set of extents (grid dimensions, wavefront sizes), so entries are a
+    few dozen tuples at most.  ``hits``/``misses`` expose the memoization
+    behaviour to tests and to ``benchmarks/bench_dispatch_overhead.py``.
+    """
+
+    __slots__ = ("nworkers", "ranks", "_bounds", "hits", "misses")
+
+    def __init__(self, nworkers: int):
+        if nworkers < 1:
+            raise ValueError("nworkers must be >= 1")
+        self.nworkers = nworkers
+        #: per-worker ``(rank, nworkers)`` pairs, the run_on_all "bounds"
+        self.ranks: Bounds = tuple((r, nworkers) for r in range(nworkers))
+        self._bounds: dict[int, Bounds] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def bounds(self, n: int) -> Bounds:
+        """Per-worker slab bounds for ``range(n)``, cached per extent."""
+        cached = self._bounds.get(n)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        cached = tuple(partition_bounds(n, self.nworkers, rank)
+                       for rank in range(self.nworkers))
+        self._bounds[n] = cached
+        return cached
+
+    def bounds_for(self, n: int, rank: int) -> tuple[int, int]:
+        """One worker's slab of ``range(n)`` (via the shared cache)."""
+        return self.bounds(n)[rank]
+
+    def cache_info(self) -> dict[str, int]:
+        """Memoization counters, for tests and overhead benchmarks."""
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._bounds)}

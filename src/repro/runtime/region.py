@@ -1,0 +1,141 @@
+"""Named instrumentation regions for the parallel runtime.
+
+A *region* is a named span of benchmark code (``rhs``, ``blts``,
+``conj_grad``, ...).  While a region is active, every team dispatch
+contributes three per-worker overhead components to that region's totals:
+
+``dispatch``
+    master publish -> worker task start (thread wake-up / pipe delivery
+    latency; the paper's Table 1 start/notify cost).
+``execute``
+    worker task start -> worker task end (compute).
+``barrier``
+    worker task end -> all workers done (load-imbalance wait; the
+    paper's LU synchronization-in-the-inner-loop diagnosis).
+
+All three are *sums over workers*, so ``execute`` is cumulative worker
+busy time (it can exceed the region's wall time), and for a perfectly
+balanced region ``barrier`` approaches zero.  ``wall`` is master-side
+elapsed dispatch time and is counted once per call.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.common.timers import Timer
+    from repro.runtime.dispatch import WorkerReply
+
+#: Region charged with dispatches that run outside any named region.
+UNATTRIBUTED = "(unattributed)"
+
+
+@dataclass
+class RegionStats:
+    """Accumulated dispatch accounting for one named region."""
+
+    calls: int = 0
+    wall_seconds: float = 0.0
+    dispatch_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    barrier_seconds: float = 0.0
+
+    @property
+    def sync_seconds(self) -> float:
+        """Pure runtime overhead: everything that is not task compute."""
+        return self.dispatch_seconds + self.barrier_seconds
+
+    @property
+    def overhead_fraction(self) -> float:
+        """sync / (sync + compute), the paper's overhead ratio per region."""
+        busy = self.sync_seconds + self.execute_seconds
+        return self.sync_seconds / busy if busy > 0 else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "calls": self.calls,
+            "wall_seconds": self.wall_seconds,
+            "dispatch_seconds": self.dispatch_seconds,
+            "execute_seconds": self.execute_seconds,
+            "barrier_seconds": self.barrier_seconds,
+        }
+
+
+class RegionRecorder:
+    """Attributes every dispatch to the innermost active region.
+
+    Owned by a :class:`~repro.team.base.Team`; benchmarks activate regions
+    through :meth:`NPBenchmark.region`, and the team's dispatch core calls
+    :meth:`record` once per ``parallel_for``/``run_on_all``.
+    """
+
+    def __init__(self, nworkers: int = 1):
+        self.nworkers = nworkers
+        self._stack: list[str] = []
+        self._stats: "OrderedDict[str, RegionStats]" = OrderedDict()
+
+    @property
+    def current_region(self) -> str:
+        return self._stack[-1] if self._stack else UNATTRIBUTED
+
+    def push(self, name: str) -> None:
+        self._stack.append(name)
+
+    def pop(self) -> None:
+        self._stack.pop()
+
+    def clear(self) -> None:
+        """Drop accumulated stats (active region names survive)."""
+        self._stats.clear()
+
+    def record(self, published_at: float, done_at: float,
+               replies: "Sequence[WorkerReply]") -> None:
+        """Charge one completed dispatch to the current region."""
+        stats = self._stats.get(self.current_region)
+        if stats is None:
+            stats = self._stats[self.current_region] = RegionStats()
+        stats.calls += 1
+        stats.wall_seconds += done_at - published_at
+        for reply in replies:
+            stats.dispatch_seconds += reply.started_at - published_at
+            stats.execute_seconds += reply.finished_at - reply.started_at
+            stats.barrier_seconds += done_at - reply.finished_at
+
+    def stats(self, name: str) -> RegionStats:
+        """Stats for one region (empty stats if it never dispatched)."""
+        return self._stats.get(name, RegionStats())
+
+    def names(self) -> list[str]:
+        return list(self._stats)
+
+    def report(self) -> dict[str, dict[str, float]]:
+        """All regions' accounting, in first-dispatch order."""
+        return {name: s.as_dict() for name, s in self._stats.items()}
+
+
+class ParallelRegion:
+    """Context manager naming a phase: scopes the recorder and (optionally)
+    drives the benchmark's NPB phase timer so ``timers`` and ``regions``
+    stay consistent."""
+
+    __slots__ = ("name", "_recorder", "_timer")
+
+    def __init__(self, name: str, recorder: RegionRecorder,
+                 timer: "Timer | None" = None):
+        self.name = name
+        self._recorder = recorder
+        self._timer = timer
+
+    def __enter__(self) -> "ParallelRegion":
+        self._recorder.push(self.name)
+        if self._timer is not None:
+            self._timer.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+        self._recorder.pop()

@@ -72,26 +72,26 @@ class SP(NPBenchmark):
         team = self.team
         nz2 = c.nz - 2
         ny2 = c.ny - 2
-        with self.timers["rhs"]:
+        with self.region("rhs"):
             self.compute_rhs()
-        with self.timers["txinvr"]:
+        with self.region("txinvr"):
             team.parallel_for(nz2, txinvr_slab, self.rhs, self.rho_i,
                               self.us, self.vs, self.ws, self.qs,
                               self.speed, c)
-        with self.timers["xsolve"]:
+        with self.region("xsolve"):
             team.parallel_for(nz2, x_solve_slab, self.rhs, self.rho_i,
                               self.us, self.speed, c)
             team.parallel_for(nz2, ninvr_slab, self.rhs, c)
-        with self.timers["ysolve"]:
+        with self.region("ysolve"):
             team.parallel_for(nz2, y_solve_slab, self.rhs, self.rho_i,
                               self.vs, self.speed, c)
             team.parallel_for(nz2, pinvr_slab, self.rhs, c)
-        with self.timers["zsolve"]:
+        with self.region("zsolve"):
             team.parallel_for(ny2, z_solve_slab, self.rhs, self.rho_i,
                               self.ws, self.speed, c)
             team.parallel_for(nz2, tzetar_slab, self.rhs, self.u, self.us,
                               self.vs, self.ws, self.qs, self.speed, c)
-        with self.timers["add"]:
+        with self.region("add"):
             team.parallel_for(nz2, add_slab, self.u, self.rhs)
 
     def _iterate(self) -> None:

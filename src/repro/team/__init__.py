@@ -23,6 +23,9 @@ interchangeable backends:
 
 All backends implement the same :class:`~repro.team.base.Team` interface and
 must produce bit-identical benchmark results; the test suite enforces this.
+Task/result/error bookkeeping and per-region instrumentation live in the
+shared dispatch core (see :mod:`repro.runtime`); each backend contributes
+only its transport.
 """
 
 from repro.team.base import Team, team_worker_counts

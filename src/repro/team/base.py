@@ -1,4 +1,4 @@
-"""Abstract Team interface.
+"""Abstract Team interface and the shared dispatch core.
 
 A *team* is one master plus ``nworkers`` workers.  Benchmarks express their
 parallel structure exclusively through this interface so that the same code
@@ -25,14 +25,31 @@ For the process backend, ``fn`` must be a module-level (picklable) function
 and array arguments must be team-shared arrays; the serial and thread
 backends accept anything callable.  Benchmarks in this suite follow the
 stricter convention throughout.
+
+Dispatch core
+-------------
+``Team`` itself owns everything the three backends used to duplicate:
+closed-team checks, slab-bound computation (memoized in an
+:class:`~repro.runtime.plan.ExecutionPlan`), rank-ordered result
+collection, error propagation, and per-dispatch instrumentation (a
+:class:`~repro.runtime.region.RegionRecorder`).  Subclasses implement one
+hook, :meth:`_transport`, which delivers one ``fn(a, b, *args)`` task per
+worker and returns the per-worker :class:`~repro.runtime.dispatch.WorkerReply`
+list -- inline call (serial), condition-variable hand-off (threads), or
+process pipe (process).
 """
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from typing import Any, Callable, Sequence
 
 import numpy as np
+
+from repro.runtime.dispatch import WorkerReply, raise_reply_error
+from repro.runtime.plan import Bounds, ExecutionPlan
+from repro.runtime.region import RegionRecorder
 
 
 class Team(ABC):
@@ -41,21 +58,66 @@ class Team(ABC):
     #: backend name, set by subclasses
     backend: str = "abstract"
 
+    def __init__(self, nworkers: int):
+        if nworkers < 1:
+            raise ValueError("nworkers must be >= 1")
+        self._nworkers = nworkers
+        #: memoized slab partitions for this worker count
+        self.plan = ExecutionPlan(nworkers)
+        #: per-region dispatch/execute/barrier accounting
+        self.recorder = RegionRecorder(nworkers)
+        self._closed = False
+
     @property
-    @abstractmethod
     def nworkers(self) -> int:
         """Number of workers (1 for the serial backend)."""
+        return self._nworkers
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------ #
+    # transport hook
 
     @abstractmethod
+    def _transport(self, fn: Callable, bounds: Bounds,
+                   args: tuple) -> list[WorkerReply]:
+        """Deliver ``fn(a, b, *args)`` to every worker; gather replies.
+
+        ``bounds[rank]`` is worker ``rank``'s ``(a, b)`` pair -- slab
+        bounds for ``parallel_for``, ``(rank, nworkers)`` for
+        ``run_on_all``.  Must return one reply per worker, rank order,
+        only after all workers finished (this is the barrier).  Worker
+        exceptions are captured into replies, never raised here.
+        """
+
+    # ------------------------------------------------------------------ #
+    # dispatch core (shared bookkeeping)
+
+    def _dispatch(self, fn: Callable, bounds: Bounds,
+                  args: tuple) -> list[Any]:
+        if self._closed:
+            raise RuntimeError("team is closed")
+        published_at = time.perf_counter()
+        replies = self._transport(fn, bounds, args)
+        done_at = time.perf_counter()
+        self.recorder.record(published_at, done_at, replies)
+        for reply in replies:
+            if not reply.ok:
+                raise_reply_error(reply)
+        return [reply.value for reply in replies]
+
     def parallel_for(self, n: int, fn: Callable, *args: Any) -> list[Any]:
         """Block-partition ``range(n)``; worker ``r`` runs ``fn(lo_r, hi_r, *args)``.
 
         Implicit barrier on return.  Returns per-worker results in rank order.
         """
+        return self._dispatch(fn, self.plan.bounds(n), args)
 
-    @abstractmethod
     def run_on_all(self, fn: Callable, *args: Any) -> list[Any]:
         """Every worker runs ``fn(rank, nworkers, *args)`` once; barrier."""
+        return self._dispatch(fn, self.plan.ranks, args)
 
     def shared(self, shape: Sequence[int] | int, dtype=np.float64) -> np.ndarray:
         """Allocate a zero-initialized array visible to all team members."""
@@ -66,7 +128,12 @@ class Team(ABC):
         return float(sum(self.parallel_for(n, fn, *args)))
 
     def close(self) -> None:
-        """Shut workers down and release shared resources (idempotent)."""
+        """Shut workers down and release shared resources (idempotent).
+
+        After ``close()`` every backend rejects further dispatches with
+        ``RuntimeError``.  Subclasses must call ``super().close()``.
+        """
+        self._closed = True
 
     def __enter__(self) -> "Team":
         return self

@@ -4,8 +4,8 @@ The reproduction notes for this paper flag the CPython GIL as the obstacle
 to Java-style thread scalability, and call for a NumPy/multiprocessing
 rework.  This backend is that rework: persistent forked worker processes,
 benchmark arrays placed in ``multiprocessing.shared_memory`` segments, and
-slab tasks shipped over pipes as (function, argument) pairs with shared
-arrays passed *by reference* (name + shape + dtype), never by value.
+slab tasks shipped over pipes as (function, bounds, arguments) tuples with
+shared arrays passed *by reference* (name + shape + dtype), never by value.
 
 Constraints (enforced by convention across the suite):
 
@@ -13,14 +13,18 @@ Constraints (enforced by convention across the suite):
 * mutable arrays must come from ``team.shared(...)``;
 * other arguments are pickled by value and therefore treated as read-only.
 
-The master's ``parallel_for`` waits for every worker's reply, which doubles
-as the barrier, mirroring the thread backend.
+The task/result/error bookkeeping lives in the shared dispatch core
+(:meth:`repro.team.base.Team._dispatch`); this module provides only the
+pipe transport.  Worker replies carry the worker's own ``perf_counter``
+start/finish stamps (CLOCK_MONOTONIC, shared across processes on Linux),
+so the core's dispatch/execute/barrier split works identically here.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import time
 import traceback
 from dataclasses import dataclass
 from multiprocessing import shared_memory
@@ -28,8 +32,13 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+# Re-exported here for backwards compatibility; defined with the runtime's
+# dispatch types.
+from repro.runtime.dispatch import WorkerError, WorkerReply
+from repro.runtime.plan import Bounds
 from repro.team.base import Team
-from repro.team.partition import partition_bounds
+
+__all__ = ["ProcessTeam", "SharedArrayRef", "WorkerError"]
 
 
 @dataclass(frozen=True)
@@ -41,7 +50,7 @@ class SharedArrayRef:
     dtype: str
 
 
-def _worker_main(rank: int, nworkers: int, conn) -> None:
+def _worker_main(rank: int, conn) -> None:
     """Worker loop: resolve array refs, run the slab task, reply."""
     attached: dict[str, tuple[shared_memory.SharedMemory, None]] = {}
 
@@ -65,25 +74,19 @@ def _worker_main(rank: int, nworkers: int, conn) -> None:
             msg = conn.recv()
             if msg is None:
                 break
-            kind, fn, args, n = msg
+            fn, a, b, args = msg
+            started_at = time.perf_counter()
             try:
-                args = tuple(resolve(a) for a in args)
-                if kind == "for":
-                    lo, hi = partition_bounds(n, nworkers, rank)
-                    result = fn(lo, hi, *args)
-                else:
-                    result = fn(rank, nworkers, *args)
-                conn.send(("ok", result))
+                args = tuple(resolve(x) for x in args)
+                ok, result = True, fn(a, b, *args)
             except BaseException:
-                conn.send(("err", traceback.format_exc()))
+                ok, result = False, traceback.format_exc()
+            finished_at = time.perf_counter()
+            conn.send((ok, result, started_at, finished_at))
     finally:
         for shm, _ in attached.values():
             shm.close()
         conn.close()
-
-
-class WorkerError(RuntimeError):
-    """A worker process raised; carries the remote traceback."""
 
 
 class ProcessTeam(Team):
@@ -92,9 +95,7 @@ class ProcessTeam(Team):
     backend = "process"
 
     def __init__(self, nworkers: int):
-        if nworkers < 1:
-            raise ValueError("nworkers must be >= 1")
-        self._nworkers = nworkers
+        super().__init__(nworkers)
         self._ctx = mp.get_context("fork")
         # Start the resource tracker now so every forked worker inherits it;
         # see the note in _worker_main's resolve().
@@ -105,21 +106,16 @@ class ProcessTeam(Team):
         self._array_ids: list[int] = []
         self._pipes: list = []
         self._procs: list = []
-        self._closed = False
         for rank in range(nworkers):
             parent, child = self._ctx.Pipe()
             proc = self._ctx.Process(
-                target=_worker_main, args=(rank, nworkers, child),
+                target=_worker_main, args=(rank, child),
                 daemon=True, name=f"npb-worker-{rank}",
             )
             proc.start()
             child.close()
             self._pipes.append(parent)
             self._procs.append(proc)
-
-    @property
-    def nworkers(self) -> int:
-        return self._nworkers
 
     # ------------------------------------------------------------------ #
 
@@ -163,33 +159,23 @@ class ProcessTeam(Team):
                     break
         return arg
 
-    def _dispatch(self, kind: str, n: int, fn: Callable, args: tuple) -> list[Any]:
-        if self._closed:
-            raise RuntimeError("team is closed")
+    def _transport(self, fn: Callable, bounds: Bounds,
+                   args: tuple) -> list[WorkerReply]:
         payload = tuple(self._translate(a) for a in args)
-        for pipe in self._pipes:
-            pipe.send((kind, fn, payload, n))
-        results: list[Any] = []
-        failure: str | None = None
-        for pipe in self._pipes:
-            status, value = pipe.recv()
-            if status == "err" and failure is None:
-                failure = value
-            results.append(value)
-        if failure is not None:
-            raise WorkerError(f"worker failed:\n{failure}")
-        return results
-
-    def parallel_for(self, n: int, fn: Callable, *args: Any) -> list[Any]:
-        return self._dispatch("for", n, fn, args)
-
-    def run_on_all(self, fn: Callable, *args: Any) -> list[Any]:
-        return self._dispatch("all", 0, fn, args)
+        for rank, pipe in enumerate(self._pipes):
+            a, b = bounds[rank]
+            pipe.send((fn, a, b, payload))
+        replies: list[WorkerReply] = []
+        for rank, pipe in enumerate(self._pipes):
+            ok, value, started_at, finished_at = pipe.recv()
+            replies.append(WorkerReply(rank, ok, value, started_at,
+                                       finished_at))
+        return replies
 
     def close(self) -> None:
         if self._closed:
             return
-        self._closed = True
+        super().close()
         for pipe in self._pipes:
             try:
                 pipe.send(None)

@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable
+import time
+from typing import Callable
 
+from repro.runtime.dispatch import WorkerReply
+from repro.runtime.plan import Bounds
 from repro.team.base import Team
 
 
@@ -12,17 +15,22 @@ class SerialTeam(Team):
 
     This is the baseline against which the paper measures thread overhead
     (its "Serial" column), and the correctness reference for the parallel
-    backends.
+    backends.  Its transport is a direct call, so a serial region's
+    ``dispatch``/``barrier`` overhead is (nearly) zero by construction.
     """
 
     backend = "serial"
 
-    @property
-    def nworkers(self) -> int:
-        return 1
+    def __init__(self):
+        super().__init__(1)
 
-    def parallel_for(self, n: int, fn: Callable, *args: Any) -> list[Any]:
-        return [fn(0, n, *args)]
-
-    def run_on_all(self, fn: Callable, *args: Any) -> list[Any]:
-        return [fn(0, 1, *args)]
+    def _transport(self, fn: Callable, bounds: Bounds,
+                   args: tuple) -> list[WorkerReply]:
+        a, b = bounds[0]
+        started_at = time.perf_counter()
+        try:
+            ok, value = True, fn(a, b, *args)
+        except BaseException as exc:
+            ok, value = False, exc
+        finished_at = time.perf_counter()
+        return [WorkerReply(0, ok, value, started_at, finished_at)]

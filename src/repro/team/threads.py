@@ -4,22 +4,29 @@ Section 4 of the paper: every benchmark object is a thread; the master
 switches workers between blocked and runnable states with ``wait()`` and
 ``notify()``.  Here each worker blocks on a shared condition variable until
 the master publishes a new task generation, executes its slab, and reports
-completion; the master's ``parallel_for`` returns only when all workers have
+completion; the master's dispatch returns only when all workers have
 checked in (the barrier).
 
 Python's GIL serializes interpreted bytecode, but NumPy kernels release the
 GIL, so slab-level NumPy work can overlap.  On this suite the backend's role
 is structural fidelity (overhead and synchronization behaviour) rather than
 raw speedup -- the process backend is the true-parallelism path.
+
+The task/result/error bookkeeping lives in the shared dispatch core
+(:meth:`repro.team.base.Team._dispatch`); this module provides only the
+condition-variable transport.
 """
 
 from __future__ import annotations
 
 import threading
+import time
+import warnings
 from typing import Any, Callable
 
+from repro.runtime.dispatch import WorkerReply
+from repro.runtime.plan import Bounds
 from repro.team.base import Team
-from repro.team.partition import partition_bounds
 
 
 class ThreadTeam(Team):
@@ -27,16 +34,14 @@ class ThreadTeam(Team):
 
     backend = "threads"
 
-    def __init__(self, nworkers: int):
-        if nworkers < 1:
-            raise ValueError("nworkers must be >= 1")
-        self._nworkers = nworkers
+    def __init__(self, nworkers: int, join_timeout: float = 5.0):
+        super().__init__(nworkers)
+        self._join_timeout = join_timeout
         self._cond = threading.Condition()
         self._generation = 0
         self._pending = 0
-        self._task: tuple[str, Callable, tuple, int] | None = None
-        self._results: list[Any] = [None] * nworkers
-        self._error: BaseException | None = None
+        self._task: tuple[Callable, Bounds, tuple] | None = None
+        self._replies: list[WorkerReply | None] = [None] * nworkers
         self._shutdown = False
         self._threads = [
             threading.Thread(
@@ -47,10 +52,6 @@ class ThreadTeam(Team):
         ]
         for t in self._threads:
             t.start()
-
-    @property
-    def nworkers(self) -> int:
-        return self._nworkers
 
     # ------------------------------------------------------------------ #
 
@@ -64,47 +65,34 @@ class ThreadTeam(Team):
                 if self._shutdown:
                     return
                 seen = self._generation
-                kind, fn, args, n = self._task
+                fn, bounds, args = self._task
+            a, b = bounds[rank]
+            started_at = time.perf_counter()
             try:
-                if kind == "for":
-                    lo, hi = partition_bounds(n, self._nworkers, rank)
-                    result = fn(lo, hi, *args)
-                else:  # "all"
-                    result = fn(rank, self._nworkers, *args)
-            except BaseException as exc:  # propagate to master
-                result = None
-                with self._cond:
-                    if self._error is None:
-                        self._error = exc
+                ok, value = True, fn(a, b, *args)
+            except BaseException as exc:  # captured; the core re-raises
+                ok, value = False, exc
+            finished_at = time.perf_counter()
+            reply = WorkerReply(rank, ok, value, started_at, finished_at)
             with self._cond:
-                self._results[rank] = result
+                self._replies[rank] = reply
                 self._pending -= 1
                 if self._pending == 0:
                     self._cond.notify_all()
 
-    def _dispatch(self, kind: str, n: int, fn: Callable, args: tuple) -> list[Any]:
+    def _transport(self, fn: Callable, bounds: Bounds,
+                   args: tuple) -> list[WorkerReply]:
         with self._cond:
-            if self._shutdown:
-                raise RuntimeError("team is closed")
-            self._task = (kind, fn, args, n)
-            self._results = [None] * self._nworkers
-            self._error = None
+            self._task = (fn, bounds, args)
+            self._replies = [None] * self._nworkers
             self._pending = self._nworkers
             self._generation += 1
             self._cond.notify_all()  # runnable state
             while self._pending > 0:
                 self._cond.wait()
-            if self._error is not None:
-                raise self._error
-            return list(self._results)
+            return list(self._replies)
 
     # ------------------------------------------------------------------ #
-
-    def parallel_for(self, n: int, fn: Callable, *args: Any) -> list[Any]:
-        return self._dispatch("for", n, fn, args)
-
-    def run_on_all(self, fn: Callable, *args: Any) -> list[Any]:
-        return self._dispatch("all", 0, fn, args)
 
     def close(self) -> None:
         with self._cond:
@@ -112,5 +100,16 @@ class ThreadTeam(Team):
                 return
             self._shutdown = True
             self._cond.notify_all()
+        super().close()
+        leaked = []
         for t in self._threads:
-            t.join(timeout=5.0)
+            t.join(timeout=self._join_timeout)
+            if t.is_alive():
+                leaked.append(t.name)
+        if leaked:
+            warnings.warn(
+                f"ThreadTeam.close: worker threads failed to join within "
+                f"{self._join_timeout}s and were leaked (daemon): {leaked}",
+                RuntimeWarning,
+                stacklevel=2,
+            )

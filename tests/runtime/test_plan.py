@@ -1,0 +1,57 @@
+"""Tests for ExecutionPlan memoization and partition correctness."""
+
+import pytest
+
+from repro.runtime.partition import block_partition, partition_bounds
+from repro.runtime.plan import ExecutionPlan
+
+
+class TestExecutionPlan:
+    def test_bounds_match_partition(self):
+        plan = ExecutionPlan(3)
+        assert plan.bounds(10) == tuple(
+            partition_bounds(10, 3, r) for r in range(3))
+
+    def test_bounds_tile_range(self):
+        plan = ExecutionPlan(4)
+        for n in (0, 1, 3, 4, 17, 100):
+            flat = [i for lo, hi in plan.bounds(n) for i in range(lo, hi)]
+            assert flat == list(range(n))
+
+    def test_memoizes_per_extent(self):
+        plan = ExecutionPlan(2)
+        first = plan.bounds(50)
+        second = plan.bounds(50)
+        assert first is second
+        assert plan.cache_info() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_distinct_extents_cached_separately(self):
+        plan = ExecutionPlan(2)
+        plan.bounds(10)
+        plan.bounds(20)
+        plan.bounds(10)
+        info = plan.cache_info()
+        assert info["entries"] == 2
+        assert info["misses"] == 2
+        assert info["hits"] == 1
+
+    def test_bounds_for_single_rank(self):
+        plan = ExecutionPlan(3)
+        assert plan.bounds_for(10, 1) == partition_bounds(10, 3, 1)
+
+    def test_ranks_pairs(self):
+        plan = ExecutionPlan(3)
+        assert plan.ranks == ((0, 3), (1, 3), (2, 3))
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ExecutionPlan(0)
+
+    def test_compat_reexport(self):
+        # team.partition must keep working as an import path.
+        from repro.team.partition import (
+            block_partition as bp,
+            partition_bounds as pb,
+        )
+        assert bp is block_partition
+        assert pb is partition_bounds

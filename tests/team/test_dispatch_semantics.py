@@ -1,0 +1,175 @@
+"""Shared dispatch-semantics suite: every backend, same contract.
+
+The dispatch core (``Team._dispatch``) owns closed-team checks, error
+propagation, rank-ordered results, plan memoization, and instrumentation;
+these tests pin that contract across the serial, thread, and process
+transports, including the lifecycle paths the per-backend suites used to
+cover unevenly (exception propagation leaves the team reusable; any
+dispatch after ``close()`` raises ``RuntimeError``).
+"""
+
+import threading
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.runtime.dispatch import WorkerError
+from repro.runtime.region import UNATTRIBUTED
+from repro.team import ProcessTeam, SerialTeam, ThreadTeam, make_team
+
+BACKENDS = ["serial", "threads", "process"]
+
+
+def _make(backend):
+    return make_team(backend, 1 if backend == "serial" else 2)
+
+
+# Module-level task functions (picklable for the process backend).
+
+def fill_slab(lo, hi, out, value):
+    out[lo:hi] = value
+
+
+def slab_bounds(lo, hi):
+    return (lo, hi)
+
+
+def failing_task(lo, hi):
+    raise ValueError("deliberate failure")
+
+
+def failing_for_first_rank(lo, hi, flags):
+    if lo == 0:
+        raise ValueError("deliberate failure")
+    flags[lo:hi] = 1.0
+
+
+@pytest.fixture(params=BACKENDS)
+def team(request):
+    with _make(request.param) as t:
+        yield t
+
+
+class TestExceptionPropagation:
+    def test_worker_error_reaches_master(self, team):
+        with pytest.raises((ValueError, WorkerError),
+                           match="deliberate failure"):
+            team.parallel_for(10, failing_task)
+
+    def test_run_on_all_error_reaches_master(self, team):
+        with pytest.raises((ValueError, WorkerError),
+                           match="deliberate failure"):
+            team.run_on_all(failing_task)
+
+    def test_team_reusable_after_error(self, team):
+        with pytest.raises((ValueError, WorkerError)):
+            team.parallel_for(10, failing_task)
+        out = team.shared(10)
+        team.parallel_for(10, fill_slab, out, 2.0)
+        assert np.all(out == 2.0)
+
+    def test_partial_failure_still_propagates(self, team):
+        flags = team.shared(16)
+        with pytest.raises((ValueError, WorkerError)):
+            team.parallel_for(16, failing_for_first_rank, flags)
+        # ...and the team stays usable afterwards.
+        team.parallel_for(16, fill_slab, flags, 3.0)
+        assert np.all(flags == 3.0)
+
+
+class TestClosedTeam:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_parallel_for_after_close_raises(self, backend):
+        team = _make(backend)
+        team.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            team.parallel_for(4, slab_bounds)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_run_on_all_after_close_raises(self, backend):
+        team = _make(backend)
+        team.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            team.run_on_all(slab_bounds)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_close_idempotent(self, backend):
+        team = _make(backend)
+        team.close()
+        team.close()
+        assert team.closed
+
+
+class TestInstrumentation:
+    def test_dispatch_records_into_recorder(self, team):
+        out = team.shared(32)
+        team.parallel_for(32, fill_slab, out, 1.0)
+        stats = team.recorder.stats(UNATTRIBUTED)
+        assert stats.calls == 1
+        assert stats.execute_seconds > 0.0
+        assert stats.wall_seconds >= 0.0
+
+    def test_named_region_attribution(self, team):
+        out = team.shared(32)
+        team.recorder.push("phase")
+        try:
+            team.parallel_for(32, fill_slab, out, 1.0)
+            team.parallel_for(32, fill_slab, out, 2.0)
+        finally:
+            team.recorder.pop()
+        assert team.recorder.stats("phase").calls == 2
+
+    def test_worker_timing_is_consistent(self, team):
+        out = team.shared(8)
+        team.parallel_for(8, fill_slab, out, 1.0)
+        stats = team.recorder.stats(UNATTRIBUTED)
+        # Per-worker components are non-negative and bounded by the
+        # master's wall time per worker.
+        assert stats.dispatch_seconds >= 0.0
+        assert stats.barrier_seconds >= 0.0
+        assert stats.execute_seconds <= stats.wall_seconds * team.nworkers + 1e-6
+
+
+class TestPlanMemoization:
+    def test_repeated_extents_hit_cache(self, team):
+        out = team.shared(100)
+        for _ in range(5):
+            team.parallel_for(100, fill_slab, out, 1.0)
+        info = team.plan.cache_info()
+        assert info["misses"] == 1
+        assert info["hits"] == 4
+
+    def test_run_on_all_uses_precomputed_ranks(self, team):
+        team.run_on_all(slab_bounds)
+        # rank pairs are precomputed at construction, never via bounds()
+        assert team.plan.cache_info()["entries"] == 0
+
+
+class TestThreadTeamClose:
+    def test_close_warns_when_worker_cannot_join(self):
+        release = threading.Event()
+        started = threading.Event()
+
+        def stuck_task_signalling(lo, hi):
+            started.set()
+            release.wait(timeout=10.0)
+
+        team = ThreadTeam(1, join_timeout=0.05)
+        dispatcher = threading.Thread(
+            target=lambda: team.parallel_for(1, stuck_task_signalling),
+            daemon=True)
+        dispatcher.start()
+        # Wait until the worker is actually inside the task, so close()'s
+        # join must time out.
+        assert started.wait(timeout=5.0)
+        with pytest.warns(RuntimeWarning, match="failed to join"):
+            team.close()
+        release.set()
+        dispatcher.join(timeout=5.0)
+
+    def test_close_without_stuck_workers_is_silent(self):
+        team = ThreadTeam(2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            team.close()
