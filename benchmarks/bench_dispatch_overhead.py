@@ -18,6 +18,7 @@ import pytest
 
 from repro.runtime.plan import ExecutionPlan
 from repro.team import ProcessTeam, SerialTeam, ThreadTeam
+from nas_bench_util import attach_timing_summary
 
 #: A loop extent typical of the suite's hot dispatches (CG.S rows).
 EXTENT = 1400
@@ -39,6 +40,7 @@ class TestPlanMemoization:
 
         benchmark(cold)
         benchmark.extra_info["variant"] = "cold (recompute per call)"
+        attach_timing_summary(benchmark)
 
     def test_plan_warm(self, benchmark):
         """Memoized lookup, the dispatch hot path after the refactor."""
@@ -46,6 +48,7 @@ class TestPlanMemoization:
         plan.bounds(EXTENT)  # prime
         benchmark(lambda: plan.bounds(EXTENT))
         benchmark.extra_info["variant"] = "warm (memoized)"
+        attach_timing_summary(benchmark)
         assert plan.misses == 1
 
 
@@ -57,18 +60,21 @@ class TestDispatchFloor:
             team.parallel_for(EXTENT, noop_task)  # prime plan
             benchmark(lambda: team.parallel_for(EXTENT, noop_task))
             benchmark.extra_info["backend"] = "serial"
+            attach_timing_summary(benchmark)
 
     def test_thread_team_dispatch(self, benchmark):
         with ThreadTeam(WORKERS) as team:
             team.parallel_for(EXTENT, noop_task)
             benchmark(lambda: team.parallel_for(EXTENT, noop_task))
             benchmark.extra_info["backend"] = f"threads x{WORKERS}"
+            attach_timing_summary(benchmark)
 
     def test_process_team_dispatch(self, benchmark):
         with ProcessTeam(2) as team:
             team.parallel_for(EXTENT, noop_task)
             benchmark(lambda: team.parallel_for(EXTENT, noop_task))
             benchmark.extra_info["backend"] = "process x2"
+            attach_timing_summary(benchmark)
 
 
 @pytest.mark.parametrize("nworkers", [1, 2, 4])
@@ -78,3 +84,4 @@ def test_plan_scales_with_workers(benchmark, nworkers):
     plan.bounds(EXTENT)
     benchmark(lambda: plan.bounds(EXTENT))
     benchmark.extra_info["nworkers"] = nworkers
+    attach_timing_summary(benchmark)

@@ -7,7 +7,7 @@ serial backend, one worker thread, and one worker process.
 
 import pytest
 
-from repro.team import ProcessTeam, SerialTeam, ThreadTeam
+from repro.team import ProcessTeam, ThreadTeam
 from nas_bench_util import run_timed_region
 
 CASES = ["CG", "MG"]

@@ -4,10 +4,16 @@ Each ``bench_tableN_*.py`` module does two things:
 
 1. measures the real implementations on this host with pytest-benchmark
    (class S by default so the suite stays fast; pass a larger class via
-   the NPB_BENCH_CLASS environment variable);
+   the NPB_BENCH_CLASS environment variable, more rounds via
+   NPB_BENCH_ROUNDS);
 2. attaches the simulated table for the paper's machine to the benchmark
    record (``extra_info``), so a single run carries both the measured and
    the reproduced-table data.
+
+Timing statistics go through :mod:`repro.harness.stats` -- the same
+min-of-k / median / MAD summary the ``npb bench`` trajectory records use
+-- so pytest-benchmark runs and ``BENCH_*.json`` cells stay directly
+comparable.
 """
 
 from __future__ import annotations
@@ -15,13 +21,34 @@ from __future__ import annotations
 import os
 
 from repro.core.registry import get_benchmark
-from repro.harness import format_table, generate_table
+from repro.harness import format_table, generate_table, summarize
 
 #: Problem class for measured runs (override: NPB_BENCH_CLASS=W).
 BENCH_CLASS = os.environ.get("NPB_BENCH_CLASS", "S")
 
+#: Rounds per timed region (override: NPB_BENCH_ROUNDS=5 for MAD bars).
+BENCH_ROUNDS = int(os.environ.get("NPB_BENCH_ROUNDS", "1"))
+
 #: Benchmarks in the paper's table order.
 TABLE_BENCHMARKS = ("BT", "SP", "LU", "FT", "IS", "CG", "MG")
+
+
+def attach_timing_summary(benchmark) -> None:
+    """Summarize the measured rounds with the shared trajectory stats.
+
+    Attaches ``best/median/mad`` seconds to ``extra_info`` under the same
+    field names a ``BENCH_*.json`` cell uses, so a pytest-benchmark run
+    can be eyeballed against the bench trajectory without conversion.
+    """
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    data = getattr(stats, "data", None)
+    if not data:
+        return
+    summary = summarize(data)
+    benchmark.extra_info["best_seconds"] = summary.best
+    benchmark.extra_info["median_seconds"] = summary.median
+    benchmark.extra_info["mad_seconds"] = summary.mad
+    benchmark.extra_info["repeats"] = summary.repeats
 
 
 def run_timed_region(benchmark, name: str, problem_class: str = None,
@@ -40,11 +67,12 @@ def run_timed_region(benchmark, name: str, problem_class: str = None,
         return (), {}
 
     benchmark.pedantic(lambda: instances[-1]._iterate(), setup=make,
-                       rounds=1, iterations=1)
+                       rounds=BENCH_ROUNDS, iterations=1)
     result = instances[-1].verify()
     assert result.verified, result.summary()
     benchmark.extra_info["verified"] = True
     benchmark.extra_info["class"] = problem_class
+    attach_timing_summary(benchmark)
 
 
 def attach_simulated_table(benchmark, number: int) -> None:

@@ -32,7 +32,6 @@ the paper's multithreaded basic-op measurements.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
 
 import numpy as np
 

@@ -26,6 +26,11 @@ from repro.common.verification import VerificationResult
 from repro.runtime.region import ParallelRegion
 from repro.team import SerialTeam, Team
 
+#: Version of the ``to_dict()`` run-record layout (the ``--json`` output
+#: and the per-cell payload embedded in ``BENCH_*.json`` trajectory
+#: records); bump on any breaking change to the schema.
+RUN_RECORD_SCHEMA_VERSION = 1
+
 
 @dataclass
 class BenchmarkResult:
@@ -52,6 +57,7 @@ class BenchmarkResult:
     def to_dict(self) -> dict:
         """Machine-readable run record (the ``--json`` output)."""
         return {
+            "schema_version": RUN_RECORD_SCHEMA_VERSION,
             "benchmark": self.name,
             "problem_class": self.problem_class,
             "backend": self.backend,

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.common.randdp import A_DEFAULT, Randlc, ipow46
+from repro.common.randdp import A_DEFAULT, Randlc
 from repro.common.verification import VerificationResult
 from repro.core.benchmark import NPBenchmark
 from repro.core.registry import register

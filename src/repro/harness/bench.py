@@ -1,0 +1,452 @@
+"""Benchmark-trajectory subsystem: ``npb bench`` records and comparator.
+
+The source paper's contribution is a set of measured tables; this module
+gives the reproduction the same discipline over time.  ``npb bench`` runs
+a configurable set of *cells* -- ``(benchmark, class, backend, workers)``
+whole-benchmark runs plus the Table-1 basic-operation kernels -- with
+``--repeat N`` min-of-k timing (:mod:`repro.harness.stats`), stamps an
+environment fingerprint, and appends a schema-versioned ``BENCH_<seq>.json``
+record to the repository's perf trajectory.  Each benchmark cell carries
+its per-region dispatch/execute/barrier split
+(:mod:`repro.runtime.region`), so a regression can be localized to a phase
+without rerunning anything.
+
+``npb bench --compare BASELINE.json [CANDIDATE.json]`` matches cells
+between two records and issues a noise-aware verdict per cell: a slowdown
+is a *regression* only when it exceeds ``max(tolerance, k * MAD / best)``,
+i.e. the configured tolerance or the measured run-to-run noise of the two
+records, whichever is larger.  The command exits nonzero on any
+regression, which is what lets CI gate on it (see docs/benchmarking.md).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import re
+import subprocess
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import run_benchmark
+from repro.core import basic_ops
+from repro.harness.stats import summarize, time_callable
+
+#: Version of the BENCH_*.json record layout.
+SCHEMA_VERSION = 1
+
+#: The ``kind`` tag every record carries (guards against loading foreign JSON).
+RECORD_KIND = "npb-bench-record"
+
+#: Trajectory file naming: BENCH_0001.json, BENCH_0002.json, ...
+RECORD_PATTERN = re.compile(r"^BENCH_(\d{4})\.json$")
+
+#: Relative slowdown tolerated before the noise term kicks in (10%).
+DEFAULT_TOLERANCE = 0.10
+
+#: ``k`` in the ``k * MAD / best`` noise band of the comparator.
+DEFAULT_MAD_MULTIPLIER = 3.0
+
+#: Absolute seconds a cell may slow down regardless of ratio: sub-10ms
+#: cells (IS.S, the small kernels) jitter by whole scheduler quanta on a
+#: busy host, so their *relative* band must widen with 1/best.
+DEFAULT_ABS_SLACK = 0.005
+
+
+# ===================================================================== #
+# cells
+# ===================================================================== #
+
+
+@dataclass(frozen=True)
+class BenchCell:
+    """One whole-benchmark trajectory cell."""
+
+    benchmark: str
+    problem_class: str
+    backend: str
+    workers: int
+
+    @property
+    def cell_id(self) -> str:
+        return (
+            f"{self.benchmark}.{self.problem_class}."
+            f"{self.backend}.x{self.workers}"
+        )
+
+    @classmethod
+    def parse(cls, spec: str) -> "BenchCell":
+        """Parse a ``BENCH:CLASS:BACKEND:WORKERS`` spec (``CG:S:threads:2``)."""
+        parts = spec.split(":")
+        if len(parts) != 4:
+            raise ValueError(
+                f"cell spec {spec!r} is not BENCHMARK:CLASS:BACKEND:WORKERS"
+            )
+        name, problem_class, backend, workers = parts
+        return cls(name.upper(), problem_class.upper(), backend, int(workers))
+
+
+@dataclass(frozen=True)
+class KernelCell:
+    """One Table-1 basic-operation trajectory cell."""
+
+    op: str
+    style: str
+    grid: tuple[int, int, int]
+
+    @property
+    def cell_id(self) -> str:
+        nx, ny, nz = self.grid
+        return f"basic_op.{self.op}.{self.style}.{nx}x{ny}x{nz}"
+
+
+#: Class-S cell set small enough for shared CI runners (``--quick``).
+QUICK_CELLS: tuple[BenchCell, ...] = (
+    BenchCell("CG", "S", "serial", 1),
+    BenchCell("MG", "S", "serial", 1),
+    BenchCell("IS", "S", "serial", 1),
+    BenchCell("FT", "S", "serial", 1),
+    BenchCell("CG", "S", "threads", 2),
+    BenchCell("MG", "S", "threads", 2),
+)
+
+#: Default cell set: the full suite serially plus the paper's interesting
+#: parallel cases (LU sync overhead under threads, EP under processes).
+#: QUICK_CELLS is a subset, so a full baseline can gate quick CI runs.
+FULL_CELLS: tuple[BenchCell, ...] = (
+    BenchCell("BT", "S", "serial", 1),
+    BenchCell("SP", "S", "serial", 1),
+    BenchCell("LU", "S", "serial", 1),
+    BenchCell("FT", "S", "serial", 1),
+    BenchCell("MG", "S", "serial", 1),
+    BenchCell("CG", "S", "serial", 1),
+    BenchCell("IS", "S", "serial", 1),
+    BenchCell("EP", "S", "serial", 1),
+    BenchCell("CG", "S", "threads", 2),
+    BenchCell("MG", "S", "threads", 2),
+    BenchCell("FT", "S", "threads", 2),
+    BenchCell("LU", "S", "threads", 2),
+    BenchCell("EP", "S", "process", 2),
+)
+
+_QUICK_GRID = basic_ops.SMALL_GRID
+_FULL_GRID = (24, 24, 30)
+
+
+def _kernel_cells(style: str, grid: tuple[int, int, int]) -> tuple[KernelCell, ...]:
+    return tuple(KernelCell(op, style, grid) for op in basic_ops.OPERATIONS)
+
+
+#: Table-1 kernels for --quick: the NumPy (f77 role) style on the small grid.
+QUICK_KERNELS: tuple[KernelCell, ...] = _kernel_cells("numpy", _QUICK_GRID)
+
+#: Default kernels: both paper roles; the quick set is again a subset.
+FULL_KERNELS: tuple[KernelCell, ...] = (
+    QUICK_KERNELS
+    + _kernel_cells("numpy", _FULL_GRID)
+    + _kernel_cells("python", _QUICK_GRID)
+)
+
+
+# ===================================================================== #
+# environment fingerprint
+# ===================================================================== #
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def environment_fingerprint() -> dict:
+    """Stamp that makes two records comparable (or explains why not)."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "hostname": platform.node(),
+        "git_sha": _git_sha(),
+    }
+
+
+# ===================================================================== #
+# suite runner
+# ===================================================================== #
+
+
+def run_bench_cell(cell: BenchCell, repeat: int) -> dict:
+    """Run one benchmark cell ``repeat`` times; keep the best run's detail."""
+    results = []
+    for _ in range(repeat):
+        results.append(
+            run_benchmark(
+                cell.benchmark, cell.problem_class, cell.backend, cell.workers
+            )
+        )
+    times = [r.time_seconds for r in results]
+    summary = summarize(times)
+    best = results[times.index(summary.best)]
+    record = {
+        "id": cell.cell_id,
+        "kind": "benchmark",
+        "benchmark": cell.benchmark,
+        "problem_class": cell.problem_class,
+        "backend": cell.backend,
+        "workers": cell.workers,
+        "verified": all(r.verified for r in results),
+        "mops": best.mops,
+        "regions": {name: dict(stats) for name, stats in best.regions.items()},
+    }
+    record.update(summary.as_dict())
+    return record
+
+
+def run_kernel_cell(cell: KernelCell, repeat: int) -> dict:
+    """Time one Table-1 basic operation ``repeat`` times."""
+    workload = basic_ops.make_workload(cell.grid)
+    summary = time_callable(
+        lambda: basic_ops.run_operation(cell.op, cell.style, workload),
+        repeat=repeat,
+    )
+    record = {
+        "id": cell.cell_id,
+        "kind": "basic_op",
+        "op": cell.op,
+        "style": cell.style,
+        "grid": list(cell.grid),
+        "verified": True,
+    }
+    record.update(summary.as_dict())
+    return record
+
+
+def run_suite(
+    cells=FULL_CELLS,
+    kernels=FULL_KERNELS,
+    repeat: int = 3,
+    quick: bool = False,
+    progress=None,
+) -> dict:
+    """Run the suite and return a schema-versioned trajectory record."""
+    measured = []
+    for cell in tuple(cells) + tuple(kernels):
+        if progress is not None:
+            progress(f"  bench {cell.cell_id} (repeat {repeat})")
+        if isinstance(cell, BenchCell):
+            measured.append(run_bench_cell(cell, repeat))
+        else:
+            measured.append(run_kernel_cell(cell, repeat))
+    return {
+        "kind": RECORD_KIND,
+        "schema_version": SCHEMA_VERSION,
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "environment": environment_fingerprint(),
+        "config": {
+            "repeat": repeat,
+            "quick": quick,
+            "cells": [c.cell_id for c in cells],
+            "kernels": [k.cell_id for k in kernels],
+        },
+        "cells": measured,
+    }
+
+
+# ===================================================================== #
+# record IO (the BENCH_<seq>.json trajectory)
+# ===================================================================== #
+
+
+def next_sequence(directory: str = ".") -> int:
+    """1 + the highest BENCH_<seq>.json already in ``directory``."""
+    highest = 0
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        names = []
+    for name in names:
+        match = RECORD_PATTERN.match(name)
+        if match:
+            highest = max(highest, int(match.group(1)))
+    return highest + 1
+
+
+def write_record(record: dict, directory: str = ".", path: str | None = None) -> str:
+    """Write ``record``; default name continues the trajectory sequence."""
+    if path is None:
+        sequence = next_sequence(directory)
+        path = os.path.join(directory, f"BENCH_{sequence:04d}.json")
+        record = dict(record, sequence=sequence)
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+def load_record(path: str) -> dict:
+    """Load and sanity-check one trajectory record."""
+    with open(path) as fh:
+        record = json.load(fh)
+    if not isinstance(record, dict) or record.get("kind") != RECORD_KIND:
+        raise ValueError(f"{path}: not an {RECORD_KIND} file")
+    version = record.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {version!r} (this tool reads "
+            f"{SCHEMA_VERSION}); refresh the record with 'npb bench'"
+        )
+    return record
+
+
+# ===================================================================== #
+# regression comparator
+# ===================================================================== #
+
+
+@dataclass(frozen=True)
+class CellDelta:
+    """Comparison of one cell between a baseline and a candidate record."""
+
+    cell_id: str
+    base_seconds: float
+    cand_seconds: float
+    threshold: float
+    verdict: str  # "ok" | "regression" | "improved"
+
+    @property
+    def ratio(self) -> float:
+        """candidate / baseline best time (> 1 means slower)."""
+        return self.cand_seconds / max(self.base_seconds, 1e-12)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Full comparator output for one (baseline, candidate) pair."""
+
+    deltas: tuple[CellDelta, ...]
+    missing: tuple[str, ...]  # cells only in the baseline
+    added: tuple[str, ...]  # cells only in the candidate
+
+    @property
+    def regressions(self) -> tuple[CellDelta, ...]:
+        return tuple(d for d in self.deltas if d.verdict == "regression")
+
+    @property
+    def improvements(self) -> tuple[CellDelta, ...]:
+        return tuple(d for d in self.deltas if d.verdict == "improved")
+
+    def as_dict(self) -> dict:
+        return {
+            "cells": [
+                {
+                    "id": d.cell_id,
+                    "base_seconds": d.base_seconds,
+                    "candidate_seconds": d.cand_seconds,
+                    "ratio": d.ratio,
+                    "threshold": d.threshold,
+                    "verdict": d.verdict,
+                }
+                for d in self.deltas
+            ],
+            "missing": list(self.missing),
+            "added": list(self.added),
+            "regressions": len(self.regressions),
+            "improvements": len(self.improvements),
+        }
+
+
+def cell_threshold(
+    base: dict,
+    cand: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    mad_multiplier: float = DEFAULT_MAD_MULTIPLIER,
+    abs_slack: float = DEFAULT_ABS_SLACK,
+) -> float:
+    """Relative slowdown a cell may show before it counts as a regression.
+
+    ``max(tolerance, k * MAD / best, abs_slack / best)``: the static
+    tolerance, widened by the measured run-to-run noise of whichever
+    record is noisier, widened again for cells so short that a single
+    scheduler quantum dwarfs them.  A cell whose repeats scatter (small
+    class-S kernels, shared runners) thereby gates itself more loosely
+    instead of flapping.
+    """
+    base_best = max(float(base["best_seconds"]), 1e-12)
+    noise = max(
+        float(base.get("mad_seconds", 0.0)),
+        float(cand.get("mad_seconds", 0.0)),
+    )
+    return max(
+        tolerance,
+        mad_multiplier * noise / base_best,
+        abs_slack / base_best,
+    )
+
+
+def compare_records(
+    baseline: dict,
+    candidate: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    mad_multiplier: float = DEFAULT_MAD_MULTIPLIER,
+    abs_slack: float = DEFAULT_ABS_SLACK,
+) -> Comparison:
+    """Match cells by id and issue a noise-aware verdict per matched cell."""
+    base_cells = {cell["id"]: cell for cell in baseline["cells"]}
+    cand_cells = {cell["id"]: cell for cell in candidate["cells"]}
+    deltas = []
+    for cell_id, base in base_cells.items():
+        cand = cand_cells.get(cell_id)
+        if cand is None:
+            continue
+        threshold = cell_threshold(base, cand, tolerance, mad_multiplier, abs_slack)
+        base_best = max(float(base["best_seconds"]), 1e-12)
+        ratio = float(cand["best_seconds"]) / base_best
+        if ratio > 1.0 + threshold:
+            verdict = "regression"
+        elif ratio < 1.0 - threshold:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        deltas.append(
+            CellDelta(
+                cell_id=cell_id,
+                base_seconds=float(base["best_seconds"]),
+                cand_seconds=float(cand["best_seconds"]),
+                threshold=threshold,
+                verdict=verdict,
+            )
+        )
+    return Comparison(
+        deltas=tuple(deltas),
+        missing=tuple(i for i in base_cells if i not in cand_cells),
+        added=tuple(i for i in cand_cells if i not in base_cells),
+    )
+
+
+def latest_record_path(directory: str = ".") -> str | None:
+    """Path of the highest-sequence BENCH_<seq>.json, if any."""
+    best = None
+    best_seq = 0
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return None
+    for name in names:
+        match = RECORD_PATTERN.match(name)
+        if match and int(match.group(1)) >= best_seq:
+            best_seq = int(match.group(1))
+            best = os.path.join(directory, name)
+    return best

@@ -6,6 +6,9 @@ Subcommands::
                                        structured run record)
     npb verify -c S                    run + verify the whole suite
     npb profile LU -c S                per-region overhead breakdown
+    npb bench --quick --repeat 3       append a BENCH_<seq>.json record
+                                       to the perf trajectory
+    npb bench --compare BASE.json      noise-aware regression gate
     npb table 3 [--measured] [-c A]    regenerate a paper table
     npb tables [--measured]            regenerate all seven tables
     npb list                           list benchmarks and classes
@@ -19,6 +22,8 @@ import sys
 
 from repro import available_benchmarks, run_benchmark
 from repro.common.params import CLASS_ORDER
+from repro.harness.bench import (DEFAULT_ABS_SLACK, DEFAULT_MAD_MULTIPLIER,
+                                 DEFAULT_TOLERANCE)
 from repro.harness.report import format_table, region_profile_table
 from repro.harness.tables import TABLES, generate_table
 
@@ -73,6 +78,57 @@ def _cmd_profile(args) -> int:
     return 0 if result.verified else 1
 
 
+def _cmd_bench(args) -> int:
+    from repro.harness import bench
+    from repro.harness.report import bench_compare_table, bench_record_table
+
+    if args.compare:
+        baseline = bench.load_record(args.compare)
+        candidate_path = args.candidate or bench.latest_record_path(args.dir)
+        if candidate_path is None:
+            print(f"no BENCH_*.json candidate found in {args.dir!r}; "
+                  f"run 'npb bench' first or pass a candidate path",
+                  file=sys.stderr)
+            return 2
+        candidate = bench.load_record(candidate_path)
+        comparison = bench.compare_records(
+            baseline, candidate, tolerance=args.tolerance,
+            mad_multiplier=args.mad_multiplier, abs_slack=args.abs_slack)
+        if args.json:
+            print(json.dumps(comparison.as_dict(), indent=2))
+        else:
+            print(format_table(bench_compare_table(comparison)))
+        return 1 if comparison.regressions else 0
+
+    if args.cells:
+        cells = [bench.BenchCell.parse(spec)
+                 for spec in args.cells.split(",")]
+        kernels = []
+    elif args.quick:
+        cells = bench.QUICK_CELLS
+        kernels = bench.QUICK_KERNELS
+    else:
+        cells = bench.FULL_CELLS
+        kernels = bench.FULL_KERNELS
+    if args.no_kernels:
+        kernels = []
+    progress = None if args.json else print
+    record = bench.run_suite(cells, kernels, repeat=args.repeat,
+                             quick=args.quick, progress=progress)
+    path = bench.write_record(record, directory=args.dir, path=args.out)
+    if args.json:
+        print(json.dumps(bench.load_record(path), indent=2))
+    else:
+        print(format_table(bench_record_table(bench.load_record(path))))
+        print(f"wrote {path}")
+    unverified = [cell["id"] for cell in record["cells"]
+                  if not cell["verified"]]
+    if unverified:
+        print("UNVERIFIED cells: " + ", ".join(unverified), file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_table(args) -> int:
     mode = "measured" if args.measured else "simulated"
     numbers = [args.number] if args.number else list(TABLES)
@@ -113,7 +169,14 @@ def _cmd_speedup(args) -> int:
             t0 = time.perf_counter()
             parallel._iterate()
             elapsed = time.perf_counter() - t0
-            assert parallel.verify().verified
+            verification = parallel.verify()
+        if not verification.verified:
+            print(format_table(rows))
+            print(verification.summary())
+            print(f"FAIL: {name}.{args.problem_class} under "
+                  f"{args.backend} x{workers} did not verify; "
+                  f"speedups above are not trustworthy", file=sys.stderr)
+            return 1
         rows.add_row(f"{args.backend} x{workers} (this host)", elapsed,
                      serial / elapsed)
     print(format_table(rows))
@@ -179,6 +242,51 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit the run record plus plan-cache stats "
                               "as JSON")
     profile.set_defaults(fn=_cmd_profile)
+
+    bench = sub.add_parser(
+        "bench", help="append a BENCH_<seq>.json record to the perf "
+                      "trajectory, or gate a candidate record against a "
+                      "baseline (--compare)")
+    bench.add_argument("candidate", nargs="?", default=None,
+                       help="candidate record for --compare (default: the "
+                            "latest BENCH_*.json in --dir)")
+    bench.add_argument("--quick", action="store_true",
+                       help="small class-S cell set for shared CI runners")
+    bench.add_argument("-r", "--repeat", type=int, default=3,
+                       help="repeats per cell; best-of-k is recorded "
+                            "(default 3)")
+    bench.add_argument("--cells", default=None,
+                       help="comma-separated BENCH:CLASS:BACKEND:WORKERS "
+                            "specs overriding the cell set "
+                            "(e.g. CG:S:threads:2,LU:S:serial:1)")
+    bench.add_argument("--no-kernels", action="store_true",
+                       help="skip the Table-1 basic-operation kernels")
+    bench.add_argument("--dir", default=".",
+                       help="trajectory directory for BENCH_<seq>.json "
+                            "numbering (default .)")
+    bench.add_argument("--out", default=None,
+                       help="explicit output path (skips sequence "
+                            "numbering; useful in CI)")
+    bench.add_argument("--compare", metavar="BASELINE.json", default=None,
+                       help="compare a candidate record against this "
+                            "baseline instead of running; exits 1 on "
+                            "regression")
+    bench.add_argument("--tolerance", type=float,
+                       default=DEFAULT_TOLERANCE,
+                       help="relative slowdown tolerated before the noise "
+                            "term (default 0.10; CI uses 2.0 to gate only "
+                            ">3x blowups)")
+    bench.add_argument("--mad-multiplier", type=float,
+                       default=DEFAULT_MAD_MULTIPLIER,
+                       help="k in the max(tolerance, k*MAD/best) noise "
+                            "band (default 3.0)")
+    bench.add_argument("--abs-slack", type=float, default=DEFAULT_ABS_SLACK,
+                       help="absolute seconds of slowdown always tolerated "
+                            "(widens the band for sub-10ms cells; "
+                            "default 0.005)")
+    bench.add_argument("--json", action="store_true",
+                       help="print the record (or comparison) as JSON")
+    bench.set_defaults(fn=_cmd_bench)
 
     table = sub.add_parser("table", help="regenerate one paper table")
     table.add_argument("number", type=int, choices=TABLES)

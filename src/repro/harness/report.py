@@ -7,6 +7,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.benchmark import BenchmarkResult
+    from repro.harness.bench import Comparison
 
 
 @dataclass
@@ -82,6 +83,55 @@ def region_profile_table(result: "BenchmarkResult",
         table.notes.append(
             f"plan cache: {plan_info['entries']} partitions memoized, "
             f"{plan_info['hits']} hits / {plan_info['misses']} misses")
+    return table
+
+
+def bench_record_table(record: dict) -> Table:
+    """One row per trajectory cell of a ``BENCH_*.json`` record."""
+    env = record.get("environment", {})
+    sequence = record.get("sequence", "-")
+    table = Table(
+        f"Bench trajectory record #{sequence} "
+        f"(python {env.get('python', '?')}, numpy {env.get('numpy', '?')}, "
+        f"git {str(env.get('git_sha', '?'))[:10]})",
+        ["cell", "best s", "median s", "MAD s", "Mop/s", "verified"],
+    )
+    for cell in record.get("cells", []):
+        table.add_row(
+            cell["id"], cell["best_seconds"], cell["median_seconds"],
+            cell["mad_seconds"], cell.get("mops", float("nan")),
+            "yes" if cell.get("verified") else "NO",
+        )
+    table.notes.append(
+        f"min-of-{record.get('config', {}).get('repeat', '?')} timing; "
+        f"MAD is the run-to-run noise bar")
+    return table
+
+
+def bench_compare_table(comparison: "Comparison") -> Table:
+    """The comparator verdict table (``npb bench --compare``)."""
+    table = Table(
+        "Bench comparison: candidate vs baseline",
+        ["cell", "base s", "cand s", "delta %", "allowed %", "verdict"],
+    )
+    for delta in comparison.deltas:
+        table.add_row(
+            delta.cell_id, delta.base_seconds, delta.cand_seconds,
+            100.0 * (delta.ratio - 1.0), 100.0 * delta.threshold,
+            delta.verdict,
+        )
+    if comparison.missing:
+        table.notes.append(
+            "cells only in baseline (not compared): "
+            + ", ".join(comparison.missing))
+    if comparison.added:
+        table.notes.append(
+            "cells only in candidate (no baseline yet): "
+            + ", ".join(comparison.added))
+    table.notes.append(
+        f"{len(comparison.regressions)} regression(s), "
+        f"{len(comparison.improvements)} improvement(s); a slowdown is a "
+        f"regression only beyond max(tolerance, k*MAD/best)")
     return table
 
 

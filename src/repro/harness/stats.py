@@ -1,0 +1,95 @@
+"""Timing statistics shared by the bench trajectory and pytest-benchmark.
+
+The NPB tradition (and the source paper's methodology) reports the *best*
+of k repeats: the minimum is the run least perturbed by the OS, and on an
+otherwise idle machine it converges to the true cost of the code.  The
+median-absolute-deviation (MAD) of the repeats is kept alongside as the
+noise bar -- unlike the standard deviation it is robust to the occasional
+descheduled outlier that shared CI runners produce.
+
+Everything that times code in this repository (``npb bench`` cells, the
+``benchmarks/`` pytest-benchmark modules) summarizes its repeats through
+:func:`summarize`, so records from both paths carry the same fields and
+the regression comparator can reason about either.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+
+def median(values: Sequence[float]) -> float:
+    """Median of a non-empty sequence (no numpy needed on this path)."""
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        raise ValueError("median of an empty sequence")
+    mid = n // 2
+    if n % 2:
+        return float(ordered[mid])
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def mad(values: Sequence[float], center: float | None = None) -> float:
+    """Median absolute deviation around ``center`` (default: the median)."""
+    if center is None:
+        center = median(values)
+    return median([abs(v - center) for v in values])
+
+
+@dataclass(frozen=True)
+class TimingSummary:
+    """Min-of-k timing of one measured cell, with a robust noise bar."""
+
+    times: tuple[float, ...]
+    best: float
+    median: float
+    mad: float
+
+    @property
+    def repeats(self) -> int:
+        return len(self.times)
+
+    def as_dict(self) -> dict:
+        """The timing fields of a ``BENCH_*.json`` cell."""
+        return {
+            "repeats": self.repeats,
+            "times_seconds": list(self.times),
+            "best_seconds": self.best,
+            "median_seconds": self.median,
+            "mad_seconds": self.mad,
+        }
+
+
+def summarize(times: Iterable[float]) -> TimingSummary:
+    """Summarize one cell's repeat times (min-of-k + median + MAD)."""
+    ordered = tuple(float(t) for t in times)
+    if not ordered:
+        raise ValueError("summarize() needs at least one timing")
+    mid = median(ordered)
+    return TimingSummary(
+        times=ordered,
+        best=min(ordered),
+        median=mid,
+        mad=mad(ordered, center=mid),
+    )
+
+
+def time_callable(
+    fn: Callable[[], object],
+    repeat: int = 1,
+    setup: Callable[[], object] | None = None,
+) -> TimingSummary:
+    """Time ``fn`` ``repeat`` times (running ``setup`` untimed before each)."""
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    times = []
+    for _ in range(repeat):
+        if setup is not None:
+            setup()
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return summarize(times)

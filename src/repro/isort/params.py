@@ -22,7 +22,8 @@ class ISParams:
     max_key_log2: int
     test_index: tuple[int, ...]
     test_rank: tuple[int, ...]
-    #: (offset, sign) per test slot: expected rank = test_rank + sign*(iteration + offset)
+    #: (offset, sign) per test slot: expected rank is
+    #: test_rank + sign*(iteration + offset)
     rank_adjust: tuple[tuple[int, int], ...]
 
     @property

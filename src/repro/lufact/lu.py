@@ -127,7 +127,6 @@ def dgetrf_blocked(a_in: np.ndarray, block: int = 64
                                                    a[k, k + 1 : k1])
         if k1 < n:
             # U block: solve the unit-lower panel against columns k1:
-            lower = a[k0:k1, k0:k1]
             u_block = a[k0:k1, k1:]
             for k in range(k0, k1):  # forward substitution, vectorized rows
                 u_block[k - k0 + 1 :] += np.outer(

@@ -21,9 +21,9 @@ from repro.cg.params import cg_params
 from repro.cg.solver import CG_ITERATIONS
 from repro.common.randdp import A_DEFAULT, Randlc
 from repro.ep.benchmark import _batch_range
-from repro.ep.params import MK, NQ, ep_params
+from repro.ep.params import MK, ep_params
 from repro.mpi.comm import Communicator, mpi_run
-from repro.team.partition import block_partition, partition_bounds
+from repro.team.partition import partition_bounds
 
 CG_SEED = 314159265
 

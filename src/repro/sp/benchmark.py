@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.cfd.constants import CFDConstants
 from repro.cfd.exact_rhs import compute_forcing
 from repro.cfd.initialize import initialize

@@ -22,7 +22,7 @@ from __future__ import annotations
 import threading
 import time
 import warnings
-from typing import Any, Callable
+from typing import Callable
 
 from repro.runtime.dispatch import WorkerReply
 from repro.runtime.plan import Bounds

@@ -11,7 +11,7 @@ from repro.lu.setup import pintgr
 from repro.lu.sweep import hyperplanes
 from repro.sp import SP
 from repro.sp.solve import _build_lhs, _eliminate
-from repro.team import ProcessTeam, SerialTeam, ThreadTeam
+from repro.team import ProcessTeam, ThreadTeam
 
 
 class TestBT:

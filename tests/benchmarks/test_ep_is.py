@@ -5,7 +5,7 @@ import pytest
 
 from repro.ep import EP
 from repro.ep.benchmark import _batch_range, _batch_tallies
-from repro.ep.params import MK, NQ
+from repro.ep.params import MK
 from repro.isort import IS
 from repro.isort.benchmark import create_seq
 from repro.isort.params import is_params

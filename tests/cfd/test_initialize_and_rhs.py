@@ -9,7 +9,7 @@ from repro.cfd.exact_rhs import compute_forcing
 from repro.cfd.initialize import initialize
 from repro.cfd.norms import error_norm, rhs_norm
 from repro.cfd.rhs import fields_slab, rhs_slab
-from repro.team import SerialTeam, ThreadTeam
+from repro.team import ThreadTeam
 
 
 @pytest.fixture(scope="module")
@@ -27,7 +27,6 @@ def _alloc(c):
 def _compute_rhs(c, u, forcing, nslabs=1):
     fields = _alloc(c)
     rhs = np.zeros(u.shape)
-    team = SerialTeam()
     # emulate slab splitting manually to test invariance
     from repro.team.partition import block_partition
 

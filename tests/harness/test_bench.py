@@ -1,0 +1,247 @@
+"""Tests for the bench trajectory subsystem (records + comparator)."""
+
+import json
+
+import pytest
+
+from repro.harness import bench
+from repro.harness.cli import main
+from repro.harness.stats import mad, median, summarize, time_callable
+
+CELL_TIMING_KEYS = {
+    "repeats",
+    "times_seconds",
+    "best_seconds",
+    "median_seconds",
+    "mad_seconds",
+}
+
+ENVIRONMENT_KEYS = {
+    "python",
+    "implementation",
+    "numpy",
+    "platform",
+    "machine",
+    "cpu_count",
+    "hostname",
+    "git_sha",
+}
+
+
+def make_cell(cell_id, best, madv=0.0, repeats=3):
+    """Synthetic trajectory cell for comparator tests."""
+    return {
+        "id": cell_id,
+        "kind": "benchmark",
+        "verified": True,
+        "repeats": repeats,
+        "times_seconds": [best] * repeats,
+        "best_seconds": best,
+        "median_seconds": best,
+        "mad_seconds": madv,
+    }
+
+
+def make_record(cells):
+    return {
+        "kind": bench.RECORD_KIND,
+        "schema_version": bench.SCHEMA_VERSION,
+        "created_at": "2026-01-01T00:00:00Z",
+        "environment": {"python": "3.11.7"},
+        "config": {"repeat": 3, "quick": True, "cells": [], "kernels": []},
+        "cells": cells,
+    }
+
+
+class TestStats:
+    def test_median_and_mad(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+        assert mad([1.0, 2.0, 3.0]) == 1.0
+        assert mad([5.0, 5.0, 5.0]) == 0.0
+
+    def test_summarize_is_min_of_k(self):
+        summary = summarize([0.5, 0.3, 0.4])
+        assert summary.best == 0.3
+        assert summary.median == 0.4
+        assert summary.repeats == 3
+        assert set(summary.as_dict()) == CELL_TIMING_KEYS
+
+    def test_time_callable_runs_setup_untimed(self):
+        calls = []
+        summary = time_callable(lambda: calls.append("fn"), repeat=3)
+        assert summary.repeats == 3
+        assert calls == ["fn"] * 3
+        assert all(t >= 0 for t in summary.times)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestRecordSchema:
+    def test_suite_record_round_trips(self, tmp_path):
+        record = bench.run_suite(
+            cells=[bench.BenchCell("CG", "S", "serial", 1)],
+            kernels=[bench.KernelCell("reduction", "numpy", (8, 8, 10))],
+            repeat=2,
+        )
+        path = bench.write_record(record, directory=str(tmp_path))
+        loaded = bench.load_record(path)
+        assert loaded["kind"] == bench.RECORD_KIND
+        assert loaded["schema_version"] == bench.SCHEMA_VERSION
+        assert loaded["sequence"] == 1
+        assert ENVIRONMENT_KEYS <= set(loaded["environment"])
+        cg, kernel = loaded["cells"]
+        assert cg["id"] == "CG.S.serial.x1"
+        assert CELL_TIMING_KEYS <= set(cg)
+        assert cg["verified"] is True
+        assert cg["repeats"] == 2
+        # The per-region dispatch/execute/barrier split rides along.
+        assert "conj_grad" in cg["regions"]
+        assert cg["regions"]["conj_grad"]["execute_seconds"] > 0
+        assert kernel["id"] == "basic_op.reduction.numpy.8x8x10"
+        assert kernel["best_seconds"] > 0
+
+    def test_sequence_numbering_continues(self, tmp_path):
+        record = make_record([make_cell("X", 1.0)])
+        first = bench.write_record(record, directory=str(tmp_path))
+        second = bench.write_record(record, directory=str(tmp_path))
+        assert first.endswith("BENCH_0001.json")
+        assert second.endswith("BENCH_0002.json")
+        assert bench.load_record(second)["sequence"] == 2
+        assert bench.latest_record_path(str(tmp_path)) == second
+
+    def test_foreign_json_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(ValueError, match="not an npb-bench-record"):
+            bench.load_record(str(path))
+
+    def test_future_schema_rejected(self, tmp_path):
+        record = make_record([])
+        record["schema_version"] = bench.SCHEMA_VERSION + 1
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(record))
+        with pytest.raises(ValueError, match="schema_version"):
+            bench.load_record(str(path))
+
+
+class TestComparator:
+    def test_detects_2x_slowdown(self):
+        base = make_record([make_cell("CG.S.serial.x1", 0.100, 0.002)])
+        cand = make_record([make_cell("CG.S.serial.x1", 0.200, 0.002)])
+        comparison = bench.compare_records(base, cand)
+        assert [d.verdict for d in comparison.deltas] == ["regression"]
+        assert comparison.regressions[0].ratio == pytest.approx(2.0)
+
+    def test_no_false_positive_within_tolerance(self):
+        base = make_record([make_cell("CG.S.serial.x1", 0.100, 0.001)])
+        cand = make_record([make_cell("CG.S.serial.x1", 0.105, 0.001)])
+        comparison = bench.compare_records(base, cand, tolerance=0.10)
+        assert [d.verdict for d in comparison.deltas] == ["ok"]
+        assert not comparison.regressions
+
+    def test_no_false_positive_within_noise_band(self):
+        # 25% slower, but the baseline's own MAD is 10% of best and
+        # k = 3, so the noise band (30%) absorbs it.
+        base = make_record([make_cell("FT.S.serial.x1", 0.400, 0.040)])
+        cand = make_record([make_cell("FT.S.serial.x1", 0.500, 0.002)])
+        comparison = bench.compare_records(base, cand, tolerance=0.10)
+        assert [d.verdict for d in comparison.deltas] == ["ok"]
+
+    def test_sub_10ms_cells_get_absolute_slack(self):
+        # 2x slower but only 1 ms absolute: below the 5 ms slack that
+        # shields scheduler-quantum jitter on tiny cells.
+        base = make_record([make_cell("IS.S.serial.x1", 0.001)])
+        cand = make_record([make_cell("IS.S.serial.x1", 0.002)])
+        comparison = bench.compare_records(base, cand)
+        assert [d.verdict for d in comparison.deltas] == ["ok"]
+
+    def test_improvement_flagged(self):
+        base = make_record([make_cell("LU.S.serial.x1", 1.0, 0.01)])
+        cand = make_record([make_cell("LU.S.serial.x1", 0.5, 0.01)])
+        comparison = bench.compare_records(base, cand)
+        assert [d.verdict for d in comparison.deltas] == ["improved"]
+        assert comparison.improvements and not comparison.regressions
+
+    def test_unmatched_cells_reported_not_fatal(self):
+        base = make_record([make_cell("CG.S.serial.x1", 0.1), make_cell("OLD", 0.1)])
+        cand = make_record([make_cell("CG.S.serial.x1", 0.1), make_cell("NEW", 0.1)])
+        comparison = bench.compare_records(base, cand)
+        assert comparison.missing == ("OLD",)
+        assert comparison.added == ("NEW",)
+        assert not comparison.regressions
+
+    def test_as_dict_shape(self):
+        base = make_record([make_cell("CG.S.serial.x1", 0.1)])
+        cand = make_record([make_cell("CG.S.serial.x1", 0.3)])
+        payload = bench.compare_records(base, cand).as_dict()
+        assert payload["regressions"] == 1
+        assert payload["cells"][0]["verdict"] == "regression"
+        assert payload["cells"][0]["ratio"] == pytest.approx(3.0)
+
+
+class TestBenchCli:
+    def test_quick_json_smoke(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_smoke.json"
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--repeat",
+                "1",
+                "--json",
+                "--out",
+                str(out),
+                "--dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["schema_version"] == bench.SCHEMA_VERSION
+        assert record["config"]["quick"] is True
+        ids = {cell["id"] for cell in record["cells"]}
+        assert "CG.S.serial.x1" in ids
+        assert "CG.S.threads.x2" in ids
+        assert any(i.startswith("basic_op.") for i in ids)
+        assert all(cell["verified"] for cell in record["cells"])
+        assert out.exists()
+
+    def test_compare_gate_exits_nonzero(self, tmp_path, capsys):
+        base = make_record([make_cell("CG.S.serial.x1", 0.100, 0.001)])
+        cand = make_record([make_cell("CG.S.serial.x1", 0.250, 0.001)])
+        base_path = tmp_path / "BENCH_0001.json"
+        cand_path = tmp_path / "BENCH_0002.json"
+        base_path.write_text(json.dumps(base))
+        cand_path.write_text(json.dumps(cand))
+        code = main(["bench", "--compare", str(base_path), str(cand_path)])
+        assert code == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_compare_defaults_to_latest_record(self, tmp_path, capsys):
+        base = make_record([make_cell("CG.S.serial.x1", 0.100, 0.001)])
+        bench.write_record(base, directory=str(tmp_path))
+        bench.write_record(base, directory=str(tmp_path))
+        base_path = tmp_path / "BENCH_0001.json"
+        code = main(["bench", "--compare", str(base_path), "--dir", str(tmp_path)])
+        assert code == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_compare_generous_ci_tolerance(self, tmp_path):
+        base = make_record([make_cell("CG.S.serial.x1", 0.100, 0.001)])
+        cand = make_record([make_cell("CG.S.serial.x1", 0.250, 0.001)])
+        blowup = make_record([make_cell("CG.S.serial.x1", 0.450, 0.001)])
+        paths = {}
+        for name, record in [
+            ("base", base),
+            ("cand", cand),
+            ("blowup", blowup),
+        ]:
+            path = tmp_path / f"{name}.json"
+            path.write_text(json.dumps(record))
+            paths[name] = str(path)
+        args = ["bench", "--compare", paths["base"], "--tolerance", "2.0"]
+        assert main(args + [paths["cand"]]) == 0
+        assert main(args + [paths["blowup"]]) == 1

@@ -1,7 +1,5 @@
 """End-to-end CLI tests (verify command and report)."""
 
-import pytest
-
 from repro.harness.cli import main
 
 

@@ -5,7 +5,6 @@ these tests corrupt each benchmark's state or parameters and assert the
 official checks catch it.
 """
 
-import numpy as np
 import pytest
 
 from repro.bt import BT

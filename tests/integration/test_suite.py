@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import available_benchmarks, run_benchmark
+from repro import run_benchmark
 from repro.core.registry import get_benchmark
 from repro.team import ProcessTeam, SerialTeam
 

@@ -16,7 +16,7 @@ import pytest
 
 from repro.runtime.dispatch import WorkerError
 from repro.runtime.region import UNATTRIBUTED
-from repro.team import ProcessTeam, SerialTeam, ThreadTeam, make_team
+from repro.team import ThreadTeam, make_team
 
 BACKENDS = ["serial", "threads", "process"]
 
