@@ -24,7 +24,8 @@ __version__ = "3.0.0"
 
 
 def run_benchmark(name: str, problem_class: str = "S",
-                  backend: str = "serial", nworkers: int = 1) -> BenchmarkResult:
+                  backend: str = "serial", nworkers: int = 1,
+                  policy=None) -> BenchmarkResult:
     """Run one benchmark end to end and return its result record.
 
     Parameters
@@ -33,9 +34,11 @@ def run_benchmark(name: str, problem_class: str = "S",
     problem_class : NPB class letter (S, W, A, B, C)
     backend : "serial", "threads", or "process"
     nworkers : worker count for the parallel backends
+    policy : optional :class:`~repro.runtime.dispatch.FaultPolicy`
+        (per-dispatch timeout, respawn retries, backoff)
     """
     cls = get_benchmark(name)
-    with make_team(backend, nworkers) as team:
+    with make_team(backend, nworkers, policy=policy) as team:
         benchmark = cls(problem_class, team)
         return benchmark.run()
 

@@ -29,7 +29,8 @@ from repro.team import SerialTeam, Team
 #: Version of the ``to_dict()`` run-record layout (the ``--json`` output
 #: and the per-cell payload embedded in ``BENCH_*.json`` trajectory
 #: records); bump on any breaking change to the schema.
-RUN_RECORD_SCHEMA_VERSION = 1
+#: v2: added ``faults`` (structured FaultEvent list) and ``fault_counts``.
+RUN_RECORD_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -49,10 +50,23 @@ class BenchmarkResult:
     #: {calls, wall_seconds, dispatch_seconds, execute_seconds,
     #:  barrier_seconds} (see :mod:`repro.runtime.region`)
     regions: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: structured fault-tolerance events of the whole run (timeouts,
+    #: worker deaths, respawns, degradations), in occurrence order; each
+    #: is a FaultEvent dict (see :mod:`repro.runtime.dispatch`)
+    faults: list[dict] = field(default_factory=list)
 
     @property
     def verified(self) -> bool:
         return self.verification.verified
+
+    @property
+    def fault_counts(self) -> dict[str, int]:
+        """Fault event counts by kind (``{}`` for a fault-free run)."""
+        counts: dict[str, int] = {}
+        for event in self.faults:
+            kind = event["kind"]
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
 
     def to_dict(self) -> dict:
         """Machine-readable run record (the ``--json`` output)."""
@@ -76,12 +90,14 @@ class BenchmarkResult:
             "timers": dict(self.timers),
             "regions": {name: dict(stats)
                         for name, stats in self.regions.items()},
+            "faults": [dict(event) for event in self.faults],
+            "fault_counts": self.fault_counts,
         }
 
     def banner(self) -> str:
         """Text banner in the spirit of the NPB ``print_results``."""
         status = "SUCCESSFUL" if self.verified else "UNSUCCESSFUL"
-        return (
+        banner = (
             f" {self.name} Benchmark Completed.\n"
             f" Class           = {self.problem_class}\n"
             f" Iterations      = {self.niter}\n"
@@ -90,6 +106,11 @@ class BenchmarkResult:
             f" Backend         = {self.backend} x{self.nworkers}\n"
             f" Verification    = {status}"
         )
+        if self.faults:
+            counts = ", ".join(f"{kind}={n}" for kind, n
+                               in sorted(self.fault_counts.items()))
+            banner += f"\n Faults          = {len(self.faults)} ({counts})"
+        return banner
 
 
 class NPBenchmark(ABC):
@@ -170,6 +191,9 @@ class NPBenchmark(ABC):
         timers = self.timers.report()
         regions = self.team.recorder.report()
         verification = self.verify()
+        # Faults snapshot *after* verify: a respawn/degradation during the
+        # verification dispatches is still part of the run's fault history.
+        faults = self.team.recorder.fault_report()
         mops = self.op_count() / elapsed / 1.0e6 if elapsed > 0 else 0.0
         return BenchmarkResult(
             name=self.name,
@@ -182,4 +206,5 @@ class NPBenchmark(ABC):
             verification=verification,
             timers=timers,
             regions=regions,
+            faults=faults,
         )

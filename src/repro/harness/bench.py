@@ -36,7 +36,10 @@ from repro.core import basic_ops
 from repro.harness.stats import summarize, time_callable
 
 #: Version of the BENCH_*.json record layout.
-SCHEMA_VERSION = 1
+#: v2: benchmark cells carry ``faults`` (total fault events over the
+#: cell's repeats) and ``fault_counts`` (events by kind); v1 records are
+#: migrated on load with zero faults.
+SCHEMA_VERSION = 2
 
 #: The ``kind`` tag every record carries (guards against loading foreign JSON).
 RECORD_KIND = "npb-bench-record"
@@ -200,6 +203,10 @@ def run_bench_cell(cell: BenchCell, repeat: int) -> dict:
     times = [r.time_seconds for r in results]
     summary = summarize(times)
     best = results[times.index(summary.best)]
+    fault_counts: dict[str, int] = {}
+    for result in results:
+        for kind, count in result.fault_counts.items():
+            fault_counts[kind] = fault_counts.get(kind, 0) + count
     record = {
         "id": cell.cell_id,
         "kind": "benchmark",
@@ -210,6 +217,11 @@ def run_bench_cell(cell: BenchCell, repeat: int) -> dict:
         "verified": all(r.verified for r in results),
         "mops": best.mops,
         "regions": {name: dict(stats) for name, stats in best.regions.items()},
+        # fault-tolerance events summed over all repeats: a trajectory
+        # cell that only stays fast because workers keep dying and
+        # degrading to serial must not look healthy
+        "faults": sum(fault_counts.values()),
+        "fault_counts": fault_counts,
     }
     record.update(summary.as_dict())
     return record
@@ -296,19 +308,37 @@ def write_record(record: dict, directory: str = ".", path: str | None = None) ->
     return path
 
 
+def _migrate_record(record: dict, version: int) -> dict:
+    """Upgrade an older-schema record in memory (never rewritten on disk)."""
+    if version < 2:
+        # v1 predates fault tracking; a recorded run back then could not
+        # have completed with faults, so zero is the faithful migration.
+        for cell in record.get("cells", []):
+            if cell.get("kind") == "benchmark":
+                cell.setdefault("faults", 0)
+                cell.setdefault("fault_counts", {})
+        record["schema_version"] = SCHEMA_VERSION
+    return record
+
+
 def load_record(path: str) -> dict:
-    """Load and sanity-check one trajectory record."""
+    """Load and sanity-check one trajectory record.
+
+    Records written by older schema versions are migrated in memory
+    (missing fault fields default to zero); records from a *newer*
+    schema are rejected.
+    """
     with open(path) as fh:
         record = json.load(fh)
     if not isinstance(record, dict) or record.get("kind") != RECORD_KIND:
         raise ValueError(f"{path}: not an {RECORD_KIND} file")
     version = record.get("schema_version")
-    if version != SCHEMA_VERSION:
+    if not isinstance(version, int) or version > SCHEMA_VERSION:
         raise ValueError(
             f"{path}: schema_version {version!r} (this tool reads "
-            f"{SCHEMA_VERSION}); refresh the record with 'npb bench'"
+            f"<= {SCHEMA_VERSION}); refresh the record with 'npb bench'"
         )
-    return record
+    return _migrate_record(record, version)
 
 
 # ===================================================================== #

@@ -26,17 +26,43 @@ from repro.harness.bench import (DEFAULT_ABS_SLACK, DEFAULT_MAD_MULTIPLIER,
                                  DEFAULT_TOLERANCE)
 from repro.harness.report import format_table, region_profile_table
 from repro.harness.tables import TABLES, generate_table
+from repro.runtime.dispatch import FaultPolicy, WorkerError
+
+
+def _fault_policy(args) -> FaultPolicy | None:
+    """Build a FaultPolicy from --dispatch-timeout/--max-retries, if given."""
+    timeout = getattr(args, "dispatch_timeout", None)
+    retries = getattr(args, "max_retries", None)
+    if timeout is None and retries is None:
+        return None
+    kwargs = {}
+    if timeout is not None:
+        kwargs["dispatch_timeout"] = timeout
+    if retries is not None:
+        kwargs["max_retries"] = retries
+    return FaultPolicy(**kwargs)
+
+
+def _fault_lines(result) -> str:
+    """Per-event fault report lines for the text output."""
+    return "\n".join(
+        f"  fault: {e['kind']} backend={e['backend']} "
+        f"region={e['region']} rank={e['rank']}: {e['detail']}"
+        for e in result.faults)
 
 
 def _cmd_run(args) -> int:
     result = run_benchmark(args.benchmark.upper(), args.problem_class,
-                           args.backend, args.workers)
+                           args.backend, args.workers,
+                           policy=_fault_policy(args))
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
     else:
         print(result.banner())
         if args.verbose:
             print(result.verification.summary())
+        if result.faults:
+            print(_fault_lines(result), file=sys.stderr)
     return 0 if result.verified else 1
 
 
@@ -45,13 +71,16 @@ def _cmd_verify(args) -> int:
     records = []
     for name in available_benchmarks():
         result = run_benchmark(name, args.problem_class, args.backend,
-                               args.workers)
+                               args.workers, policy=_fault_policy(args))
         if args.json:
             records.append(result.to_dict())
         else:
             status = "ok  " if result.verified else "FAIL"
+            faults = (f"  [{len(result.faults)} fault(s)]"
+                      if result.faults else "")
             print(f"[{status}] {name}.{args.problem_class}  "
-                  f"{result.time_seconds:8.2f}s  {result.mops:10.1f} Mop/s")
+                  f"{result.time_seconds:8.2f}s  {result.mops:10.1f} Mop/s"
+                  f"{faults}")
             if not result.verified:
                 print(result.verification.summary())
         if not result.verified:
@@ -66,7 +95,8 @@ def _cmd_profile(args) -> int:
     from repro.team import make_team
 
     cls = get_benchmark(args.benchmark.upper())
-    with make_team(args.backend, args.workers) as team:
+    with make_team(args.backend, args.workers,
+                   policy=_fault_policy(args)) as team:
         result = cls(args.problem_class, team).run()
         plan_info = team.plan.cache_info()
     if args.json:
@@ -75,6 +105,8 @@ def _cmd_profile(args) -> int:
         print(json.dumps(record, indent=2))
     else:
         print(format_table(region_profile_table(result, plan_info)))
+        if result.faults:
+            print(_fault_lines(result), file=sys.stderr)
     return 0 if result.verified else 1
 
 
@@ -331,12 +363,29 @@ def _common(sub_parser) -> None:
     sub_parser.add_argument("-b", "--backend", default="serial",
                             choices=["serial", "threads", "process"])
     sub_parser.add_argument("-w", "--workers", type=int, default=1)
+    sub_parser.add_argument("--dispatch-timeout", type=float, default=None,
+                            metavar="SECONDS",
+                            help="per-dispatch deadline; hung workers are "
+                                 "respawned and the dispatch retried "
+                                 "(default: no deadline; worker death is "
+                                 "still detected and recovered)")
+    sub_parser.add_argument("--max-retries", type=int, default=None,
+                            metavar="N",
+                            help="transport failures tolerated per dispatch "
+                                 "before degrading to inline serial "
+                                 "execution (default 2)")
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except WorkerError as exc:
+        # A worker failed in a way the dispatch core could not recover or
+        # translate (the remote traceback rides along verbatim).
+        print(f"npb: unrecoverable worker failure\n{exc}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":

@@ -94,17 +94,25 @@ def bench_record_table(record: dict) -> Table:
         f"Bench trajectory record #{sequence} "
         f"(python {env.get('python', '?')}, numpy {env.get('numpy', '?')}, "
         f"git {str(env.get('git_sha', '?'))[:10]})",
-        ["cell", "best s", "median s", "MAD s", "Mop/s", "verified"],
+        ["cell", "best s", "median s", "MAD s", "Mop/s", "verified",
+         "faults"],
     )
     for cell in record.get("cells", []):
         table.add_row(
             cell["id"], cell["best_seconds"], cell["median_seconds"],
             cell["mad_seconds"], cell.get("mops", float("nan")),
             "yes" if cell.get("verified") else "NO",
+            cell.get("faults", 0),
         )
     table.notes.append(
         f"min-of-{record.get('config', {}).get('repeat', '?')} timing; "
         f"MAD is the run-to-run noise bar")
+    fault_cells = [cell["id"] for cell in record.get("cells", [])
+                   if cell.get("faults")]
+    if fault_cells:
+        table.notes.append(
+            "cells with fault-tolerance events (timings include "
+            "respawn/degrade overhead): " + ", ".join(fault_cells))
     return table
 
 

@@ -25,15 +25,22 @@ dispatch core (:mod:`repro.runtime.dispatch`)
     surface as ``BenchmarkResult.regions`` and in ``npb profile``.
 """
 
-from repro.runtime.dispatch import WorkerError, WorkerReply
+from repro.runtime.dispatch import (DispatchTimeout, FaultEvent,
+                                    FaultPolicy, TransportFailure,
+                                    WorkerDeath, WorkerError, WorkerReply)
 from repro.runtime.plan import ExecutionPlan
 from repro.runtime.region import ParallelRegion, RegionRecorder, RegionStats
 
 __all__ = [
+    "DispatchTimeout",
     "ExecutionPlan",
+    "FaultEvent",
+    "FaultPolicy",
     "ParallelRegion",
     "RegionRecorder",
     "RegionStats",
+    "TransportFailure",
+    "WorkerDeath",
     "WorkerError",
     "WorkerReply",
 ]

@@ -7,6 +7,30 @@ A transport delivers one task per worker and returns one
 ``perf_counter`` readings.  On Linux ``perf_counter`` is CLOCK_MONOTONIC,
 which shares an epoch across processes, so the stamps are comparable to
 the master's publish/return times under every backend.
+
+Fault model
+-----------
+The paper's master--worker scheme assumes every worker survives every
+wait()/notify() cycle; a production dispatch core cannot.  Two kinds of
+failure are distinguished:
+
+*application errors*
+    the task function raised.  The transport captures the exception into
+    a failed :class:`WorkerReply` and the core re-raises it on the master
+    (:func:`raise_reply_error`).  Never retried: the task is broken, not
+    the transport.
+
+*transport failures*
+    the worker itself died (SIGKILL, OOM) or stopped responding past the
+    configured deadline.  Transports raise :class:`WorkerDeath` /
+    :class:`DispatchTimeout`; the core records a :class:`FaultEvent`,
+    respawns the affected workers with bounded backoff
+    (:class:`FaultPolicy`), and re-dispatches.  Because every task in the
+    suite is an idempotent slab computation (pure writes to disjoint
+    slabs, or a returned partial), re-dispatching the whole bounds set is
+    bit-identical to a clean run.  When retries are exhausted the team
+    *degrades*: the master runs each slab inline (serial semantics, same
+    bounds, same results) for the rest of the team's life.
 """
 
 from __future__ import annotations
@@ -18,6 +42,89 @@ from typing import Any
 class WorkerError(RuntimeError):
     """A worker raised in a context that cannot re-raise the original
     exception object (the process backend); carries the remote traceback."""
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How the dispatch core reacts to transport failures.
+
+    ``dispatch_timeout``
+        Seconds one dispatch may take before the non-responding workers
+        are declared hung (``None`` = wait forever; worker *death* is
+        still detected via liveness probing).
+    ``max_retries``
+        Transport failures tolerated per dispatch before the team
+        degrades to inline (serial) execution.
+    ``backoff_seconds``
+        Base of the linear respawn backoff: attempt ``k`` sleeps
+        ``k * backoff_seconds`` before respawning.
+    """
+
+    dispatch_timeout: float | None = None
+    max_retries: int = 2
+    backoff_seconds: float = 0.05
+
+    def __post_init__(self):
+        if self.dispatch_timeout is not None and self.dispatch_timeout <= 0:
+            raise ValueError("dispatch_timeout must be positive or None")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_seconds < 0:
+            raise ValueError("backoff_seconds must be >= 0")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One structured fault-tolerance event, attributed to a region.
+
+    ``kind`` is one of ``timeout`` (dispatch deadline exceeded),
+    ``worker_death`` (liveness probe / pipe EOF), ``respawn`` (a dead or
+    hung worker was replaced), ``degrade`` (retries exhausted; the team
+    fell back to inline serial execution), ``join_timeout`` (a worker
+    failed to join during ``close()``).
+    """
+
+    kind: str
+    backend: str
+    region: str
+    rank: int | None = None
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "backend": self.backend,
+            "region": self.region,
+            "rank": self.rank,
+            "detail": self.detail,
+        }
+
+
+class TransportFailure(RuntimeError):
+    """The transport (not the task) failed: workers died or went silent.
+
+    ``ranks`` identifies the affected workers so recovery can respawn
+    exactly those.  Subclasses set :attr:`kind` to the FaultEvent kind
+    they map to.
+    """
+
+    kind = "transport_failure"
+
+    def __init__(self, message: str, ranks: "tuple[int, ...] | list[int]" = ()):
+        super().__init__(message)
+        self.ranks: tuple[int, ...] = tuple(ranks)
+
+
+class DispatchTimeout(TransportFailure):
+    """A dispatch exceeded ``FaultPolicy.dispatch_timeout``."""
+
+    kind = "timeout"
+
+
+class WorkerDeath(TransportFailure):
+    """A worker process/thread died mid-dispatch (SIGKILL, pipe EOF)."""
+
+    kind = "worker_death"
 
 
 @dataclass(frozen=True)

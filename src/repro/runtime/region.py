@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.common.timers import Timer
-    from repro.runtime.dispatch import WorkerReply
+    from repro.runtime.dispatch import FaultEvent, WorkerReply
 
 #: Region charged with dispatches that run outside any named region.
 UNATTRIBUTED = "(unattributed)"
@@ -76,6 +76,7 @@ class RegionRecorder:
         self.nworkers = nworkers
         self._stack: list[str] = []
         self._stats: "OrderedDict[str, RegionStats]" = OrderedDict()
+        self._faults: "list[FaultEvent]" = []
 
     @property
     def current_region(self) -> str:
@@ -88,7 +89,12 @@ class RegionRecorder:
         self._stack.pop()
 
     def clear(self) -> None:
-        """Drop accumulated stats (active region names survive)."""
+        """Drop accumulated stats (active region names survive).
+
+        Fault events are *not* cleared: a respawn during untimed setup is
+        still part of the run's fault history, so the NPB timed-region
+        reset must not erase it.
+        """
         self._stats.clear()
 
     def record(self, published_at: float, done_at: float,
@@ -103,6 +109,26 @@ class RegionRecorder:
             stats.dispatch_seconds += reply.started_at - published_at
             stats.execute_seconds += reply.finished_at - reply.started_at
             stats.barrier_seconds += done_at - reply.finished_at
+
+    def record_fault(self, event: "FaultEvent") -> None:
+        """Append one fault-tolerance event (timeout/death/respawn/...)."""
+        self._faults.append(event)
+
+    @property
+    def faults(self) -> "tuple[FaultEvent, ...]":
+        """All fault events recorded over the recorder's lifetime."""
+        return tuple(self._faults)
+
+    def fault_counts(self) -> dict[str, int]:
+        """Event counts by kind (``{}`` for a fault-free run)."""
+        counts: dict[str, int] = {}
+        for event in self._faults:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def fault_report(self) -> list[dict]:
+        """All fault events as dicts, in occurrence order."""
+        return [event.as_dict() for event in self._faults]
 
     def stats(self, name: str) -> RegionStats:
         """Stats for one region (empty stats if it never dispatched)."""

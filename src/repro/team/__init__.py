@@ -28,6 +28,7 @@ shared dispatch core (see :mod:`repro.runtime`); each backend contributes
 only its transport.
 """
 
+from repro.runtime.dispatch import FaultEvent, FaultPolicy
 from repro.team.base import Team, team_worker_counts
 from repro.team.partition import block_partition, partition_bounds
 from repro.team.serial import SerialTeam
@@ -41,8 +42,14 @@ _BACKENDS = {
 }
 
 
-def make_team(backend: str = "serial", nworkers: int = 1) -> Team:
-    """Create a team by backend name (``serial``, ``threads``, ``process``)."""
+def make_team(backend: str = "serial", nworkers: int = 1,
+              policy: FaultPolicy | None = None) -> Team:
+    """Create a team by backend name (``serial``, ``threads``, ``process``).
+
+    ``policy`` carries the fault-tolerance knobs (per-dispatch timeout,
+    respawn retries, backoff); ``None`` means the defaults of
+    :class:`~repro.runtime.dispatch.FaultPolicy` (no deadline, 2 retries).
+    """
     try:
         cls = _BACKENDS[backend]
     except KeyError:
@@ -50,8 +57,8 @@ def make_team(backend: str = "serial", nworkers: int = 1) -> Team:
             f"unknown backend {backend!r}; choose from {sorted(_BACKENDS)}"
         ) from None
     if backend == "serial":
-        return cls()
-    return cls(nworkers)
+        return cls(policy=policy)
+    return cls(nworkers, policy=policy)
 
 
 __all__ = [
@@ -60,6 +67,8 @@ __all__ = [
     "ThreadTeam",
     "ProcessTeam",
     "SharedArrayRef",
+    "FaultEvent",
+    "FaultPolicy",
     "make_team",
     "block_partition",
     "partition_bounds",

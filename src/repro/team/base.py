@@ -37,6 +37,21 @@ hook, :meth:`_transport`, which delivers one ``fn(a, b, *args)`` task per
 worker and returns the per-worker :class:`~repro.runtime.dispatch.WorkerReply`
 list -- inline call (serial), condition-variable hand-off (threads), or
 process pipe (process).
+
+Fault tolerance
+---------------
+The core also owns the recovery state machine (see
+:mod:`repro.runtime.dispatch` for the fault model).  A transport may
+raise :class:`~repro.runtime.dispatch.TransportFailure` when workers die
+or stop responding; the core records a
+:class:`~repro.runtime.dispatch.FaultEvent`, asks the backend to respawn
+the affected workers (:meth:`_try_recover`, with bounded linear
+backoff), and re-dispatches the whole bounds set -- sound because every
+task in the suite is an idempotent slab computation.  When
+``FaultPolicy.max_retries`` is exhausted (or the backend cannot
+recover), the team permanently *degrades*: every slab of every later
+dispatch runs inline on the master with the same bounds, so results stay
+bit-identical while the dead transport is bypassed.
 """
 
 from __future__ import annotations
@@ -47,7 +62,9 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.runtime.dispatch import WorkerReply, raise_reply_error
+from repro.runtime.dispatch import (FaultEvent, FaultPolicy,
+                                    TransportFailure, WorkerReply,
+                                    raise_reply_error)
 from repro.runtime.plan import Bounds, ExecutionPlan
 from repro.runtime.region import RegionRecorder
 
@@ -58,15 +75,18 @@ class Team(ABC):
     #: backend name, set by subclasses
     backend: str = "abstract"
 
-    def __init__(self, nworkers: int):
+    def __init__(self, nworkers: int, policy: FaultPolicy | None = None):
         if nworkers < 1:
             raise ValueError("nworkers must be >= 1")
         self._nworkers = nworkers
+        #: fault-tolerance knobs (timeout, retries, backoff)
+        self.policy = policy if policy is not None else FaultPolicy()
         #: memoized slab partitions for this worker count
         self.plan = ExecutionPlan(nworkers)
         #: per-region dispatch/execute/barrier accounting
         self.recorder = RegionRecorder(nworkers)
         self._closed = False
+        self._degraded = False
 
     @property
     def nworkers(self) -> int:
@@ -76,6 +96,11 @@ class Team(ABC):
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def degraded(self) -> bool:
+        """True once retries were exhausted and dispatch runs inline."""
+        return self._degraded
 
     # ------------------------------------------------------------------ #
     # transport hook
@@ -89,24 +114,89 @@ class Team(ABC):
         bounds for ``parallel_for``, ``(rank, nworkers)`` for
         ``run_on_all``.  Must return one reply per worker, rank order,
         only after all workers finished (this is the barrier).  Worker
-        exceptions are captured into replies, never raised here.
+        exceptions are captured into replies, never raised here; a
+        :class:`TransportFailure` (worker death / dispatch deadline) is
+        raised and handled by the core's recovery loop.
         """
 
+    def _try_recover(self, failure: TransportFailure, attempt: int) -> bool:
+        """Restore transport health after ``failure`` (respawn workers).
+
+        Called between retries with ``attempt`` starting at 1; returns
+        True when the affected workers were replaced and the dispatch may
+        be retried, False when the backend cannot recover (the core then
+        degrades).  The default cannot recover.
+        """
+        return False
+
     # ------------------------------------------------------------------ #
-    # dispatch core (shared bookkeeping)
+    # dispatch core (shared bookkeeping + recovery state machine)
+
+    def _fault(self, kind: str, rank: int | None = None,
+               detail: str = "") -> FaultEvent:
+        """Record one structured fault event against the current region."""
+        event = FaultEvent(kind=kind, backend=self.backend,
+                           region=self.recorder.current_region,
+                           rank=rank, detail=detail)
+        self.recorder.record_fault(event)
+        return event
+
+    def _run_inline(self, fn: Callable, bounds: Bounds,
+                    args: tuple) -> list[WorkerReply]:
+        """Degraded-mode transport: every slab inline on the master.
+
+        Same bounds, same rank order, so results are bit-identical to a
+        healthy dispatch -- only the parallelism is gone.
+        """
+        replies: list[WorkerReply] = []
+        for rank, (a, b) in enumerate(bounds):
+            started_at = time.perf_counter()
+            try:
+                ok, value = True, fn(a, b, *args)
+            except BaseException as exc:
+                ok, value = False, exc
+            finished_at = time.perf_counter()
+            replies.append(WorkerReply(rank, ok, value, started_at,
+                                       finished_at))
+        return replies
 
     def _dispatch(self, fn: Callable, bounds: Bounds,
                   args: tuple) -> list[Any]:
         if self._closed:
             raise RuntimeError("team is closed")
-        published_at = time.perf_counter()
-        replies = self._transport(fn, bounds, args)
-        done_at = time.perf_counter()
-        self.recorder.record(published_at, done_at, replies)
-        for reply in replies:
-            if not reply.ok:
-                raise_reply_error(reply)
-        return [reply.value for reply in replies]
+        attempts = 0
+        while True:
+            published_at = time.perf_counter()
+            if self._degraded:
+                replies = self._run_inline(fn, bounds, args)
+            else:
+                try:
+                    replies = self._transport(fn, bounds, args)
+                except TransportFailure as failure:
+                    attempts += 1
+                    for rank in failure.ranks or (None,):
+                        self._fault(failure.kind, rank=rank,
+                                    detail=str(failure))
+                    recovered = False
+                    if attempts <= self.policy.max_retries:
+                        try:
+                            recovered = self._try_recover(failure, attempts)
+                        except Exception as exc:
+                            self._fault("respawn_failed",
+                                        detail=f"{type(exc).__name__}: {exc}")
+                    if not recovered:
+                        self._fault(
+                            "degrade",
+                            detail=f"inline serial fallback after "
+                                   f"{attempts} failed attempt(s): {failure}")
+                        self._degraded = True
+                    continue
+            done_at = time.perf_counter()
+            self.recorder.record(published_at, done_at, replies)
+            for reply in replies:
+                if not reply.ok:
+                    raise_reply_error(reply)
+            return [reply.value for reply in replies]
 
     def parallel_for(self, n: int, fn: Callable, *args: Any) -> list[Any]:
         """Block-partition ``range(n)``; worker ``r`` runs ``fn(lo_r, hi_r, *args)``.

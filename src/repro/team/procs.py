@@ -18,11 +18,22 @@ The task/result/error bookkeeping lives in the shared dispatch core
 pipe transport.  Worker replies carry the worker's own ``perf_counter``
 start/finish stamps (CLOCK_MONOTONIC, shared across processes on Linux),
 so the core's dispatch/execute/barrier split works identically here.
+
+Fault tolerance: the reply-gather loop multiplexes over the worker pipes
+with ``multiprocessing.connection.wait`` so it can notice a dead worker
+(pipe EOF, or ``Process.is_alive()`` false on a liveness probe) and an
+expired ``FaultPolicy.dispatch_timeout`` while the survivors keep
+computing.  Tasks and replies carry a dispatch sequence number so replies
+from a generation the master already abandoned (after a timeout) are
+discarded instead of corrupting the next dispatch.  Dead or hung workers
+are respawned by forking a fresh process on the same rank -- shared-memory
+segments re-attach by name, so a respawned worker sees the same arrays.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import multiprocessing.connection
 import os
 import time
 import traceback
@@ -34,11 +45,16 @@ import numpy as np
 
 # Re-exported here for backwards compatibility; defined with the runtime's
 # dispatch types.
-from repro.runtime.dispatch import WorkerError, WorkerReply
+from repro.runtime.dispatch import (DispatchTimeout, FaultPolicy,
+                                    TransportFailure, WorkerDeath,
+                                    WorkerError, WorkerReply)
 from repro.runtime.plan import Bounds
 from repro.team.base import Team
 
 __all__ = ["ProcessTeam", "SharedArrayRef", "WorkerError"]
+
+#: Idle interval between liveness probes while waiting for replies.
+_PROBE_SECONDS = 0.1
 
 
 @dataclass(frozen=True)
@@ -74,7 +90,7 @@ def _worker_main(rank: int, conn) -> None:
             msg = conn.recv()
             if msg is None:
                 break
-            fn, a, b, args = msg
+            seq, fn, a, b, args = msg
             started_at = time.perf_counter()
             try:
                 args = tuple(resolve(x) for x in args)
@@ -82,7 +98,7 @@ def _worker_main(rank: int, conn) -> None:
             except BaseException:
                 ok, result = False, traceback.format_exc()
             finished_at = time.perf_counter()
-            conn.send((ok, result, started_at, finished_at))
+            conn.send((seq, ok, result, started_at, finished_at))
     finally:
         for shm, _ in attached.values():
             shm.close()
@@ -94,8 +110,8 @@ class ProcessTeam(Team):
 
     backend = "process"
 
-    def __init__(self, nworkers: int):
-        super().__init__(nworkers)
+    def __init__(self, nworkers: int, policy: FaultPolicy | None = None):
+        super().__init__(nworkers, policy=policy)
         self._ctx = mp.get_context("fork")
         # Start the resource tracker now so every forked worker inherits it;
         # see the note in _worker_main's resolve().
@@ -104,18 +120,24 @@ class ProcessTeam(Team):
         resource_tracker.ensure_running()
         self._segments: list[shared_memory.SharedMemory] = []
         self._array_ids: list[int] = []
+        self._seq = 0
         self._pipes: list = []
         self._procs: list = []
         for rank in range(nworkers):
-            parent, child = self._ctx.Pipe()
-            proc = self._ctx.Process(
-                target=_worker_main, args=(rank, child),
-                daemon=True, name=f"npb-worker-{rank}",
-            )
-            proc.start()
-            child.close()
+            parent, proc = self._spawn_worker(rank)
             self._pipes.append(parent)
             self._procs.append(proc)
+
+    def _spawn_worker(self, rank: int):
+        """Fork one worker; returns (master pipe end, process)."""
+        parent, child = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main, args=(rank, child),
+            daemon=True, name=f"npb-worker-{rank}",
+        )
+        proc.start()
+        child.close()
+        return parent, proc
 
     # ------------------------------------------------------------------ #
 
@@ -162,15 +184,100 @@ class ProcessTeam(Team):
     def _transport(self, fn: Callable, bounds: Bounds,
                    args: tuple) -> list[WorkerReply]:
         payload = tuple(self._translate(a) for a in args)
+        self._seq += 1
+        seq = self._seq
         for rank, pipe in enumerate(self._pipes):
             a, b = bounds[rank]
-            pipe.send((fn, a, b, payload))
-        replies: list[WorkerReply] = []
-        for rank, pipe in enumerate(self._pipes):
-            ok, value, started_at, finished_at = pipe.recv()
-            replies.append(WorkerReply(rank, ok, value, started_at,
-                                       finished_at))
-        return replies
+            try:
+                pipe.send((seq, fn, a, b, payload))
+            except (BrokenPipeError, OSError) as exc:
+                raise WorkerDeath(
+                    f"worker {rank} pipe closed on send "
+                    f"({type(exc).__name__}); process "
+                    f"{'alive' if self._procs[rank].is_alive() else 'dead'}",
+                    ranks=[rank]) from None
+        timeout = self.policy.dispatch_timeout
+        deadline = (None if timeout is None
+                    else time.perf_counter() + timeout)
+        replies: list[WorkerReply | None] = [None] * self._nworkers
+        pending = set(range(self._nworkers))
+        pipe_rank = {id(self._pipes[r]): r for r in pending}
+        while pending:
+            chunk = _PROBE_SECONDS
+            if deadline is not None:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    raise DispatchTimeout(
+                        f"dispatch exceeded {timeout}s; worker(s) "
+                        f"{sorted(pending)} did not reply",
+                        ranks=sorted(pending))
+                chunk = min(chunk, remaining)
+            ready = mp.connection.wait(
+                [self._pipes[r] for r in pending], timeout=chunk)
+            for conn in ready:
+                rank = pipe_rank[id(conn)]
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    # pipe EOF: the worker is gone (SIGKILL, OOM, crash)
+                    raise WorkerDeath(
+                        f"worker {rank} pipe hit EOF mid-dispatch "
+                        f"(exitcode {self._procs[rank].exitcode})",
+                        ranks=[rank]) from None
+                rseq, ok, value, started_at, finished_at = msg
+                if rseq != seq:
+                    # stale reply from a generation the master abandoned
+                    # after a timeout; drop it
+                    continue
+                replies[rank] = WorkerReply(rank, ok, value, started_at,
+                                            finished_at)
+                pending.discard(rank)
+            if not ready:
+                # idle probe: catch a worker that died without its pipe
+                # reporting EOF yet
+                dead = [r for r in sorted(pending)
+                        if not self._procs[r].is_alive()]
+                if dead:
+                    raise WorkerDeath(
+                        f"worker(s) {dead} found dead by liveness probe "
+                        f"(exitcodes "
+                        f"{[self._procs[r].exitcode for r in dead]})",
+                        ranks=dead)
+        return replies  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # recovery
+
+    def _respawn(self, rank: int, attempt: int) -> None:
+        """Replace worker ``rank``: reap the old process, fork a new one."""
+        proc = self._procs[rank]
+        was_alive = proc.is_alive()
+        if was_alive:
+            # hung worker: escalate terminate -> kill
+            proc.terminate()
+            proc.join(timeout=1.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=1.0)
+        else:
+            proc.join(timeout=1.0)
+        try:
+            self._pipes[rank].close()
+        except OSError:
+            pass
+        self._pipes[rank], self._procs[rank] = self._spawn_worker(rank)
+        self._fault("respawn", rank=rank,
+                    detail=f"respawned {'hung' if was_alive else 'dead'} "
+                           f"worker (attempt {attempt}, new pid "
+                           f"{self._procs[rank].pid})")
+
+    def _try_recover(self, failure: TransportFailure, attempt: int) -> bool:
+        if not failure.ranks:
+            return False
+        time.sleep(attempt * self.policy.backoff_seconds)
+        for rank in failure.ranks:
+            self._respawn(rank, attempt)
+        return True
 
     def close(self) -> None:
         if self._closed:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import time
 from typing import Callable
 
-from repro.runtime.dispatch import WorkerReply
+from repro.runtime.dispatch import FaultPolicy, WorkerReply
 from repro.runtime.plan import Bounds
 from repro.team.base import Team
 
@@ -16,13 +16,14 @@ class SerialTeam(Team):
     This is the baseline against which the paper measures thread overhead
     (its "Serial" column), and the correctness reference for the parallel
     backends.  Its transport is a direct call, so a serial region's
-    ``dispatch``/``barrier`` overhead is (nearly) zero by construction.
+    ``dispatch``/``barrier`` overhead is (nearly) zero by construction --
+    and it cannot suffer transport failures, so the fault policy is inert.
     """
 
     backend = "serial"
 
-    def __init__(self):
-        super().__init__(1)
+    def __init__(self, policy: FaultPolicy | None = None):
+        super().__init__(1, policy=policy)
 
     def _transport(self, fn: Callable, bounds: Bounds,
                    args: tuple) -> list[WorkerReply]:

@@ -1,0 +1,62 @@
+"""The CLI must surface remote worker tracebacks, not swallow them.
+
+Satellite of the fault-tolerance PR: a ``WorkerError`` raised by the
+process transport carries the worker's formatted traceback; ``npb``
+turns it into a readable error message on stderr and a distinct exit
+code instead of dumping a master-side stack trace.
+"""
+
+import pytest
+
+from repro.harness import cli
+from repro.runtime.dispatch import WorkerError
+from repro.team import ProcessTeam
+
+
+def explode_remotely(lo, hi):
+    raise RuntimeError("CLI-CHAOS-MARKER-42 remote explosion")
+
+
+def test_transport_to_cli_error_message_end_to_end(monkeypatch, capsys):
+    """Drive a real process dispatch failure, then hand the resulting
+    WorkerError through the CLI's error path: the remote traceback text
+    must be visible in the CLI message, unmodified."""
+    captured = {}
+
+    def failing_run_benchmark(*args, **kwargs):
+        with ProcessTeam(2) as team:
+            try:
+                team.parallel_for(8, explode_remotely)
+            except WorkerError as exc:
+                captured["error"] = exc
+                raise
+
+    monkeypatch.setattr(cli, "run_benchmark", failing_run_benchmark)
+    code = cli.main(["run", "CG", "-c", "S", "-b", "process", "-w", "2"])
+    assert code == 3
+    err = capsys.readouterr().err
+    assert "unrecoverable worker failure" in err
+    # the worker's own traceback, frame names and all, reached stderr
+    assert "CLI-CHAOS-MARKER-42" in err
+    assert "explode_remotely" in err
+    assert "Traceback (most recent call last)" in err
+    # and it is the exact text the transport captured
+    assert str(captured["error"]) in err
+
+
+def test_verify_surfaces_worker_error_too(monkeypatch, capsys):
+    def failing_run_benchmark(*args, **kwargs):
+        raise WorkerError("worker 1 failed:\nTraceback ...\n"
+                          "ValueError: VERIFY-CHAOS-MARKER")
+
+    monkeypatch.setattr(cli, "run_benchmark", failing_run_benchmark)
+    code = cli.main(["verify", "-c", "S"])
+    assert code == 3
+    assert "VERIFY-CHAOS-MARKER" in capsys.readouterr().err
+
+
+def test_worker_error_exit_code_distinct_from_verification_failure():
+    """Exit codes: 0 ok, 1 unverified, 3 worker failure -- CI can tell a
+    wrong answer from a dead worker."""
+    with pytest.raises(SystemExit):
+        cli.main(["run", "--definitely-not-a-flag"])

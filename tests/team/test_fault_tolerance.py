@@ -1,0 +1,378 @@
+"""Chaos suite: the dispatch core must survive real worker failures.
+
+The paper's master--worker scheme silently assumes every worker survives
+every wait()/notify() cycle.  These tests inject the failures that
+assumption hides -- SIGKILL mid-dispatch, a task hanging past the
+deadline, a task raising on one rank only -- and assert the run still
+completes with bit-identical results, the recovery path is visible as
+structured FaultEvents, and exhausted retries degrade to inline serial
+execution instead of hanging forever.
+
+All chaos tasks are module-level (picklable) and *idempotent*: the
+failure is gated on shared-memory control words the first execution
+flips, so the retried dispatch runs clean and the final arrays are
+exactly what a healthy run produces.
+
+Control-word layout for ``ctl = team.shared(4)``:
+
+``ctl[0]``  "armed" flag: 0 = inject the fault, 1 = behave
+``ctl[1]``  victim's pid, advertised so the test can SIGKILL it
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.cg import CG
+from repro.runtime.dispatch import FaultPolicy, WorkerError
+from repro.team import ProcessTeam, SerialTeam, ThreadTeam
+
+# Enforced by pytest-timeout where installed (the CI chaos job); inert
+# elsewhere -- the marker is registered in pyproject.toml either way.
+pytestmark = pytest.mark.timeout(120)
+
+
+# --------------------------------------------------------------------- #
+# module-level chaos tasks (picklable for the process backend)
+
+def fill_iota(lo, hi, out):
+    out[lo:hi] = np.arange(lo, hi)
+
+
+def sigkill_self_once(lo, hi, ctl, out):
+    """Rank 0's first execution kills its own worker process."""
+    if lo == 0 and ctl[0] == 0:
+        ctl[0] = 1  # shared-memory write lands before the signal
+        os.kill(os.getpid(), signal.SIGKILL)
+    out[lo:hi] = np.arange(lo, hi)
+
+
+def advertise_pid_and_hang(lo, hi, ctl, out):
+    """Rank 0's first execution advertises its pid and hangs so the test
+    can SIGKILL it while the dispatch is genuinely in flight."""
+    if lo == 0 and ctl[0] == 0:
+        ctl[1] = os.getpid()
+        time.sleep(60.0)  # killed long before this elapses
+    out[lo:hi] = np.arange(lo, hi)
+
+
+def hang_once(lo, hi, ctl, out):
+    """Rank 0's first execution hangs past any reasonable deadline."""
+    if lo == 0 and ctl[0] == 0:
+        ctl[0] = 1
+        time.sleep(60.0)
+    out[lo:hi] = np.arange(lo, hi)
+
+
+def sigkill_unless_master(lo, hi, master_pid, out):
+    """Dies in every worker process; only the master can run it inline."""
+    if os.getpid() != master_pid:
+        os.kill(os.getpid(), signal.SIGKILL)
+    out[lo:hi] = np.arange(lo, hi)
+
+
+def poison_on_first_rank(lo, hi, out):
+    """Application error on rank 0 only: must propagate, never retry."""
+    if lo == 0:
+        raise ValueError("poison task on rank 0")
+    out[lo:hi] = 1.0
+
+
+def hang_in_worker_threads(lo, hi, out):
+    """Hangs in any non-main thread; only inline execution completes."""
+    if threading.current_thread() is not threading.main_thread():
+        time.sleep(60.0)
+    out[lo:hi] = 5.0
+
+
+#: Policy used across the chaos tests: tight deadline, fast backoff.
+CHAOS = FaultPolicy(dispatch_timeout=5.0, max_retries=2,
+                    backoff_seconds=0.01)
+
+
+def expected_iota(n):
+    return np.arange(n, dtype=np.float64)
+
+
+class TestProcessWorkerDeath:
+    def test_sigkill_self_mid_dispatch_respawns_and_completes(self):
+        with ProcessTeam(2, policy=CHAOS) as team:
+            ctl = team.shared(4)
+            out = team.shared(64)
+            team.parallel_for(64, sigkill_self_once, ctl, out)
+            assert np.array_equal(out, expected_iota(64))
+            counts = team.recorder.fault_counts()
+            assert counts.get("worker_death", 0) >= 1
+            assert counts.get("respawn", 0) >= 1
+            assert not team.degraded
+            # the respawned worker is a full team member again
+            out2 = team.shared(32)
+            team.parallel_for(32, fill_iota, out2)
+            assert np.array_equal(out2, expected_iota(32))
+
+    def test_external_sigkill_while_computing(self):
+        """SIGKILL from outside lands while the worker is mid-task."""
+        with ProcessTeam(2, policy=CHAOS) as team:
+            ctl = team.shared(4)
+            out = team.shared(48)
+
+            def killer():
+                # wait until the victim advertises it is inside the task
+                while ctl[1] == 0:
+                    time.sleep(0.005)
+                ctl[0] = 1  # disarm before killing: the retry must pass
+                os.kill(int(ctl[1]), signal.SIGKILL)
+
+            assassin = threading.Thread(target=killer, daemon=True)
+            assassin.start()
+            team.parallel_for(48, advertise_pid_and_hang, ctl, out)
+            assassin.join(timeout=10.0)
+            assert np.array_equal(out, expected_iota(48))
+            counts = team.recorder.fault_counts()
+            assert counts.get("respawn", 0) >= 1
+            assert not team.degraded
+
+    def test_sigkill_while_idle_detected_on_next_dispatch(self):
+        with ProcessTeam(2, policy=CHAOS) as team:
+            out = team.shared(16)
+            team.parallel_for(16, fill_iota, out)
+            os.kill(team._procs[1].pid, signal.SIGKILL)
+            team._procs[1].join(timeout=5.0)
+            out2 = team.shared(16)
+            team.parallel_for(16, fill_iota, out2)
+            assert np.array_equal(out2, expected_iota(16))
+            assert team.recorder.fault_counts().get("respawn", 0) >= 1
+
+
+class TestHungTaskTimeout:
+    def test_process_hung_task_times_out_and_recovers(self):
+        policy = FaultPolicy(dispatch_timeout=0.5, max_retries=2,
+                             backoff_seconds=0.01)
+        with ProcessTeam(2, policy=policy) as team:
+            ctl = team.shared(4)
+            out = team.shared(40)
+            start = time.perf_counter()
+            team.parallel_for(40, hang_once, ctl, out)
+            elapsed = time.perf_counter() - start
+            assert np.array_equal(out, expected_iota(40))
+            counts = team.recorder.fault_counts()
+            assert counts.get("timeout", 0) >= 1
+            assert counts.get("respawn", 0) >= 1
+            assert not team.degraded
+            # recovery must come from the deadline, not the 60s sleep
+            assert elapsed < 30.0
+
+    def test_threads_hung_task_times_out_and_recovers(self):
+        policy = FaultPolicy(dispatch_timeout=0.3, max_retries=2,
+                             backoff_seconds=0.01)
+        team = ThreadTeam(2, policy=policy)
+        try:
+            ctl = team.shared(4)
+            out = team.shared(40)
+            team.parallel_for(40, hang_once, ctl, out)
+            assert np.array_equal(out, expected_iota(40))
+            counts = team.recorder.fault_counts()
+            assert counts.get("timeout", 0) >= 1
+            assert counts.get("respawn", 0) >= 1
+            assert not team.degraded
+        finally:
+            # the hung predecessor thread is retired but still sleeping;
+            # close() must not block on it longer than its join timeout
+            team._join_timeout = 0.1
+            with pytest.warns(RuntimeWarning, match="failed to join"):
+                team.close()
+
+
+class TestDegradation:
+    def test_process_exhausted_retries_degrade_to_serial(self):
+        policy = FaultPolicy(dispatch_timeout=5.0, max_retries=1,
+                             backoff_seconds=0.01)
+        with ProcessTeam(2, policy=policy) as team:
+            out = team.shared(24)
+            team.parallel_for(24, sigkill_unless_master, os.getpid(), out)
+            assert np.array_equal(out, expected_iota(24))
+            assert team.degraded
+            counts = team.recorder.fault_counts()
+            assert counts.get("degrade", 0) == 1
+            assert counts.get("respawn", 0) >= 1  # it did try
+            # degraded team keeps serving dispatches, inline
+            out2 = team.shared(12)
+            team.parallel_for(12, fill_iota, out2)
+            assert np.array_equal(out2, expected_iota(12))
+
+    def test_threads_exhausted_retries_degrade_to_serial(self):
+        policy = FaultPolicy(dispatch_timeout=0.2, max_retries=1,
+                             backoff_seconds=0.01)
+        team = ThreadTeam(2, policy=policy, join_timeout=0.1)
+        try:
+            out = team.shared(8)
+            team.parallel_for(8, hang_in_worker_threads, out)
+            assert np.all(out == 5.0)
+            assert team.degraded
+            assert team.recorder.fault_counts().get("degrade", 0) == 1
+        finally:
+            with pytest.warns(RuntimeWarning, match="failed to join"):
+                team.close()
+
+    def test_degrade_events_carry_region_attribution(self):
+        policy = FaultPolicy(dispatch_timeout=5.0, max_retries=0,
+                             backoff_seconds=0.01)
+        with ProcessTeam(2, policy=policy) as team:
+            out = team.shared(8)
+            team.recorder.push("chaos_phase")
+            try:
+                team.parallel_for(8, sigkill_unless_master, os.getpid(), out)
+            finally:
+                team.recorder.pop()
+            kinds = {e.kind for e in team.recorder.faults}
+            assert "degrade" in kinds
+            assert all(e.region == "chaos_phase"
+                       for e in team.recorder.faults)
+
+
+class TestPoisonTaskIsNotRetried:
+    """An application error is the task's fault, not the transport's."""
+
+    @pytest.mark.parametrize("team_factory", [
+        lambda: SerialTeam(policy=CHAOS),
+        lambda: ThreadTeam(2, policy=CHAOS),
+        lambda: ProcessTeam(2, policy=CHAOS),
+    ], ids=["serial", "threads", "process"])
+    def test_poison_rank_propagates_without_respawn(self, team_factory):
+        with team_factory() as team:
+            out = team.shared(16)
+            with pytest.raises(Exception, match="poison task on rank 0"):
+                team.parallel_for(16, poison_on_first_rank, out)
+            # no transport fault, no retry, no degradation
+            assert team.recorder.fault_counts() == {}
+            assert not team.degraded
+            # and the team stays usable
+            team.parallel_for(16, fill_iota, out)
+            assert np.array_equal(out, expected_iota(16))
+
+
+class TestThreadCloseEscalation:
+    def test_stuck_worker_close_records_join_timeout_fault(self):
+        team = ThreadTeam(1, join_timeout=0.05)
+        release = threading.Event()
+        started = threading.Event()
+
+        def stuck(lo, hi):
+            started.set()
+            release.wait(timeout=30.0)
+
+        dispatcher = threading.Thread(
+            target=lambda: team.parallel_for(1, stuck), daemon=True)
+        dispatcher.start()
+        assert started.wait(timeout=5.0)
+        with pytest.warns(RuntimeWarning, match="failed to join"):
+            team.close()
+        # the warning is now *also* a structured, machine-readable event
+        events = [e for e in team.recorder.faults
+                  if e.kind == "join_timeout"]
+        assert len(events) == 1
+        assert events[0].rank == 0
+        assert events[0].backend == "threads"
+        assert "npb-worker-0" in events[0].detail
+        release.set()
+        dispatcher.join(timeout=5.0)
+
+    def test_stuck_worker_cannot_hang_interpreter_exit(self):
+        """A worker stuck in a task forever must not block process exit:
+        run the scenario in a real interpreter and require prompt exit."""
+        script = (
+            "import sys, threading, time, warnings\n"
+            "from repro.team import ThreadTeam\n"
+            "def stuck(lo, hi):\n"
+            "    time.sleep(600)\n"
+            "team = ThreadTeam(1, join_timeout=0.1)\n"
+            "threading.Thread(target=lambda: team.parallel_for(1, stuck),\n"
+            "                 daemon=True).start()\n"
+            "time.sleep(0.3)  # let the worker enter the task\n"
+            "with warnings.catch_warnings():\n"
+            "    warnings.simplefilter('ignore')\n"
+            "    team.close()\n"
+            "assert team.recorder.fault_counts()['join_timeout'] == 1\n"
+            "sys.exit(0)\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + \
+            env.get("PYTHONPATH", "")
+        proc = subprocess.run([sys.executable, "-c", script], env=env,
+                              timeout=60, capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stderr
+
+
+def raise_deep_marker(lo, hi):
+    """Raises through a helper frame so the remote traceback has depth."""
+    def inner_frame():
+        raise ValueError("CHAOS-MARKER-7f3a deliberate remote failure")
+    inner_frame()
+
+
+class TestRemoteTracebackPreserved:
+    """WorkerError must carry the worker's traceback text end-to-end."""
+
+    def test_process_worker_error_carries_remote_traceback(self):
+        with ProcessTeam(2) as team:
+            with pytest.raises(WorkerError) as excinfo:
+                team.parallel_for(8, raise_deep_marker)
+        message = str(excinfo.value)
+        # the original exception text, the remote frames, and the rank
+        # all survive the pipe crossing
+        assert "CHAOS-MARKER-7f3a" in message
+        assert "raise_deep_marker" in message
+        assert "inner_frame" in message
+        assert "Traceback (most recent call last)" in message
+        assert "worker 0 failed" in message
+
+
+class TestBenchmarkUnderChaos:
+    """The ISSUE's acceptance scenario: a real benchmark run whose
+    process worker is SIGKILLed mid-region completes verified, with the
+    respawn visible in the run record."""
+
+    def test_cg_survives_worker_sigkill_and_verifies(self):
+        with ProcessTeam(2, policy=CHAOS) as team:
+            bench = CG("S", team)
+            bench.setup()
+            # kill a worker between setup and the timed region: the death
+            # is detected by the first in-region dispatch, so the fault
+            # lands inside conj_grad and survives the timed-region reset
+            os.kill(team._procs[1].pid, signal.SIGKILL)
+            team._procs[1].join(timeout=5.0)
+            result = bench.run()
+        assert result.verified
+        counts = result.fault_counts
+        assert counts.get("respawn", 0) >= 1
+        assert counts.get("worker_death", 0) >= 1
+        record = result.to_dict()
+        assert record["fault_counts"]["respawn"] >= 1
+        assert any(e["kind"] == "respawn" for e in record["faults"])
+        # fault events carry the region they interrupted
+        assert any(e["region"] != "(unattributed)"
+                   for e in record["faults"])
+
+    def test_cg_degraded_run_still_verifies(self):
+        """With retries exhausted the run degrades to serial -- and still
+        produces a verified result instead of hanging."""
+        policy = FaultPolicy(dispatch_timeout=5.0, max_retries=0,
+                             backoff_seconds=0.01)
+        with ProcessTeam(2, policy=policy) as team:
+            bench = CG("S", team)
+            bench.setup()
+            out = team.shared(4)
+            # poison the transport permanently before the run
+            team.parallel_for(4, sigkill_unless_master, os.getpid(), out)
+            assert team.degraded
+            result = bench.run()
+        assert result.verified
+        assert result.backend == "process"  # identity preserved...
+        assert result.fault_counts.get("degrade", 0) == 1  # ...but audited
