@@ -12,6 +12,7 @@ from repro.cg.solver import (
     _dot_slab,
     _fill_slab,
     _scale_into_x_slab,
+    compute_reduceat_offsets,
     conj_grad,
 )
 from repro.common.randdp import A_DEFAULT, Randlc
@@ -61,6 +62,12 @@ class CG(NPBenchmark):
         self.rowstr[:] = matrix.rowstr
         self.colidx[:] = matrix.colidx
         self.a[:] = matrix.a
+        # Per-slab reduceat offsets for the mat-vec, computed once for
+        # this team's plan (team-shared so process workers see them by
+        # reference rather than repickling every dispatch).
+        self.offsets = team.shared(n, dtype=np.int64)
+        compute_reduceat_offsets(team.plan.bounds(n), self.rowstr,
+                                 self.offsets)
 
         self.x = team.shared(n)
         self.z = team.shared(n)
@@ -82,7 +89,8 @@ class CG(NPBenchmark):
         team = self.team
         with self.region("conj_grad"):
             rnorm = conj_grad(team, n, self.rowstr, self.colidx, self.a,
-                              self.x, self.z, self.p, self.q, self.r)
+                              self.x, self.z, self.p, self.q, self.r,
+                              self.offsets)
         with self.region("norm"):
             norm_xz = team.reduce_sum(n, _dot_slab, self.x, self.z)
             norm_zz = team.reduce_sum(n, _dot_slab, self.z, self.z)

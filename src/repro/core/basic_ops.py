@@ -13,7 +13,11 @@ Each operation is implemented here in the styles the paper compares:
 
 ``numpy``
     Vectorized NumPy over linearized buffers -- the compiled,
-    regular-stride machine code role that f77 plays in the paper.
+    regular-stride machine code role that f77 plays in the paper.  The
+    stencil and matvec kernels are fused in-place ufunc chains into
+    per-worker :class:`~repro.runtime.arena.ScratchArena` buffers
+    (bit-identical to the ``*_reference`` expression forms, which are kept
+    as the readable spec and for the equivalence suite).
 
 ``python``
     Interpreted per-element loops over a *linearized* 1-D buffer with
@@ -34,6 +38,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.runtime.arena import worker_arena
 
 #: Grid used by the paper's Table 1 (nx x ny x nz).
 PAPER_GRID = (81, 81, 100)
@@ -89,8 +95,9 @@ def numpy_assignment(w: Workload, out: np.ndarray) -> None:
         out[...] = w.a
 
 
-def numpy_stencil1(w: Workload, out: np.ndarray) -> None:
-    """7-point first-order star filter on the interior."""
+def numpy_stencil1_reference(w: Workload, out: np.ndarray) -> None:
+    """Expression-form 7-point filter (allocates one temporary per
+    operator)."""
     a = w.a
     out[1:-1, 1:-1, 1:-1] = (
         C0 * a[1:-1, 1:-1, 1:-1]
@@ -100,8 +107,29 @@ def numpy_stencil1(w: Workload, out: np.ndarray) -> None:
     )
 
 
-def numpy_stencil2(w: Workload, out: np.ndarray) -> None:
-    """13-point second-order star filter on the deep interior."""
+def numpy_stencil1(w: Workload, out: np.ndarray) -> None:
+    """7-point first-order star filter on the interior, fused into the
+    output interior plus one arena buffer; bit-identical to
+    :func:`numpy_stencil1_reference`.  An entry point, not a slab task,
+    so it opens its own arena generation."""
+    a = w.a
+    arena = worker_arena()
+    arena.next_dispatch()
+    t = arena.take(a[1:-1, 1:-1, 1:-1].shape)
+    np.add(a[1:-1, 1:-1, :-2], a[1:-1, 1:-1, 2:], out=t)
+    np.add(t, a[1:-1, :-2, 1:-1], out=t)
+    np.add(t, a[1:-1, 2:, 1:-1], out=t)
+    np.add(t, a[:-2, 1:-1, 1:-1], out=t)
+    np.add(t, a[2:, 1:-1, 1:-1], out=t)
+    np.multiply(t, C1, out=t)
+    ov = out[1:-1, 1:-1, 1:-1]
+    np.multiply(a[1:-1, 1:-1, 1:-1], C0, out=ov)
+    np.add(ov, t, out=ov)
+
+
+def numpy_stencil2_reference(w: Workload, out: np.ndarray) -> None:
+    """Expression-form 13-point filter (allocates one temporary per
+    operator)."""
     a = w.a
     out[2:-2, 2:-2, 2:-2] = (
         C0 * a[2:-2, 2:-2, 2:-2]
@@ -114,9 +142,45 @@ def numpy_stencil2(w: Workload, out: np.ndarray) -> None:
     )
 
 
-def numpy_matvec5(w: Workload, out: np.ndarray) -> None:
-    """out[p] = M[p] @ x[p] at every grid point."""
+def numpy_stencil2(w: Workload, out: np.ndarray) -> None:
+    """13-point second-order star filter on the deep interior, fused;
+    bit-identical to :func:`numpy_stencil2_reference`."""
+    a = w.a
+    arena = worker_arena()
+    arena.next_dispatch()
+    t = arena.take(a[2:-2, 2:-2, 2:-2].shape)
+    ov = out[2:-2, 2:-2, 2:-2]
+    np.multiply(a[2:-2, 2:-2, 2:-2], C0, out=ov)
+    np.add(a[2:-2, 2:-2, 1:-3], a[2:-2, 2:-2, 3:-1], out=t)
+    np.add(t, a[2:-2, 1:-3, 2:-2], out=t)
+    np.add(t, a[2:-2, 3:-1, 2:-2], out=t)
+    np.add(t, a[1:-3, 2:-2, 2:-2], out=t)
+    np.add(t, a[3:-1, 2:-2, 2:-2], out=t)
+    np.multiply(t, C1, out=t)
+    np.add(ov, t, out=ov)
+    np.add(a[2:-2, 2:-2, :-4], a[2:-2, 2:-2, 4:], out=t)
+    np.add(t, a[2:-2, :-4, 2:-2], out=t)
+    np.add(t, a[2:-2, 4:, 2:-2], out=t)
+    np.add(t, a[:-4, 2:-2, 2:-2], out=t)
+    np.add(t, a[4:, 2:-2, 2:-2], out=t)
+    np.multiply(t, C2, out=t)
+    np.add(ov, t, out=ov)
+
+
+def numpy_matvec5_reference(w: Workload, out: np.ndarray) -> None:
+    """Expression-form pointwise 5x5 mat-vec (allocates the matmul
+    result)."""
     out[...] = (w.matrices @ w.vectors[..., None])[..., 0]
+
+
+def numpy_matvec5(w: Workload, out: np.ndarray) -> None:
+    """out[p] = M[p] @ x[p] at every grid point, matmul routed into an
+    arena buffer; bit-identical to :func:`numpy_matvec5_reference`."""
+    arena = worker_arena()
+    arena.next_dispatch()
+    t = arena.take(w.vectors.shape + (1,))
+    np.matmul(w.matrices, w.vectors[..., None], out=t)
+    out[...] = t[..., 0]
 
 
 def numpy_reduction(w: Workload) -> float:
@@ -131,7 +195,7 @@ def numpy_assignment_slab(lo: int, hi: int, a, out) -> None:
         out[lo:hi] = a[lo:hi]
 
 
-def numpy_stencil1_slab(lo: int, hi: int, a, out) -> None:
+def numpy_stencil1_slab_reference(lo: int, hi: int, a, out) -> None:
     lo1 = max(lo, 1)
     hi1 = min(hi, a.shape[0] - 1)
     if hi1 <= lo1:
@@ -145,7 +209,26 @@ def numpy_stencil1_slab(lo: int, hi: int, a, out) -> None:
     )
 
 
-def numpy_stencil2_slab(lo: int, hi: int, a, out) -> None:
+def numpy_stencil1_slab(lo: int, hi: int, a, out) -> None:
+    """Slab 7-point filter, fused; bit-identical to
+    :func:`numpy_stencil1_slab_reference`."""
+    lo1 = max(lo, 1)
+    hi1 = min(hi, a.shape[0] - 1)
+    if hi1 <= lo1:
+        return
+    t = worker_arena().take((hi1 - lo1,) + a[0, 1:-1, 1:-1].shape)
+    np.add(a[lo1:hi1, 1:-1, :-2], a[lo1:hi1, 1:-1, 2:], out=t)
+    np.add(t, a[lo1:hi1, :-2, 1:-1], out=t)
+    np.add(t, a[lo1:hi1, 2:, 1:-1], out=t)
+    np.add(t, a[lo1 - 1:hi1 - 1, 1:-1, 1:-1], out=t)
+    np.add(t, a[lo1 + 1:hi1 + 1, 1:-1, 1:-1], out=t)
+    np.multiply(t, C1, out=t)
+    ov = out[lo1:hi1, 1:-1, 1:-1]
+    np.multiply(a[lo1:hi1, 1:-1, 1:-1], C0, out=ov)
+    np.add(ov, t, out=ov)
+
+
+def numpy_stencil2_slab_reference(lo: int, hi: int, a, out) -> None:
     lo2 = max(lo, 2)
     hi2 = min(hi, a.shape[0] - 2)
     if hi2 <= lo2:
@@ -163,8 +246,45 @@ def numpy_stencil2_slab(lo: int, hi: int, a, out) -> None:
     )
 
 
-def numpy_matvec5_slab(lo: int, hi: int, matrices, vectors, out) -> None:
+def numpy_stencil2_slab(lo: int, hi: int, a, out) -> None:
+    """Slab 13-point filter, fused; bit-identical to
+    :func:`numpy_stencil2_slab_reference`."""
+    lo2 = max(lo, 2)
+    hi2 = min(hi, a.shape[0] - 2)
+    if hi2 <= lo2:
+        return
+    t = worker_arena().take((hi2 - lo2,) + a[0, 2:-2, 2:-2].shape)
+    ov = out[lo2:hi2, 2:-2, 2:-2]
+    np.multiply(a[lo2:hi2, 2:-2, 2:-2], C0, out=ov)
+    np.add(a[lo2:hi2, 2:-2, 1:-3], a[lo2:hi2, 2:-2, 3:-1], out=t)
+    np.add(t, a[lo2:hi2, 1:-3, 2:-2], out=t)
+    np.add(t, a[lo2:hi2, 3:-1, 2:-2], out=t)
+    np.add(t, a[lo2 - 1:hi2 - 1, 2:-2, 2:-2], out=t)
+    np.add(t, a[lo2 + 1:hi2 + 1, 2:-2, 2:-2], out=t)
+    np.multiply(t, C1, out=t)
+    np.add(ov, t, out=ov)
+    np.add(a[lo2:hi2, 2:-2, :-4], a[lo2:hi2, 2:-2, 4:], out=t)
+    np.add(t, a[lo2:hi2, :-4, 2:-2], out=t)
+    np.add(t, a[lo2:hi2, 4:, 2:-2], out=t)
+    np.add(t, a[lo2 - 2:hi2 - 2, 2:-2, 2:-2], out=t)
+    np.add(t, a[lo2 + 2:hi2 + 2, 2:-2, 2:-2], out=t)
+    np.multiply(t, C2, out=t)
+    np.add(ov, t, out=ov)
+
+
+def numpy_matvec5_slab_reference(lo: int, hi: int, matrices, vectors,
+                                 out) -> None:
     out[lo:hi] = (matrices[lo:hi] @ vectors[lo:hi, ..., None])[..., 0]
+
+
+def numpy_matvec5_slab(lo: int, hi: int, matrices, vectors, out) -> None:
+    """Slab pointwise mat-vec, matmul routed into an arena buffer;
+    bit-identical to :func:`numpy_matvec5_slab_reference`."""
+    if hi <= lo:
+        return
+    t = worker_arena().take((hi - lo,) + vectors.shape[1:] + (1,))
+    np.matmul(matrices[lo:hi], vectors[lo:hi, ..., None], out=t)
+    out[lo:hi] = t[..., 0]
 
 
 def numpy_reduction_slab(lo: int, hi: int, four_d) -> float:

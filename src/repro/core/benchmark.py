@@ -30,7 +30,9 @@ from repro.team import SerialTeam, Team
 #: and the per-cell payload embedded in ``BENCH_*.json`` trajectory
 #: records); bump on any breaking change to the schema.
 #: v2: added ``faults`` (structured FaultEvent list) and ``fault_counts``.
-RUN_RECORD_SCHEMA_VERSION = 2
+#: v3: region dicts gained ``alloc_bytes``/``alloc_blocks`` (per-region
+#: allocation accounting; zeros unless the run traced allocations).
+RUN_RECORD_SCHEMA_VERSION = 3
 
 
 @dataclass

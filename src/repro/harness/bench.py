@@ -39,7 +39,10 @@ from repro.harness.stats import summarize, time_callable
 #: v2: benchmark cells carry ``faults`` (total fault events over the
 #: cell's repeats) and ``fault_counts`` (events by kind); v1 records are
 #: migrated on load with zero faults.
-SCHEMA_VERSION = 2
+#: v3: benchmark-cell region dicts carry ``alloc_bytes``/``alloc_blocks``
+#: (per-region allocation accounting; zeros unless the suite ran with
+#: allocation tracing).  v1/v2 records are migrated on load with zeros.
+SCHEMA_VERSION = 3
 
 #: The ``kind`` tag every record carries (guards against loading foreign JSON).
 RECORD_KIND = "npb-bench-record"
@@ -252,16 +255,33 @@ def run_suite(
     repeat: int = 3,
     quick: bool = False,
     progress=None,
+    trace_alloc: bool = False,
 ) -> dict:
-    """Run the suite and return a schema-versioned trajectory record."""
-    measured = []
-    for cell in tuple(cells) + tuple(kernels):
-        if progress is not None:
-            progress(f"  bench {cell.cell_id} (repeat {repeat})")
-        if isinstance(cell, BenchCell):
-            measured.append(run_bench_cell(cell, repeat))
-        else:
-            measured.append(run_kernel_cell(cell, repeat))
+    """Run the suite and return a schema-versioned trajectory record.
+
+    With ``trace_alloc`` the suite runs under ``tracemalloc``, populating
+    the per-region ``alloc_bytes``/``alloc_blocks`` fields.  Tracing slows
+    every cell, so traced records must only be compared against other
+    traced records (the flag is stamped into ``config``); CI's wall-time
+    gate keeps tracing off.
+    """
+    import tracemalloc
+
+    was_tracing = tracemalloc.is_tracing()
+    if trace_alloc and not was_tracing:
+        tracemalloc.start()
+    try:
+        measured = []
+        for cell in tuple(cells) + tuple(kernels):
+            if progress is not None:
+                progress(f"  bench {cell.cell_id} (repeat {repeat})")
+            if isinstance(cell, BenchCell):
+                measured.append(run_bench_cell(cell, repeat))
+            else:
+                measured.append(run_kernel_cell(cell, repeat))
+    finally:
+        if trace_alloc and not was_tracing:
+            tracemalloc.stop()
     return {
         "kind": RECORD_KIND,
         "schema_version": SCHEMA_VERSION,
@@ -270,6 +290,7 @@ def run_suite(
         "config": {
             "repeat": repeat,
             "quick": quick,
+            "trace_alloc": trace_alloc,
             "cells": [c.cell_id for c in cells],
             "kernels": [k.cell_id for k in kernels],
         },
@@ -317,6 +338,14 @@ def _migrate_record(record: dict, version: int) -> dict:
             if cell.get("kind") == "benchmark":
                 cell.setdefault("faults", 0)
                 cell.setdefault("fault_counts", {})
+    if version < 3:
+        # v2 predates allocation accounting, which is opt-in anyway
+        # (untraced runs record zeros), so zero is the faithful migration.
+        for cell in record.get("cells", []):
+            for stats in cell.get("regions", {}).values():
+                stats.setdefault("alloc_bytes", 0)
+                stats.setdefault("alloc_blocks", 0)
+    if version < SCHEMA_VERSION:
         record["schema_version"] = SCHEMA_VERSION
     return record
 

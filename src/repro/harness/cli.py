@@ -91,14 +91,22 @@ def _cmd_verify(args) -> int:
 
 
 def _cmd_profile(args) -> int:
+    import tracemalloc
+
     from repro.core.registry import get_benchmark
     from repro.team import make_team
 
     cls = get_benchmark(args.benchmark.upper())
-    with make_team(args.backend, args.workers,
-                   policy=_fault_policy(args)) as team:
-        result = cls(args.problem_class, team).run()
-        plan_info = team.plan.cache_info()
+    if args.alloc and not tracemalloc.is_tracing():
+        tracemalloc.start()
+    try:
+        with make_team(args.backend, args.workers,
+                       policy=_fault_policy(args)) as team:
+            result = cls(args.problem_class, team).run()
+            plan_info = team.plan.cache_info()
+    finally:
+        if args.alloc and tracemalloc.is_tracing():
+            tracemalloc.stop()
     if args.json:
         record = result.to_dict()
         record["plan_cache"] = plan_info
@@ -146,7 +154,8 @@ def _cmd_bench(args) -> int:
         kernels = []
     progress = None if args.json else print
     record = bench.run_suite(cells, kernels, repeat=args.repeat,
-                             quick=args.quick, progress=progress)
+                             quick=args.quick, progress=progress,
+                             trace_alloc=args.alloc)
     path = bench.write_record(record, directory=args.dir, path=args.out)
     if args.json:
         print(json.dumps(bench.load_record(path), indent=2))
@@ -270,6 +279,11 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("benchmark", choices=available_benchmarks(),
                          type=str.upper)
     _common(profile)
+    profile.add_argument("--alloc", action="store_true",
+                         help="trace allocations (tracemalloc) and report "
+                              "per-region allocated bytes/blocks; slows "
+                              "the run, and with -b process only "
+                              "master-side allocation is visible")
     profile.add_argument("--json", action="store_true",
                          help="emit the run record plus plan-cache stats "
                               "as JSON")
@@ -316,6 +330,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="absolute seconds of slowdown always tolerated "
                             "(widens the band for sub-10ms cells; "
                             "default 0.005)")
+    bench.add_argument("--alloc", action="store_true",
+                       help="run the suite under tracemalloc so region "
+                            "alloc_bytes/alloc_blocks are populated; "
+                            "traced records are slower -- only compare "
+                            "them against other traced records")
     bench.add_argument("--json", action="store_true",
                        help="print the record (or comparison) as JSON")
     bench.set_defaults(fn=_cmd_bench)

@@ -50,35 +50,59 @@ def region_profile_table(result: "BenchmarkResult",
     ``(dispatch + barrier) / (dispatch + execute + barrier)`` -- the
     paper's per-phase overhead diagnosis (LU inner-loop synchronization,
     Table 1 start/notify cost) as first-class data.
+
+    When the run traced allocations (``npb profile --alloc``), two more
+    columns appear: ``alloc MB`` (gross bytes of temporary churn above
+    each dispatch's entry footprint, summed over the region) and
+    ``blocks`` (net allocator-block delta -- a leak signal when it keeps
+    growing).
     """
+    has_alloc = any(stats.get("alloc_bytes", 0) or stats.get("alloc_blocks", 0)
+                    for stats in result.regions.values())
+    columns = ["region", "calls", "wall s", "dispatch s", "execute s",
+               "barrier s", "sync %"]
+    if has_alloc:
+        columns += ["alloc MB", "blocks"]
     table = Table(
         f"Region profile: {result.name}.{result.problem_class} "
         f"({result.backend} x{result.nworkers}, {result.niter} iterations)",
-        ["region", "calls", "wall s", "dispatch s", "execute s",
-         "barrier s", "sync %"],
+        columns,
     )
     totals = {"calls": 0, "wall": 0.0, "dispatch": 0.0, "execute": 0.0,
-              "barrier": 0.0}
+              "barrier": 0.0, "alloc_bytes": 0, "alloc_blocks": 0}
     for name, stats in result.regions.items():
         sync = stats["dispatch_seconds"] + stats["barrier_seconds"]
         busy = sync + stats["execute_seconds"]
-        table.add_row(name, stats["calls"], stats["wall_seconds"],
-                      stats["dispatch_seconds"], stats["execute_seconds"],
-                      stats["barrier_seconds"],
-                      100.0 * sync / busy if busy > 0 else 0.0)
+        row = [name, stats["calls"], stats["wall_seconds"],
+               stats["dispatch_seconds"], stats["execute_seconds"],
+               stats["barrier_seconds"],
+               100.0 * sync / busy if busy > 0 else 0.0]
+        if has_alloc:
+            row += [stats.get("alloc_bytes", 0) / 1e6,
+                    stats.get("alloc_blocks", 0)]
+        table.add_row(*row)
         totals["calls"] += int(stats["calls"])
         totals["wall"] += stats["wall_seconds"]
         totals["dispatch"] += stats["dispatch_seconds"]
         totals["execute"] += stats["execute_seconds"]
         totals["barrier"] += stats["barrier_seconds"]
+        totals["alloc_bytes"] += int(stats.get("alloc_bytes", 0))
+        totals["alloc_blocks"] += int(stats.get("alloc_blocks", 0))
     sync = totals["dispatch"] + totals["barrier"]
     busy = sync + totals["execute"]
-    table.add_row("TOTAL", totals["calls"], totals["wall"],
-                  totals["dispatch"], totals["execute"], totals["barrier"],
-                  100.0 * sync / busy if busy > 0 else 0.0)
+    total_row = ["TOTAL", totals["calls"], totals["wall"],
+                 totals["dispatch"], totals["execute"], totals["barrier"],
+                 100.0 * sync / busy if busy > 0 else 0.0]
+    if has_alloc:
+        total_row += [totals["alloc_bytes"] / 1e6, totals["alloc_blocks"]]
+    table.add_row(*total_row)
     table.notes.append(
         f"timed region {result.time_seconds:.4f}s; dispatch/execute/barrier "
         f"are summed over {result.nworkers} worker(s)")
+    if has_alloc:
+        table.notes.append(
+            "alloc MB is gross temporary churn (tracemalloc peak rise per "
+            "dispatch, summed); blocks is the net allocator-block delta")
     if plan_info is not None:
         table.notes.append(
             f"plan cache: {plan_info['entries']} partitions memoized, "

@@ -26,6 +26,7 @@ from repro.core.basic_ops import (
     run_operation,
 )
 from repro.harness.report import Table
+from repro.harness.stats import time_callable
 from repro.lufact import (
     LU_CLASSES_TABLE7,
     dgetrf_blocked,
@@ -102,9 +103,13 @@ def _table1(mode: str, problem_class: str, grid=None) -> Table:
     for op in OPERATIONS:
         times = {}
         for style in ("numpy", "python", "python_multidim"):
-            t0 = time.perf_counter()
-            run_operation(op, style, w)
-            times[style] = time.perf_counter() - t0
+            # min-of-k, like the bench subsystem: a single cold call
+            # would charge the numpy styles their one-time warm-up
+            # (ufunc loop selection, arena pool allocation) and swamp
+            # the tiny-grid ratios.
+            summary = time_callable(
+                lambda style=style: run_operation(op, style, w), repeat=3)
+            times[style] = summary.best
         table.add_row(
             _OP_LABELS[op], times["numpy"], times["python"],
             times["python"] / times["numpy"], times["python_multidim"],

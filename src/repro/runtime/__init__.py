@@ -23,8 +23,15 @@ dispatch core (:mod:`repro.runtime.dispatch`)
     dispatch inside a region contributes its dispatch latency, task
     execution time, and barrier-wait time to that region's totals, which
     surface as ``BenchmarkResult.regions`` and in ``npb profile``.
+
+:class:`ScratchArena` (:mod:`repro.runtime.arena`)
+    Per-worker reusable scratch buffers for the fused ``out=`` kernels,
+    generation-reset by the dispatch core before every task, plus the
+    tracemalloc allocation probes behind the per-region
+    ``alloc_bytes``/``alloc_blocks`` accounting.
 """
 
+from repro.runtime.arena import ScratchArena, worker_arena
 from repro.runtime.dispatch import (DispatchTimeout, FaultEvent,
                                     FaultPolicy, TransportFailure,
                                     WorkerDeath, WorkerError, WorkerReply)
@@ -34,6 +41,8 @@ from repro.runtime.region import ParallelRegion, RegionRecorder, RegionStats
 __all__ = [
     "DispatchTimeout",
     "ExecutionPlan",
+    "ScratchArena",
+    "worker_arena",
     "FaultEvent",
     "FaultPolicy",
     "ParallelRegion",

@@ -1,0 +1,231 @@
+"""Per-worker scratch arenas and allocation accounting.
+
+The paper's central performance lever is memory discipline (Sec. 2:
+linearized arrays beat multidimensional ones 2-3x; Table 7: ``lufact`` is
+cache-miss-bound).  NumPy undoes that discipline by default: every ``+``
+and ``*`` in a slab kernel allocates a full-slab temporary, so one
+timestep churns hundreds of MB of allocator traffic and cold cache lines.
+
+:class:`ScratchArena` is the antidote.  Each worker (the master for the
+serial backend, every :class:`~repro.team.threads.ThreadTeam` thread,
+every forked :class:`~repro.team.procs.ProcessTeam` process) owns exactly
+one arena, reached through :func:`worker_arena`.  A fused kernel asks the
+arena for scratch buffers (:meth:`ScratchArena.take`) and runs its
+stencil as an in-place ``np.add(..., out=)`` / ``np.multiply(..., out=)``
+chain into them.  The dispatch core starts a new arena *generation*
+before every task execution (:func:`repro.runtime.dispatch.execute_task`),
+which rewinds every pool cursor: buffers allocated by earlier dispatches
+are handed out again instead of reallocated.  After a one-dispatch
+warm-up the steady state is allocation-free.
+
+Rules of the ``out=`` convention (see docs/architecture.md):
+
+* ``take`` returns an *uninitialized* buffer -- the first operation into
+  it must be a pure write (a binary ufunc with ``out=``, ``np.copyto``),
+  never a read-modify-write;
+* arena buffers are only valid for the duration of the task execution
+  that took them -- never store one across dispatches;
+* fused chains must preserve the reference kernel's floating-point
+  grouping term by term, so results stay bit-identical.
+
+Ownership is thread-local, which is what makes all three backends work
+without locks: the serial master and every ThreadTeam worker are distinct
+threads of one process, and every ProcessTeam worker calls
+:func:`fresh_worker_arena` after the fork.  A respawned worker (thread or
+process) simply builds a fresh arena lazily -- recovery never has to
+repair arena state.
+
+Allocation accounting
+---------------------
+:func:`allocation_probe_start` / :func:`allocation_probe_stop` measure
+one span (the dispatch core wraps every dispatch) and feed the
+per-region ``alloc_bytes`` / ``alloc_blocks`` counters of
+:class:`~repro.runtime.region.RegionStats`:
+
+``alloc_bytes``
+    gross temporary churn: how far ``tracemalloc``'s peak rose above the
+    traced size at span entry.  Naive kernels push this by 10-20 slab
+    sizes per call; fused kernels by ~0 after warm-up.  Only measured
+    while ``tracemalloc`` is tracing (``npb profile --alloc``), because
+    tracing itself slows allocation.
+``alloc_blocks``
+    net live small-object blocks (``sys.getallocatedblocks`` delta): a
+    leak detector.  Steady-state kernels should hold this near zero.
+
+Both probes see allocations from the master and from thread workers (one
+process); process-backend workers allocate in their own address spaces,
+which the master-side probe cannot observe -- use
+:func:`arena_stats_task` (``team.run_on_all``) to read the workers' own
+arena counters instead.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import tracemalloc
+
+import numpy as np
+
+#: Pools idle for this many generations are released at the next
+#: generation reset.  Hot kernels touch their pools every few
+#: generations; a pool this stale belongs to a finished benchmark.
+STALE_GENERATIONS = 512
+
+
+class ScratchArena:
+    """Reusable scratch buffers keyed by ``(shape, dtype)``.
+
+    ``take`` hands out buffers from per-key pools; :meth:`next_dispatch`
+    starts a new generation, rewinding every pool cursor so the same
+    buffers are reused by the next task.  The arena never zeroes buffers
+    (callers overwrite) and never copies.
+    """
+
+    __slots__ = ("generation", "allocations", "reuses", "_pools",
+                 "_cursors", "_touched")
+
+    def __init__(self):
+        #: current generation (bumped once per task execution)
+        self.generation = 0
+        #: fresh buffers allocated over the arena's lifetime
+        self.allocations = 0
+        #: takes served from an existing buffer
+        self.reuses = 0
+        self._pools: dict[tuple, list[np.ndarray]] = {}
+        self._cursors: dict[tuple, int] = {}
+        self._touched: dict[tuple, int] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def next_dispatch(self) -> None:
+        """Start a new generation: every pooled buffer becomes reusable.
+
+        Pools that no task has touched for :data:`STALE_GENERATIONS`
+        generations are released (their shapes belong to finished work);
+        live views keep their data alive, so this is always safe.
+        """
+        self.generation += 1
+        if self._cursors:
+            self._cursors.clear()
+        if self._pools and self.generation % STALE_GENERATIONS == 0:
+            horizon = self.generation - STALE_GENERATIONS
+            for key in [k for k, g in self._touched.items() if g < horizon]:
+                del self._pools[key]
+                del self._touched[key]
+
+    def take(self, shape, dtype=np.float64) -> np.ndarray:
+        """An uninitialized scratch buffer of ``shape``/``dtype``.
+
+        Repeated takes of the same key within one generation return
+        *distinct* buffers; the same takes in the next generation return
+        the same buffers again, in the same order.
+        """
+        if isinstance(shape, int):
+            shape = (shape,)
+        key = (tuple(shape), np.dtype(dtype).str)
+        cursor = self._cursors.get(key, 0)
+        self._cursors[key] = cursor + 1
+        self._touched[key] = self.generation
+        pool = self._pools.get(key)
+        if pool is None:
+            pool = self._pools[key] = []
+        if cursor < len(pool):
+            self.reuses += 1
+            return pool[cursor]
+        buffer = np.empty(key[0], dtype=np.dtype(dtype))
+        pool.append(buffer)
+        self.allocations += 1
+        return buffer
+
+    def take_like(self, template: np.ndarray) -> np.ndarray:
+        """Scratch buffer with ``template``'s shape and dtype."""
+        return self.take(template.shape, template.dtype)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by the arena's pools."""
+        return sum(b.nbytes for pool in self._pools.values() for b in pool)
+
+    def stats(self) -> dict:
+        """Counters for tests, ``bench_alloc`` and the CI growth gate."""
+        return {
+            "generation": self.generation,
+            "allocations": self.allocations,
+            "reuses": self.reuses,
+            "buffers": sum(len(p) for p in self._pools.values()),
+            "nbytes": self.nbytes,
+        }
+
+    def release(self) -> None:
+        """Drop every pooled buffer (counters survive)."""
+        self._pools.clear()
+        self._cursors.clear()
+        self._touched.clear()
+
+
+# --------------------------------------------------------------------- #
+# per-worker ownership
+
+_tls = threading.local()
+
+
+def worker_arena() -> ScratchArena:
+    """The calling worker's arena (created lazily, one per thread).
+
+    The serial master, every ThreadTeam worker and every ProcessTeam
+    worker run on distinct threads (or in distinct processes), so
+    thread-local storage gives exactly the per-worker ownership the
+    fused kernels need -- with no locking on the hot path.
+    """
+    arena = getattr(_tls, "arena", None)
+    if arena is None:
+        arena = _tls.arena = ScratchArena()
+    return arena
+
+
+def fresh_worker_arena() -> ScratchArena:
+    """Discard any inherited arena and start fresh (post-fork hook).
+
+    A forked ProcessTeam worker inherits the master thread's TLS slot;
+    starting from an empty arena keeps the copied master buffers from
+    being kept alive in every worker.
+    """
+    _tls.arena = ScratchArena()
+    return _tls.arena
+
+
+def arena_stats_task(rank: int, nworkers: int) -> dict:
+    """``team.run_on_all`` task: each worker reports its own arena
+    counters (the only way to see process-backend worker arenas)."""
+    return worker_arena().stats()
+
+
+# --------------------------------------------------------------------- #
+# allocation probes (tracemalloc + live-block deltas around one span)
+
+
+def allocation_probe_start() -> "tuple[int, int] | None":
+    """Begin one accounting span; ``None`` when tracemalloc is off.
+
+    Resets tracemalloc's peak so the span's ``alloc_bytes`` measures the
+    peak rise *within* the span, not a high-water mark from before it.
+    """
+    if not tracemalloc.is_tracing():
+        return None
+    tracemalloc.reset_peak()
+    current, _ = tracemalloc.get_traced_memory()
+    return current, sys.getallocatedblocks()
+
+
+def allocation_probe_stop(token: "tuple[int, int] | None",
+                          ) -> "tuple[int, int] | None":
+    """Finish a span: ``(alloc_bytes, alloc_blocks)`` deltas, or None."""
+    if token is None:
+        return None
+    entry_bytes, entry_blocks = token
+    _, peak = tracemalloc.get_traced_memory()
+    return (max(0, peak - entry_bytes),
+            sys.getallocatedblocks() - entry_blocks)

@@ -35,8 +35,11 @@ failure are distinguished:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
+
+from repro.runtime.arena import worker_arena
 
 
 class WorkerError(RuntimeError):
@@ -145,6 +148,27 @@ class WorkerReply:
     @property
     def execute_seconds(self) -> float:
         return self.finished_at - self.started_at
+
+
+def execute_task(rank: int, fn: Callable, a: int, b: int,
+                 args: tuple) -> WorkerReply:
+    """Run one slab task on the calling worker and stamp the reply.
+
+    This is the single execution path shared by the serial transport,
+    the thread workers and the degraded inline fallback (the process
+    workers replicate it with remote-traceback capture).  It owns the
+    arena hand-off: a new :mod:`~repro.runtime.arena` generation starts
+    *before* the task, so every scratch buffer the previous dispatch
+    took from this worker's arena is reusable by this one.
+    """
+    worker_arena().next_dispatch()
+    started_at = time.perf_counter()
+    try:
+        ok, value = True, fn(a, b, *args)
+    except BaseException as exc:
+        ok, value = False, exc
+    finished_at = time.perf_counter()
+    return WorkerReply(rank, ok, value, started_at, finished_at)
 
 
 def raise_reply_error(reply: WorkerReply) -> None:

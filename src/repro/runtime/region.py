@@ -17,6 +17,13 @@ All three are *sums over workers*, so ``execute`` is cumulative worker
 busy time (it can exceed the region's wall time), and for a perfectly
 balanced region ``barrier`` approaches zero.  ``wall`` is master-side
 elapsed dispatch time and is counted once per call.
+
+When allocation tracking is on (``tracemalloc`` tracing, e.g. under
+``npb profile --alloc``), every dispatch additionally charges two
+allocation counters to its region (see :mod:`repro.runtime.arena`):
+``alloc_bytes`` (gross temporary churn: the tracemalloc peak rise over
+the dispatch) and ``alloc_blocks`` (net live-block growth, a leak
+signal).  Both stay zero when tracking is off.
 """
 
 from __future__ import annotations
@@ -42,6 +49,11 @@ class RegionStats:
     dispatch_seconds: float = 0.0
     execute_seconds: float = 0.0
     barrier_seconds: float = 0.0
+    #: gross allocator churn (tracemalloc peak rise, summed per dispatch);
+    #: zero unless allocation tracking was on
+    alloc_bytes: int = 0
+    #: net live small-object block growth (leak signal); can be negative
+    alloc_blocks: int = 0
 
     @property
     def sync_seconds(self) -> float:
@@ -61,6 +73,8 @@ class RegionStats:
             "dispatch_seconds": self.dispatch_seconds,
             "execute_seconds": self.execute_seconds,
             "barrier_seconds": self.barrier_seconds,
+            "alloc_bytes": self.alloc_bytes,
+            "alloc_blocks": self.alloc_blocks,
         }
 
 
@@ -98,8 +112,14 @@ class RegionRecorder:
         self._stats.clear()
 
     def record(self, published_at: float, done_at: float,
-               replies: "Sequence[WorkerReply]") -> None:
-        """Charge one completed dispatch to the current region."""
+               replies: "Sequence[WorkerReply]",
+               alloc: "tuple[int, int] | None" = None) -> None:
+        """Charge one completed dispatch to the current region.
+
+        ``alloc`` is the dispatch's ``(alloc_bytes, alloc_blocks)`` probe
+        delta (:mod:`repro.runtime.arena`), or None when allocation
+        tracking is off.
+        """
         stats = self._stats.get(self.current_region)
         if stats is None:
             stats = self._stats[self.current_region] = RegionStats()
@@ -109,6 +129,9 @@ class RegionRecorder:
             stats.dispatch_seconds += reply.started_at - published_at
             stats.execute_seconds += reply.finished_at - reply.started_at
             stats.barrier_seconds += done_at - reply.finished_at
+        if alloc is not None:
+            stats.alloc_bytes += alloc[0]
+            stats.alloc_blocks += alloc[1]
 
     def record_fault(self, event: "FaultEvent") -> None:
         """Append one fault-tolerance event (timeout/death/respawn/...)."""

@@ -36,7 +36,14 @@ collection, error propagation, and per-dispatch instrumentation (a
 hook, :meth:`_transport`, which delivers one ``fn(a, b, *args)`` task per
 worker and returns the per-worker :class:`~repro.runtime.dispatch.WorkerReply`
 list -- inline call (serial), condition-variable hand-off (threads), or
-process pipe (process).
+process pipe (process).  Every transport runs its task through
+:func:`~repro.runtime.dispatch.execute_task` (the process workers
+replicate it), which opens a new :mod:`~repro.runtime.arena` generation
+on the executing worker before the task -- the hand-off that lets fused
+kernels reuse per-worker scratch buffers dispatch after dispatch.  When
+``tracemalloc`` is tracing, the core also wraps each dispatch in an
+allocation probe and charges the ``alloc_bytes``/``alloc_blocks`` deltas
+to the current region.
 
 Fault tolerance
 ---------------
@@ -62,9 +69,11 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.runtime.arena import (allocation_probe_start,
+                                 allocation_probe_stop)
 from repro.runtime.dispatch import (FaultEvent, FaultPolicy,
                                     TransportFailure, WorkerReply,
-                                    raise_reply_error)
+                                    execute_task, raise_reply_error)
 from repro.runtime.plan import Bounds, ExecutionPlan
 from repro.runtime.region import RegionRecorder
 
@@ -146,19 +155,13 @@ class Team(ABC):
         """Degraded-mode transport: every slab inline on the master.
 
         Same bounds, same rank order, so results are bit-identical to a
-        healthy dispatch -- only the parallelism is gone.
+        healthy dispatch -- only the parallelism is gone.  Every slab
+        runs through :func:`~repro.runtime.dispatch.execute_task`, so
+        each one opens a fresh arena generation on the master exactly as
+        it would on its own worker.
         """
-        replies: list[WorkerReply] = []
-        for rank, (a, b) in enumerate(bounds):
-            started_at = time.perf_counter()
-            try:
-                ok, value = True, fn(a, b, *args)
-            except BaseException as exc:
-                ok, value = False, exc
-            finished_at = time.perf_counter()
-            replies.append(WorkerReply(rank, ok, value, started_at,
-                                       finished_at))
-        return replies
+        return [execute_task(rank, fn, a, b, args)
+                for rank, (a, b) in enumerate(bounds)]
 
     def _dispatch(self, fn: Callable, bounds: Bounds,
                   args: tuple) -> list[Any]:
@@ -167,6 +170,7 @@ class Team(ABC):
         attempts = 0
         while True:
             published_at = time.perf_counter()
+            probe = allocation_probe_start()
             if self._degraded:
                 replies = self._run_inline(fn, bounds, args)
             else:
@@ -192,7 +196,8 @@ class Team(ABC):
                         self._degraded = True
                     continue
             done_at = time.perf_counter()
-            self.recorder.record(published_at, done_at, replies)
+            self.recorder.record(published_at, done_at, replies,
+                                 allocation_probe_stop(probe))
             for reply in replies:
                 if not reply.ok:
                     raise_reply_error(reply)

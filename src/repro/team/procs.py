@@ -43,6 +43,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.runtime.arena import fresh_worker_arena
 # Re-exported here for backwards compatibility; defined with the runtime's
 # dispatch types.
 from repro.runtime.dispatch import (DispatchTimeout, FaultPolicy,
@@ -68,6 +69,10 @@ class SharedArrayRef:
 
 def _worker_main(rank: int, conn) -> None:
     """Worker loop: resolve array refs, run the slab task, reply."""
+    # Fork copied the master thread's TLS slot; start from an empty
+    # arena so this worker's scratch pools are its own (a respawned
+    # worker likewise starts fresh -- nothing to repair).
+    arena = fresh_worker_arena()
     attached: dict[str, tuple[shared_memory.SharedMemory, None]] = {}
 
     def resolve(arg: Any) -> Any:
@@ -91,6 +96,9 @@ def _worker_main(rank: int, conn) -> None:
             if msg is None:
                 break
             seq, fn, a, b, args = msg
+            # Mirror execute_task (remote tracebacks must be captured as
+            # strings here): new arena generation, then run and stamp.
+            arena.next_dispatch()
             started_at = time.perf_counter()
             try:
                 args = tuple(resolve(x) for x in args)

@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import time
 from typing import Callable
 
-from repro.runtime.dispatch import FaultPolicy, WorkerReply
+from repro.runtime.dispatch import FaultPolicy, WorkerReply, execute_task
 from repro.runtime.plan import Bounds
 from repro.team.base import Team
 
@@ -28,10 +27,4 @@ class SerialTeam(Team):
     def _transport(self, fn: Callable, bounds: Bounds,
                    args: tuple) -> list[WorkerReply]:
         a, b = bounds[0]
-        started_at = time.perf_counter()
-        try:
-            ok, value = True, fn(a, b, *args)
-        except BaseException as exc:
-            ok, value = False, exc
-        finished_at = time.perf_counter()
-        return [WorkerReply(0, ok, value, started_at, finished_at)]
+        return [execute_task(0, fn, a, b, args)]

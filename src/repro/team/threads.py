@@ -35,7 +35,8 @@ import warnings
 from typing import Callable
 
 from repro.runtime.dispatch import (DispatchTimeout, FaultPolicy,
-                                    TransportFailure, WorkerReply)
+                                    TransportFailure, WorkerReply,
+                                    execute_task)
 from repro.runtime.plan import Bounds
 from repro.team.base import Team
 
@@ -96,13 +97,9 @@ class ThreadTeam(Team):
                 seen = self._generation
                 fn, bounds, args = self._task
             a, b = bounds[rank]
-            started_at = time.perf_counter()
-            try:
-                ok, value = True, fn(a, b, *args)
-            except BaseException as exc:  # captured; the core re-raises
-                ok, value = False, exc
-            finished_at = time.perf_counter()
-            reply = WorkerReply(rank, ok, value, started_at, finished_at)
+            # execute_task captures task exceptions into the reply (the
+            # core re-raises) and opens this thread's arena generation.
+            reply = execute_task(rank, fn, a, b, args)
             with self._cond:
                 # Post only if this thread still owns the rank and the
                 # master is still waiting on this generation; a reply from

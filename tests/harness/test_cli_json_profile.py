@@ -5,7 +5,8 @@ import json
 from repro.harness.cli import main
 
 REGION_KEYS = {"calls", "wall_seconds", "dispatch_seconds",
-               "execute_seconds", "barrier_seconds"}
+               "execute_seconds", "barrier_seconds",
+               "alloc_bytes", "alloc_blocks"}
 
 
 class TestRunJson:

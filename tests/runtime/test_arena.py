@@ -1,0 +1,193 @@
+"""Scratch-arena semantics, allocation probes, and steady-state reuse.
+
+The fused kernels' allocation-free claim rests on three properties tested
+here: ``take`` reuses the same buffers generation after generation, every
+worker (on every backend) owns exactly one arena, and after a warm-up
+dispatch the arena stops allocating entirely -- the CI perf-smoke gate
+asserts the same invariant via ``benchmarks/bench_alloc.py --check``.
+"""
+
+import threading
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.runtime.arena import (
+    STALE_GENERATIONS,
+    ScratchArena,
+    allocation_probe_start,
+    allocation_probe_stop,
+    arena_stats_task,
+    fresh_worker_arena,
+    worker_arena,
+)
+from repro.runtime.region import UNATTRIBUTED
+
+
+# Module-level tasks (picklable for the process backend).
+
+def fused_scaled_fill(lo, hi, out, scale):
+    """An arena-using slab task: one scratch buffer, out= chain."""
+    arena = worker_arena()
+    t = arena.take((hi - lo,))
+    np.multiply(out[lo:hi], 0.0, out=t)
+    i = np.arange(lo, hi, dtype=np.float64)
+    np.multiply(i, scale, out=t)
+    np.add(t, 1.0, out=out[lo:hi])
+
+
+def churn_task(lo, hi, out):
+    """A deliberately naive task: allocates fresh temporaries."""
+    out[lo:hi] = np.sqrt(np.arange(lo, hi, dtype=np.float64) + 1.0) * 2.0
+
+
+class TestScratchArena:
+    def test_take_shape_dtype_and_int_shape(self):
+        arena = ScratchArena()
+        a = arena.take((3, 4))
+        assert a.shape == (3, 4) and a.dtype == np.float64
+        b = arena.take(7, dtype=np.int64)
+        assert b.shape == (7,) and b.dtype == np.int64
+
+    def test_distinct_within_generation_same_across_generations(self):
+        arena = ScratchArena()
+        arena.next_dispatch()
+        a1 = arena.take((5,))
+        a2 = arena.take((5,))
+        assert a1 is not a2
+        arena.next_dispatch()
+        b1 = arena.take((5,))
+        b2 = arena.take((5,))
+        # same buffers, same hand-out order
+        assert b1 is a1 and b2 is a2
+        assert arena.allocations == 2 and arena.reuses == 2
+
+    def test_different_keys_use_different_pools(self):
+        arena = ScratchArena()
+        a = arena.take((4,))
+        b = arena.take((4,), dtype=np.float32)
+        c = arena.take((2, 2))
+        assert a is not b and a is not c
+        assert arena.stats()["buffers"] == 3
+
+    def test_take_like(self):
+        arena = ScratchArena()
+        template = np.zeros((2, 3), dtype=np.float32)
+        got = arena.take_like(template)
+        assert got.shape == (2, 3) and got.dtype == np.float32
+
+    def test_stats_and_nbytes(self):
+        arena = ScratchArena()
+        arena.take((10,))  # 80 bytes
+        arena.next_dispatch()
+        arena.take((10,))
+        stats = arena.stats()
+        assert stats == {"generation": 1, "allocations": 1, "reuses": 1,
+                         "buffers": 1, "nbytes": 80}
+
+    def test_stale_pools_released(self):
+        arena = ScratchArena()
+        arena.take((9,))  # touched at generation 0
+        for _ in range(2 * STALE_GENERATIONS):
+            arena.next_dispatch()
+            arena.take((3,))  # the hot pool, touched every generation
+        stats = arena.stats()
+        assert stats["buffers"] == 1  # the (9,) pool was collected
+        assert stats["nbytes"] == 3 * 8
+
+    def test_release_drops_buffers_keeps_counters(self):
+        arena = ScratchArena()
+        arena.take((6,))
+        arena.release()
+        assert arena.stats()["buffers"] == 0
+        assert arena.allocations == 1
+        arena.next_dispatch()
+        arena.take((6,))
+        assert arena.allocations == 2  # had to reallocate
+
+
+class TestWorkerOwnership:
+    def test_worker_arena_is_per_thread(self):
+        main = worker_arena()
+        assert worker_arena() is main  # stable within a thread
+        seen = []
+        thread = threading.Thread(target=lambda: seen.append(worker_arena()))
+        thread.start()
+        thread.join()
+        assert seen[0] is not main
+
+    def test_fresh_worker_arena_replaces(self):
+        old = worker_arena()
+        fresh = fresh_worker_arena()
+        assert fresh is not old
+        assert worker_arena() is fresh
+
+
+class TestAllocationProbes:
+    def test_probe_is_none_when_not_tracing(self):
+        assert not tracemalloc.is_tracing()
+        assert allocation_probe_start() is None
+        assert allocation_probe_stop(None) is None
+
+    def test_probe_measures_span_churn(self):
+        tracemalloc.start()
+        try:
+            token = allocation_probe_start()
+            assert token is not None
+            garbage = [np.empty(1 << 16) for _ in range(4)]
+            del garbage
+            alloc = allocation_probe_stop(token)
+        finally:
+            tracemalloc.stop()
+        assert alloc is not None
+        alloc_bytes, _ = alloc
+        # the span's peak rose by at least one of the temporaries
+        assert alloc_bytes >= (1 << 16) * 8
+
+
+class TestRegionAllocAccounting:
+    def test_untraced_dispatch_records_zero_alloc(self, any_team):
+        out = any_team.shared(64)
+        any_team.parallel_for(64, churn_task, out)
+        stats = any_team.recorder.stats(UNATTRIBUTED)
+        assert stats.alloc_bytes == 0 and stats.alloc_blocks == 0
+
+    def test_traced_dispatch_charges_region(self, serial_team):
+        out = serial_team.shared(1 << 15)
+        serial_team.recorder.push("churn")
+        tracemalloc.start()
+        try:
+            serial_team.parallel_for(1 << 15, churn_task, out)
+        finally:
+            tracemalloc.stop()
+            serial_team.recorder.pop()
+        stats = serial_team.recorder.stats("churn")
+        assert stats.calls == 1
+        # churn_task allocates at least one full-extent f64 temporary
+        assert stats.alloc_bytes >= (1 << 15) * 8
+
+
+@pytest.mark.parametrize("backend", ["serial", "threads", "process"])
+def test_steady_state_is_allocation_free(backend, request):
+    """After one warm-up dispatch, further dispatches allocate nothing.
+
+    This is the zero-steady-state-growth invariant the CI perf-smoke
+    step gates on: every worker's ``allocations`` counter must be flat
+    across repeated dispatches, with every ``take`` served by reuse.
+    """
+    team = request.getfixturevalue(f"{backend}_team"
+                                   if backend != "threads" else "thread_team")
+    n = 257
+    out = team.shared(n)
+    team.parallel_for(n, fused_scaled_fill, out, 1.5)  # warm-up
+    before = team.run_on_all(arena_stats_task)
+    for _ in range(5):
+        team.parallel_for(n, fused_scaled_fill, out, 1.5)
+    after = team.run_on_all(arena_stats_task)
+    assert len(before) == len(after) == team.nworkers
+    for b, a in zip(before, after):
+        assert a["allocations"] == b["allocations"], (
+            f"arena grew after warm-up on {backend}: {b} -> {a}")
+        assert a["reuses"] > b["reuses"]
+        assert a["generation"] > b["generation"]

@@ -82,7 +82,8 @@ class TestRegionRecorder:
         report = rec.report()
         assert set(report["a"]) == {"calls", "wall_seconds",
                                     "dispatch_seconds", "execute_seconds",
-                                    "barrier_seconds"}
+                                    "barrier_seconds",
+                                    "alloc_bytes", "alloc_blocks"}
         assert report["a"]["calls"] == 1
 
 
