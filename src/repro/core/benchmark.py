@@ -32,7 +32,10 @@ from repro.team import SerialTeam, Team
 #: v2: added ``faults`` (structured FaultEvent list) and ``fault_counts``.
 #: v3: region dicts gained ``alloc_bytes``/``alloc_blocks`` (per-region
 #: allocation accounting; zeros unless the run traced allocations).
-RUN_RECORD_SCHEMA_VERSION = 3
+#: v4: added the job-service fields ``job_id`` (null outside the
+#: service), ``cache_hit``, and ``queue_wait_seconds`` (see
+#: :mod:`repro.service`).
+RUN_RECORD_SCHEMA_VERSION = 4
 
 
 @dataclass
@@ -56,6 +59,12 @@ class BenchmarkResult:
     #: worker deaths, respawns, degradations), in occurrence order; each
     #: is a FaultEvent dict (see :mod:`repro.runtime.dispatch`)
     faults: list[dict] = field(default_factory=list)
+    #: job-service provenance (schema v4): the service stamps these when
+    #: the run was a submitted job; a direct ``npb run`` leaves the
+    #: defaults (no job, never cached, zero queue wait)
+    job_id: str | None = None
+    cache_hit: bool = False
+    queue_wait_seconds: float = 0.0
 
     @property
     def verified(self) -> bool:
@@ -94,6 +103,9 @@ class BenchmarkResult:
                         for name, stats in self.regions.items()},
             "faults": [dict(event) for event in self.faults],
             "fault_counts": self.fault_counts,
+            "job_id": self.job_id,
+            "cache_hit": self.cache_hit,
+            "queue_wait_seconds": self.queue_wait_seconds,
         }
 
     def banner(self) -> str:

@@ -42,7 +42,12 @@ from repro.harness.stats import summarize, time_callable
 #: v3: benchmark-cell region dicts carry ``alloc_bytes``/``alloc_blocks``
 #: (per-region allocation accounting; zeros unless the suite ran with
 #: allocation tracing).  v1/v2 records are migrated on load with zeros.
-SCHEMA_VERSION = 3
+#: v4: benchmark cells carry the job-service fields ``job_id``,
+#: ``cache_hit`` and ``queue_wait_seconds`` (see :mod:`repro.service`);
+#: direct ``npb bench`` runs record null/false/zero, and v1-v3 records
+#: are migrated on load the same way (a recorded cell back then could
+#: only have been a direct run).
+SCHEMA_VERSION = 4
 
 #: The ``kind`` tag every record carries (guards against loading foreign JSON).
 RECORD_KIND = "npb-bench-record"
@@ -225,6 +230,11 @@ def run_bench_cell(cell: BenchCell, repeat: int) -> dict:
         # degrading to serial must not look healthy
         "faults": sum(fault_counts.values()),
         "fault_counts": fault_counts,
+        # job-service fields (schema v4): bench cells are direct runs,
+        # so they carry the same nulls a non-service `npb run` would
+        "job_id": best.job_id,
+        "cache_hit": best.cache_hit,
+        "queue_wait_seconds": best.queue_wait_seconds,
     }
     record.update(summary.as_dict())
     return record
@@ -345,6 +355,14 @@ def _migrate_record(record: dict, version: int) -> dict:
             for stats in cell.get("regions", {}).values():
                 stats.setdefault("alloc_bytes", 0)
                 stats.setdefault("alloc_blocks", 0)
+    if version < 4:
+        # v3 predates the job service; every recorded cell was a direct
+        # run, so null/false/zero is the faithful migration.
+        for cell in record.get("cells", []):
+            if cell.get("kind") == "benchmark":
+                cell.setdefault("job_id", None)
+                cell.setdefault("cache_hit", False)
+                cell.setdefault("queue_wait_seconds", 0.0)
     if version < SCHEMA_VERSION:
         record["schema_version"] = SCHEMA_VERSION
     return record

@@ -11,7 +11,31 @@ Subcommands::
     npb bench --compare BASE.json      noise-aware regression gate
     npb table 3 [--measured] [-c A]    regenerate a paper table
     npb tables [--measured]            regenerate all seven tables
+    npb serve --pool 2 --port 8642     long-lived benchmark job service
+                                       (queue + warm team pool + cache)
+    npb submit CG -c S --url URL       submit a job to a running service
+    npb jobs [JOB_ID] --url URL        service status / job inspection
     npb list                           list benchmarks and classes
+
+Exit codes
+----------
+The single authoritative table -- every subcommand returns one of these
+(asserted by ``tests/harness/test_cli_verify.py``):
+
+====  =================================================================
+code  meaning
+====  =================================================================
+0     success (``EXIT_OK``): ran, verified, no regression
+1     failure (``EXIT_FAILURE``): verification failed, a bench cell
+      regressed or was unverified, or a submitted job failed
+2     usage (``EXIT_USAGE``): bad arguments (argparse), missing
+      comparison candidate, or an unreachable service daemon
+3     unrecoverable worker failure (``EXIT_WORKER_FAILURE``): a
+      :class:`~repro.runtime.dispatch.WorkerError` escaped the fault-
+      tolerance machinery (remote traceback printed)
+4     admission rejected (``EXIT_REJECTED``): the service queue is full
+      or draining (HTTP 429); back off and resubmit
+====  =================================================================
 """
 
 from __future__ import annotations
@@ -27,6 +51,17 @@ from repro.harness.bench import (DEFAULT_ABS_SLACK, DEFAULT_MAD_MULTIPLIER,
 from repro.harness.report import format_table, region_profile_table
 from repro.harness.tables import TABLES, generate_table
 from repro.runtime.dispatch import FaultPolicy, WorkerError
+
+#: Exit-code table (documented in the module docstring above; keep the
+#: two in sync -- the tests assert both).
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_WORKER_FAILURE = 3
+EXIT_REJECTED = 4
+
+#: Default address of the ``npb serve`` daemon.
+DEFAULT_SERVICE_URL = "http://127.0.0.1:8642"
 
 
 def _fault_policy(args) -> FaultPolicy | None:
@@ -129,7 +164,7 @@ def _cmd_bench(args) -> int:
             print(f"no BENCH_*.json candidate found in {args.dir!r}; "
                   f"run 'npb bench' first or pass a candidate path",
                   file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         candidate = bench.load_record(candidate_path)
         comparison = bench.compare_records(
             baseline, candidate, tolerance=args.tolerance,
@@ -168,6 +203,152 @@ def _cmd_bench(args) -> int:
         print("UNVERIFIED cells: " + ", ".join(unverified), file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.service import BenchService, make_server
+
+    service = BenchService(
+        backend=args.backend, workers=args.workers,
+        pool_size=args.pool, queue_depth=args.queue_depth,
+        cache_dir=args.cache_dir, cache_entries=args.cache_entries,
+        policy=_fault_policy(args))
+    httpd = make_server(service, host=args.host, port=args.port,
+                        verbose=args.verbose)
+    host, port = httpd.server_address[:2]
+    print(f"npb service listening on http://{host}:{port} "
+          f"(pool {args.pool}x {args.backend} x{args.workers}, "
+          f"queue depth {args.queue_depth}, cache {args.cache_dir})",
+          flush=True)
+
+    stop = threading.Event()
+
+    def _handle(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _handle)
+    signal.signal(signal.SIGINT, _handle)
+    server_thread = threading.Thread(target=httpd.serve_forever,
+                                     kwargs={"poll_interval": 0.2},
+                                     daemon=True)
+    server_thread.start()
+    stop.wait()
+    # Graceful drain: stop accepting connections, finish every admitted
+    # job, close all teams, then exit 0 so supervisors see a clean stop.
+    print("npb service draining (finishing admitted jobs, rejecting new "
+          "submissions)...", flush=True)
+    httpd.shutdown()
+    server_thread.join(5.0)
+    httpd.server_close()
+    clean = service.drain(timeout=args.drain_timeout)
+    print(f"npb service drained "
+          f"{'cleanly' if clean else 'with stuck dispatchers'}", flush=True)
+    return EXIT_OK if clean else EXIT_FAILURE
+
+
+def _job_summary(job: dict) -> str:
+    lines = [f"job {job['job_id']}  state={job['state']}  "
+             f"spec={job['spec']['benchmark']}."
+             f"{job['spec']['problem_class']}."
+             f"{job['spec']['backend']}.x{job['spec']['workers']}  "
+             f"cache_hit={job['cache_hit']}  "
+             f"queue_wait={job['queue_wait_seconds']:.4f}s"]
+    result = job.get("result")
+    if result:
+        lines.append(f"  time={result['time_seconds']:.4f}s  "
+                     f"mops={result['mops']:.1f}  "
+                     f"verified={result['verified']}")
+    if job.get("error"):
+        lines.append(f"  error: {job['error'].splitlines()[-1]}")
+    return "\n".join(lines)
+
+
+def _cmd_submit(args) -> int:
+    from repro.service import ServiceClient, ServiceUnavailable
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    payload = {
+        "benchmark": args.benchmark,
+        "problem_class": args.problem_class,
+        "backend": args.backend,
+        "workers": args.workers,
+        "priority": args.priority,
+        "no_cache": args.no_cache,
+        "wait": not args.no_wait,
+    }
+    if args.dispatch_timeout is not None:
+        payload["dispatch_timeout"] = args.dispatch_timeout
+    if args.max_retries is not None:
+        payload["max_retries"] = args.max_retries
+    try:
+        code, body = client.submit(payload)
+    except ServiceUnavailable as exc:
+        print(f"npb submit: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if code == 429:
+        print(f"npb submit: admission rejected: {body.get('error')}",
+              file=sys.stderr)
+        return EXIT_REJECTED
+    if code not in (200, 202):
+        print(f"npb submit: HTTP {code}: {body.get('error')}",
+              file=sys.stderr)
+        return EXIT_USAGE
+    if args.json:
+        print(json.dumps(body, indent=2))
+    else:
+        print(_job_summary(body))
+    if args.no_wait:
+        return EXIT_OK
+    if body.get("state") == "failed":
+        return EXIT_FAILURE
+    result = body.get("result") or {}
+    return EXIT_OK if result.get("verified") else EXIT_FAILURE
+
+
+def _cmd_jobs(args) -> int:
+    from repro.service import ServiceClient, ServiceUnavailable
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        if args.job_id:
+            code, body = client.job(args.job_id)
+            if code == 404:
+                print(f"npb jobs: unknown job {args.job_id!r}",
+                      file=sys.stderr)
+                return EXIT_FAILURE
+            print(json.dumps(body, indent=2) if args.json
+                  else _job_summary(body))
+            return EXIT_OK
+        code, status = client.status()
+        _, listing = client.jobs()
+    except ServiceUnavailable as exc:
+        print(f"npb jobs: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.json:
+        print(json.dumps({"status": status, **listing}, indent=2))
+        return EXIT_OK
+    queue = status["queue"]
+    pool = status["pool"]
+    cache = status["cache"]
+    sched = status["scheduler"]
+    print(f"service up {status['uptime_seconds']:.1f}s  "
+          f"draining={status['draining']}")
+    print(f"queue   depth {queue['depth']}/{queue['capacity']}")
+    print(f"pool    {pool['in_use']}/{pool['size']} in use "
+          f"({pool['backend']} x{pool['workers']}, "
+          f"{pool['leases']} leases, {pool['cold_spawns']} cold, "
+          f"{pool['replacements']} replaced)")
+    print(f"cache   {cache['entries']} entries, "
+          f"hit rate {cache['hit_rate']:.0%} "
+          f"({cache['hits']} hits / {cache['misses']} misses)")
+    print(f"sched   {sched['executed']} executed, {sched['cached']} cached, "
+          f"{sched['failed']} failed, faults={sched['fault_counts']}")
+    for job in listing.get("jobs", []):
+        print(_job_summary(job))
+    return EXIT_OK
 
 
 def _cmd_table(args) -> int:
@@ -339,6 +520,70 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the record (or comparison) as JSON")
     bench.set_defaults(fn=_cmd_bench)
 
+    serve = sub.add_parser(
+        "serve", help="start the benchmark job service daemon (bounded "
+                      "admission queue, warm team pool, content-addressed "
+                      "result cache, HTTP API)")
+    _common(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="listen port (0 picks a free one; the chosen "
+                            "address is printed on startup)")
+    serve.add_argument("--pool", type=int, default=2, metavar="N",
+                       help="warm teams kept alive and reused across jobs "
+                            "(also the number of concurrent jobs; "
+                            "default 2)")
+    serve.add_argument("--queue-depth", type=int, default=64, metavar="D",
+                       help="admitted-but-unstarted jobs held before "
+                            "submissions are rejected with HTTP 429 "
+                            "(default 64)")
+    serve.add_argument("--cache-dir", default=".npb-service-cache",
+                       help="directory of the content-addressed result "
+                            "cache (default .npb-service-cache)")
+    serve.add_argument("--cache-entries", type=int, default=256,
+                       help="LRU bound on cached results (default 256)")
+    serve.add_argument("--drain-timeout", type=float, default=60.0,
+                       help="seconds to wait for running jobs on "
+                            "SIGTERM/SIGINT before giving up (default 60)")
+    serve.add_argument("-v", "--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+    serve.set_defaults(fn=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit one benchmark job to a running service "
+                       "(exit 4 when admission is rejected)")
+    submit.add_argument("benchmark", choices=available_benchmarks(),
+                        type=str.upper)
+    _common(submit)
+    submit.add_argument("--url", default=DEFAULT_SERVICE_URL,
+                        help=f"service address (default "
+                             f"{DEFAULT_SERVICE_URL})")
+    submit.add_argument("--priority", default="normal",
+                        choices=["high", "normal"],
+                        help="queue lane; high drains before normal")
+    submit.add_argument("--no-cache", action="store_true",
+                        help="force execution even when an identical "
+                             "result is cached (the new result is still "
+                             "stored)")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="return immediately with the queued job id "
+                             "instead of waiting for the result")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="client-side HTTP timeout in seconds "
+                             "(default 600)")
+    submit.add_argument("--json", action="store_true",
+                        help="print the job record as JSON")
+    submit.set_defaults(fn=_cmd_submit)
+
+    jobs = sub.add_parser(
+        "jobs", help="service status and job listing (or one job by id)")
+    jobs.add_argument("job_id", nargs="?", default=None)
+    jobs.add_argument("--url", default=DEFAULT_SERVICE_URL,
+                      help=f"service address (default {DEFAULT_SERVICE_URL})")
+    jobs.add_argument("--timeout", type=float, default=30.0)
+    jobs.add_argument("--json", action="store_true")
+    jobs.set_defaults(fn=_cmd_jobs)
+
     table = sub.add_parser("table", help="regenerate one paper table")
     table.add_argument("number", type=int, choices=TABLES)
     table.add_argument("--measured", action="store_true",
@@ -404,7 +649,7 @@ def main(argv: list[str] | None = None) -> int:
         # A worker failed in a way the dispatch core could not recover or
         # translate (the remote traceback rides along verbatim).
         print(f"npb: unrecoverable worker failure\n{exc}", file=sys.stderr)
-        return 3
+        return EXIT_WORKER_FAILURE
 
 
 if __name__ == "__main__":

@@ -203,6 +203,22 @@ def arena_stats_task(rank: int, nworkers: int) -> dict:
     return worker_arena().stats()
 
 
+def arena_rewind_task(rank: int, nworkers: int) -> int:
+    """``team.run_on_all`` task: start a fresh arena generation on each
+    worker and return the new generation number.
+
+    This is the between-jobs arena reset used by
+    :meth:`repro.team.base.Team.reset`.  It deliberately does *not*
+    release pooled buffers -- a warm pool is exactly the state a reused
+    team amortizes across jobs (the next job's ``take`` calls of the
+    same shapes are allocation-free); buffers whose shapes belong to a
+    finished job are reclaimed by the :data:`STALE_GENERATIONS` GC.
+    """
+    arena = worker_arena()
+    arena.next_dispatch()
+    return arena.generation
+
+
 # --------------------------------------------------------------------- #
 # allocation probes (tracemalloc + live-block deltas around one span)
 

@@ -111,6 +111,21 @@ class RegionRecorder:
         """
         self._stats.clear()
 
+    def reset(self) -> None:
+        """Return the recorder to its freshly-constructed state.
+
+        Unlike :meth:`clear` (the NPB timed-region reset, which keeps
+        fault history within one run), ``reset`` drops *everything* --
+        stats, fault events, and any stale region stack.  This is the
+        between-jobs reset used by :meth:`repro.team.base.Team.reset`:
+        a pooled team's second benchmark must start with the same
+        recorder state a fresh team would have, or region stats and
+        fault reports accumulate across unrelated jobs.
+        """
+        self._stack.clear()
+        self._stats.clear()
+        self._faults.clear()
+
     def record(self, published_at: float, done_at: float,
                replies: "Sequence[WorkerReply]",
                alloc: "tuple[int, int] | None" = None) -> None:

@@ -1,0 +1,49 @@
+"""Benchmark job service: queued scheduler, warm team pool, result cache.
+
+The paper (and ``npb run``) treats each benchmark as a one-shot program:
+spawn a team, build its plan, warm its arenas, run, throw it all away.
+This package turns the suite into a long-lived *service* that accepts
+many benchmark requests concurrently and amortizes all of that warm
+state across them:
+
+:mod:`~repro.service.jobs`
+    job model (content-addressable :class:`JobSpec` fingerprints, the
+    submitted -> queued -> running -> done/failed/cached state machine)
+    and the bounded admission queue with priority lanes.
+:mod:`~repro.service.pool`
+    fixed-size pool of pre-spawned, resettable
+    :class:`~repro.team.base.Team` s reused across jobs.
+:mod:`~repro.service.cache`
+    content-addressed on-disk result cache (LRU-bounded) keyed by the
+    spec fingerprint.
+:mod:`~repro.service.scheduler`
+    dispatcher threads joining the three, with graceful drain.
+:mod:`~repro.service.api`
+    the in-process :class:`BenchService` facade, the ``npb serve`` HTTP
+    daemon, and the ``npb submit``/``npb jobs`` client.
+"""
+
+from repro.service.api import (BenchService, ServiceClient,
+                               ServiceUnavailable, make_server)
+from repro.service.cache import ResultCache
+from repro.service.jobs import (JOB_STATES, PRIORITIES, AdmissionRejected,
+                                Job, JobQueue, JobSpec)
+from repro.service.pool import PoolClosed, TeamPool
+from repro.service.scheduler import Scheduler
+
+__all__ = [
+    "BenchService",
+    "ServiceClient",
+    "ServiceUnavailable",
+    "make_server",
+    "ResultCache",
+    "AdmissionRejected",
+    "Job",
+    "JobQueue",
+    "JobSpec",
+    "JOB_STATES",
+    "PRIORITIES",
+    "PoolClosed",
+    "TeamPool",
+    "Scheduler",
+]

@@ -1,0 +1,304 @@
+"""Service front end: in-process facade, HTTP daemon, and client.
+
+:class:`BenchService` is the whole job service as one in-process object
+-- queue, pool, cache, scheduler, and a job registry -- which is how
+tests exercise every concurrency path without opening a socket.  The
+HTTP layer (:func:`make_server`, serving ``npb serve``) is a thin JSON
+shim over it on a stdlib ``ThreadingHTTPServer``:
+
+``POST /jobs``
+    Submit a job.  Body: ``{"benchmark": "CG", "problem_class": "S",
+    "backend": "serial", "workers": 1, "priority": "normal",
+    "no_cache": false, "dispatch_timeout": null, "max_retries": null,
+    "wait": false}``.  Returns 202 with the job dict (or 200 with the
+    terminal job when ``wait`` is true); 429 when admission is rejected
+    (queue full or draining); 400 on a malformed spec.
+``GET /jobs`` / ``GET /jobs/<id>``
+    Job listing / one job (404 when unknown).
+``GET /status``
+    Queue depth, pool occupancy, cache hit rate, scheduler counters
+    (including aggregated fault counts), and jobs by state.
+
+:class:`ServiceClient` is the stdlib-``urllib`` client used by
+``npb submit`` / ``npb jobs``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.runtime.dispatch import FaultPolicy
+from repro.service.cache import ResultCache
+from repro.service.jobs import AdmissionRejected, Job, JobQueue, JobSpec
+from repro.service.pool import TeamPool
+from repro.service.scheduler import Scheduler
+
+#: Default on-disk location of the content-addressed result cache.
+DEFAULT_CACHE_DIR = ".npb-service-cache"
+
+
+class BenchService:
+    """The benchmark job service as one in-process object."""
+
+    def __init__(self, backend: str = "serial", workers: int = 1,
+                 pool_size: int = 2, queue_depth: int = 64,
+                 cache_dir: str = DEFAULT_CACHE_DIR,
+                 cache_entries: int = 256,
+                 policy: FaultPolicy | None = None,
+                 autostart: bool = True):
+        self.queue = JobQueue(maxdepth=queue_depth)
+        self.pool = TeamPool(backend, workers, size=pool_size, policy=policy)
+        self.cache = ResultCache(cache_dir, max_entries=cache_entries)
+        self.scheduler = Scheduler(self.queue, self.pool, self.cache,
+                                   on_update=self._on_update)
+        self._jobs: dict[str, Job] = {}
+        self._cond = threading.Condition()
+        self._counter = 0
+        self._draining = False
+        self.started_at = time.time()
+        if autostart:
+            self.scheduler.start()
+
+    # ------------------------------------------------------------------ #
+
+    def _on_update(self, job: Job) -> None:
+        with self._cond:
+            self._cond.notify_all()
+
+    def submit(self, benchmark: str, problem_class: str = "S",
+               backend: str | None = None, workers: int | None = None,
+               priority: str = "normal", no_cache: bool = False,
+               dispatch_timeout: float | None = None,
+               max_retries: int | None = None) -> Job:
+        """Admit one job (raises :class:`AdmissionRejected` when full).
+
+        ``backend``/``workers`` default to the pool configuration, which
+        is the warm path; overriding them still works but runs on a cold
+        one-shot team.
+        """
+        spec = JobSpec.create(
+            benchmark, problem_class,
+            backend=self.pool.backend if backend is None else backend,
+            workers=self.pool.workers if workers is None else workers,
+            dispatch_timeout=dispatch_timeout, max_retries=max_retries)
+        with self._cond:
+            self._counter += 1
+            job = Job(job_id=f"job-{self._counter:06d}", spec=spec,
+                      priority=priority, no_cache=bool(no_cache))
+        self.queue.put(job)  # may raise AdmissionRejected
+        with self._cond:
+            self._jobs[job.job_id] = job
+        return job
+
+    def job(self, job_id: str) -> Job | None:
+        with self._cond:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        with self._cond:
+            return list(self._jobs.values())
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        """Block until the job reaches a terminal state."""
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        with self._cond:
+            while True:
+                job = self._jobs.get(job_id)
+                if job is None:
+                    raise KeyError(f"unknown job {job_id!r}")
+                if job.terminal:
+                    return job
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(
+                        f"job {job_id} not terminal within {timeout}s "
+                        f"(state {job.state})")
+                self._cond.wait(remaining)
+
+    # ------------------------------------------------------------------ #
+
+    def status(self) -> dict:
+        with self._cond:
+            by_state: dict[str, int] = {}
+            for job in self._jobs.values():
+                by_state[job.state] = by_state.get(job.state, 0) + 1
+            draining = self._draining
+        return {
+            "service": "npb-bench-service",
+            "uptime_seconds": time.time() - self.started_at,
+            "draining": draining,
+            "queue": {
+                "depth": self.queue.depth,
+                "capacity": self.queue.maxdepth,
+                "closed": self.queue.closed,
+            },
+            "pool": self.pool.occupancy(),
+            "cache": self.cache.stats(),
+            "scheduler": self.scheduler.stats(),
+            "jobs": by_state,
+        }
+
+    def drain(self, timeout: float | None = 30.0) -> bool:
+        """Graceful shutdown: finish admitted jobs, reject new ones,
+        close every team.  Returns True on a clean drain."""
+        with self._cond:
+            if self._draining:
+                return True
+            self._draining = True
+        return self.scheduler.drain(timeout)
+
+    def __enter__(self) -> "BenchService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.drain()
+
+
+# ===================================================================== #
+# HTTP layer
+# ===================================================================== #
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """JSON shim: translates HTTP verbs onto the BenchService facade."""
+
+    server: "ServiceHTTPServer"
+    #: keep connection handling simple and stateless
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send(self, code: int, payload: dict,
+              headers: dict | None = None) -> None:
+        body = (json.dumps(payload, indent=2) + "\n").encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        service = self.server.service
+        path = self.path.rstrip("/") or "/"
+        if path == "/status":
+            self._send(200, service.status())
+        elif path == "/jobs":
+            self._send(200, {"jobs": [j.as_dict() for j in service.jobs()]})
+        elif path.startswith("/jobs/"):
+            job = service.job(path[len("/jobs/"):])
+            if job is None:
+                self._send(404, {"error": "unknown job"})
+            else:
+                self._send(200, job.as_dict())
+        else:
+            self._send(404, {"error": f"no such resource {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        service = self.server.service
+        if self.path.rstrip("/") != "/jobs":
+            self._send(404, {"error": f"no such resource {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            if not isinstance(payload, dict):
+                raise ValueError("body must be a JSON object")
+            wait = bool(payload.pop("wait", False))
+            wait_timeout = payload.pop("wait_timeout", None)
+            job = service.submit(**payload)
+        except AdmissionRejected as exc:
+            self._send(429, {"error": str(exc), "depth": exc.depth,
+                             "capacity": exc.capacity},
+                       headers={"Retry-After": "1"})
+            return
+        except (TypeError, ValueError, json.JSONDecodeError) as exc:
+            self._send(400, {"error": f"bad job spec: {exc}"})
+            return
+        if wait:
+            try:
+                job = service.wait(job.job_id, timeout=wait_timeout)
+            except TimeoutError as exc:
+                self._send(504, {"error": str(exc),
+                                 "job": job.as_dict()})
+                return
+            self._send(200, job.as_dict())
+        else:
+            self._send(202, job.as_dict())
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the BenchService for its handlers."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: BenchService,
+                 verbose: bool = False):
+        super().__init__(address, _ServiceHandler)
+        self.service = service
+        self.verbose = verbose
+
+
+def make_server(service: BenchService, host: str = "127.0.0.1",
+                port: int = 0, verbose: bool = False) -> ServiceHTTPServer:
+    """Bind the service to a socket (``port=0`` picks a free one)."""
+    return ServiceHTTPServer((host, port), service, verbose=verbose)
+
+
+# ===================================================================== #
+# client (used by ``npb submit`` / ``npb jobs``)
+# ===================================================================== #
+
+
+class ServiceUnavailable(RuntimeError):
+    """The daemon could not be reached at the given URL."""
+
+
+class ServiceClient:
+    """Minimal stdlib HTTP client for the job service."""
+
+    def __init__(self, url: str, timeout: float = 600.0):
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> tuple[int, dict]:
+        data = None if payload is None else json.dumps(payload).encode()
+        request = urllib.request.Request(
+            f"{self.url}{path}", data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return response.status, json.loads(response.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read() or b"{}")
+            except json.JSONDecodeError:
+                body = {"error": str(exc)}
+            return exc.code, body
+        except (urllib.error.URLError, OSError, TimeoutError) as exc:
+            raise ServiceUnavailable(
+                f"cannot reach {self.url}: {exc}") from exc
+
+    def submit(self, payload: dict) -> tuple[int, dict]:
+        return self._request("POST", "/jobs", payload)
+
+    def job(self, job_id: str) -> tuple[int, dict]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> tuple[int, dict]:
+        return self._request("GET", "/jobs")
+
+    def status(self) -> tuple[int, dict]:
+        return self._request("GET", "/status")

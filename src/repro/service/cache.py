@@ -1,0 +1,156 @@
+"""Content-addressed result cache for the benchmark job service.
+
+Completed run records (``BenchmarkResult.to_dict()`` plus service
+provenance) are stored on disk as ``<fingerprint>.json``, where the
+fingerprint is the sha256 of the submitting :class:`~repro.service.jobs.JobSpec`
+-- benchmark, class, backend, workers, fault flags, git SHA, and
+python/numpy versions.  Because every benchmark in the suite is
+deterministic and the backends are bit-identical (the equivalence suite
+enforces it), an identical re-submission *is* the same computation, so
+returning the stored record is exact, not approximate.
+
+The cache is an LRU bounded by entry count: ``get`` refreshes the
+entry's mtime, ``put`` evicts the stalest entries beyond the bound.
+Everything is JSON on disk so records survive service restarts and can
+be inspected with ordinary tools; a corrupt file is treated as a miss
+and removed rather than poisoning the service.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+
+class ResultCache:
+    """Disk-backed, LRU-bounded map from spec fingerprint to run record."""
+
+    def __init__(self, directory: str, max_entries: int = 256):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.directory = directory
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        os.makedirs(directory, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+
+    def _path(self, fingerprint: str) -> str:
+        if not fingerprint or os.sep in fingerprint or "." in fingerprint:
+            raise ValueError(f"malformed fingerprint {fingerprint!r}")
+        return os.path.join(self.directory, f"{fingerprint}.json")
+
+    def get(self, fingerprint: str) -> dict | None:
+        """Stored record for ``fingerprint``, or None on a miss.
+
+        A hit refreshes the entry's mtime (the LRU clock).
+        """
+        path = self._path(fingerprint)
+        with self._lock:
+            try:
+                with open(path) as fh:
+                    record = json.load(fh)
+            except FileNotFoundError:
+                self.misses += 1
+                return None
+            except (OSError, json.JSONDecodeError):
+                # A torn or corrupt entry must not poison the service:
+                # drop it and treat the lookup as a miss.
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                self.misses += 1
+                return None
+            try:
+                os.utime(path, None)
+            except OSError:
+                pass
+            self.hits += 1
+            return record
+
+    def put(self, fingerprint: str, record: dict) -> str:
+        """Store ``record`` under ``fingerprint``; evict beyond the bound.
+
+        The write is atomic (tmp + rename) so a concurrent ``get`` never
+        sees a half-written entry.
+        """
+        path = self._path(fingerprint)
+        with self._lock:
+            tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+            with open(tmp, "w") as fh:
+                json.dump(record, fh, indent=2)
+                fh.write("\n")
+            os.replace(tmp, path)
+            self._evict_locked()
+        return path
+
+    def _evict_locked(self) -> None:
+        entries = self._entries()
+        excess = len(entries) - self.max_entries
+        if excess <= 0:
+            return
+        entries.sort(key=lambda pair: pair[1])  # stalest mtime first
+        for name, _ in entries[:excess]:
+            try:
+                os.unlink(os.path.join(self.directory, name))
+                self.evictions += 1
+            except OSError:
+                pass
+
+    def _entries(self) -> list[tuple[str, float]]:
+        entries = []
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return entries
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            try:
+                entries.append(
+                    (name, os.stat(os.path.join(self.directory, name)).st_mtime))
+            except OSError:
+                continue
+        return entries
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def entries(self) -> int:
+        with self._lock:
+            return len(self._entries())
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "directory": self.directory,
+            "entries": self.entries,
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+        }
+
+
+def provenance(job_id: str, fingerprint: str) -> dict:
+    """Stamp stored with every cached record: who computed it and when.
+
+    A later cache hit carries this through, so a ``cached`` job's record
+    always names the job that actually executed.
+    """
+    return {
+        "source_job_id": job_id,
+        "fingerprint": fingerprint,
+        "stored_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }

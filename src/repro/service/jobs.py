@@ -1,0 +1,296 @@
+"""Job model and admission queue for the benchmark job service.
+
+A *job* is one benchmark run requested by a client.  Its :class:`JobSpec`
+is a complete, content-addressable description of the work: what to run
+(benchmark, class), how (backend, workers, fault-policy flags), and in
+which world (git SHA, python/numpy versions).  Two specs with the same
+:meth:`~JobSpec.fingerprint` are guaranteed to produce bit-identical
+results -- every benchmark in the suite is deterministic and the backends
+are bit-identical by construction (the equivalence suite enforces it) --
+which is what makes the result cache (:mod:`repro.service.cache`) sound.
+
+Jobs move through a small state machine, each transition stamped with a
+wall-clock time::
+
+    submitted -> queued -> running -> done | failed
+                        \\-> cached              (fingerprint hit, no run)
+
+:class:`JobQueue` is the admission point: FIFO within each priority lane
+(``high`` drains before ``normal``), bounded total depth.  A full queue
+rejects *explicitly* (:class:`AdmissionRejected`, surfaced as HTTP 429 /
+CLI exit code 4) instead of buffering unboundedly -- backpressure is the
+contract that keeps a saturated service honest with its clients.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.runtime.dispatch import FaultPolicy
+
+#: Priority lanes in drain order.
+PRIORITIES = ("high", "normal")
+
+#: Every state a job can be in.  ``done``/``failed``/``cached`` are
+#: terminal; ``cached`` means the result came from the content-addressed
+#: cache without executing anything.
+JOB_STATES = ("submitted", "queued", "running", "done", "failed", "cached")
+
+_TERMINAL = frozenset({"done", "failed", "cached"})
+
+
+class AdmissionRejected(RuntimeError):
+    """The service refused a submission (queue full or draining).
+
+    Maps to HTTP 429 on the wire and exit code 4 in the CLI -- the
+    client should back off and resubmit, not treat this as a crash.
+    """
+
+    def __init__(self, message: str, depth: int = 0, capacity: int = 0):
+        super().__init__(message)
+        self.depth = depth
+        self.capacity = capacity
+
+
+def _git_sha() -> str:
+    # Reuse the bench fingerprint helper; import here so the service can
+    # be used without the harness package fully importable.
+    from repro.harness.bench import _git_sha as sha
+    return sha()
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Content-addressable description of one benchmark run.
+
+    All fields participate in the fingerprint: anything that could
+    change the result (or the environment that produced it) must be
+    part of the cache key, and nothing else -- submission-time knobs
+    like priority or ``no_cache`` live on the :class:`Job` instead.
+    """
+
+    benchmark: str
+    problem_class: str = "S"
+    backend: str = "serial"
+    workers: int = 1
+    #: fault-policy knobs (None = FaultPolicy defaults); these are part
+    #: of the fingerprint because a degraded-but-verified run and a
+    #: clean run have different fault histories in their records
+    dispatch_timeout: float | None = None
+    max_retries: int | None = None
+    #: environment pin: results from another tree/interpreter/numpy are
+    #: different cache entries by construction
+    git_sha: str = "unknown"
+    python_version: str = ""
+    numpy_version: str = ""
+
+    @classmethod
+    def create(cls, benchmark: str, problem_class: str = "S",
+               backend: str = "serial", workers: int = 1,
+               dispatch_timeout: float | None = None,
+               max_retries: int | None = None) -> "JobSpec":
+        """Validated spec with the environment pin stamped in."""
+        from repro import available_benchmarks
+
+        benchmark = str(benchmark).upper()
+        problem_class = str(problem_class).upper()
+        if benchmark not in available_benchmarks():
+            raise ValueError(f"unknown benchmark {benchmark!r}; choose "
+                             f"from {available_benchmarks()}")
+        if backend not in ("serial", "threads", "process"):
+            raise ValueError(f"unknown backend {backend!r}")
+        workers = int(workers)
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        return cls(
+            benchmark=benchmark,
+            problem_class=problem_class,
+            backend=backend,
+            workers=workers,
+            dispatch_timeout=dispatch_timeout,
+            max_retries=max_retries,
+            git_sha=_git_sha(),
+            python_version=platform.python_version(),
+            numpy_version=np.__version__,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "problem_class": self.problem_class,
+            "backend": self.backend,
+            "workers": self.workers,
+            "dispatch_timeout": self.dispatch_timeout,
+            "max_retries": self.max_retries,
+            "git_sha": self.git_sha,
+            "python_version": self.python_version,
+            "numpy_version": self.numpy_version,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobSpec":
+        return cls(**{k: payload[k] for k in cls.__dataclass_fields__
+                      if k in payload})
+
+    def fingerprint(self) -> str:
+        """Content address: sha256 over the canonical JSON of the spec."""
+        canonical = json.dumps(self.as_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def fault_policy(self) -> FaultPolicy | None:
+        """The FaultPolicy this spec asks for (None = team default)."""
+        if self.dispatch_timeout is None and self.max_retries is None:
+            return None
+        kwargs = {}
+        if self.dispatch_timeout is not None:
+            kwargs["dispatch_timeout"] = self.dispatch_timeout
+        if self.max_retries is not None:
+            kwargs["max_retries"] = self.max_retries
+        return FaultPolicy(**kwargs)
+
+
+@dataclass
+class Job:
+    """One tracked submission: spec + state machine + result."""
+
+    job_id: str
+    spec: JobSpec
+    priority: str = "normal"
+    #: bypass the result cache for this submission (the result is still
+    #: stored, so a later submission can hit it)
+    no_cache: bool = False
+    state: str = "submitted"
+    submitted_at: float = field(default_factory=time.time)
+    queued_at: float | None = None
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: the v4 run record (BenchmarkResult.to_dict() + service fields)
+    result: dict | None = None
+    error: str | None = None
+    cache_hit: bool = False
+    #: True when the job ran on a pre-spawned pool team, False for a
+    #: cold one-shot team, None when it never ran (cached/failed early)
+    pooled: bool | None = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in _TERMINAL
+
+    @property
+    def queue_wait_seconds(self) -> float:
+        """Seconds between admission and execution start.
+
+        On a warm pooled team this is the *entire* pre-compute latency
+        (spawn, plan, and arena warm-up are already paid), which is how
+        the service makes the amortization visible in the record.
+        """
+        if self.queued_at is None:
+            return 0.0
+        end = self.started_at if self.started_at is not None else (
+            self.finished_at if self.finished_at is not None else time.time())
+        return max(0.0, end - self.queued_at)
+
+    def as_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "fingerprint": self.spec.fingerprint(),
+            "spec": self.spec.as_dict(),
+            "priority": self.priority,
+            "no_cache": self.no_cache,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "queued_at": self.queued_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "queue_wait_seconds": self.queue_wait_seconds,
+            "cache_hit": self.cache_hit,
+            "pooled": self.pooled,
+            "error": self.error,
+            "result": self.result,
+        }
+
+
+class JobQueue:
+    """Bounded FIFO queue with priority lanes and explicit rejection.
+
+    ``high`` drains before ``normal``; within a lane, strict FIFO.  The
+    depth bound covers both lanes together: admission control is about
+    total buffered work, not fairness between lanes.  ``close()`` starts
+    the drain contract -- new puts are rejected, already-admitted jobs
+    keep coming out of ``get`` until the queue is empty, after which
+    ``get`` returns ``None`` to tell dispatchers to exit.
+    """
+
+    def __init__(self, maxdepth: int = 64):
+        if maxdepth < 1:
+            raise ValueError("maxdepth must be >= 1")
+        self.maxdepth = maxdepth
+        self._lanes: dict[str, deque[Job]] = {p: deque() for p in PRIORITIES}
+        self._cond = threading.Condition()
+        self._closed = False
+
+    @property
+    def depth(self) -> int:
+        with self._cond:
+            return sum(len(lane) for lane in self._lanes.values())
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def put(self, job: Job) -> None:
+        """Admit one job (stamps ``queued``) or raise AdmissionRejected."""
+        if job.priority not in self._lanes:
+            raise ValueError(f"unknown priority {job.priority!r}; "
+                             f"choose from {PRIORITIES}")
+        with self._cond:
+            depth = sum(len(lane) for lane in self._lanes.values())
+            if self._closed:
+                raise AdmissionRejected(
+                    "service is draining; not accepting new jobs",
+                    depth=depth, capacity=self.maxdepth)
+            if depth >= self.maxdepth:
+                raise AdmissionRejected(
+                    f"queue full ({depth}/{self.maxdepth}); "
+                    f"back off and resubmit",
+                    depth=depth, capacity=self.maxdepth)
+            job.state = "queued"
+            job.queued_at = time.time()
+            self._lanes[job.priority].append(job)
+            self._cond.notify()
+
+    def get(self, timeout: float | None = None) -> Job | None:
+        """Next job in priority order; None on timeout or drained-empty."""
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        with self._cond:
+            while True:
+                for priority in PRIORITIES:
+                    lane = self._lanes[priority]
+                    if lane:
+                        return lane.popleft()
+                if self._closed:
+                    return None
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        if all(not lane for lane in self._lanes.values()):
+                            return None
+
+    def close(self) -> None:
+        """Reject new admissions; wake every blocked ``get``."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

@@ -1,0 +1,167 @@
+"""Warm team pool: pre-spawned Teams reused across jobs.
+
+One-shot ``npb run`` pays team spawn (thread/process creation, shared
+memory setup), plan construction, and arena warm-up on every invocation,
+then throws it all away.  The pool keeps a fixed set of live
+:class:`~repro.team.base.Team` s of one configuration (backend x workers,
+chosen at service start) and leases them to jobs; between jobs a team is
+:meth:`~repro.team.base.Team.reset` -- recorder and fault history
+dropped, arena generations rewound with the warm buffer pools *kept*,
+memoized :class:`~repro.runtime.plan.ExecutionPlan` intact -- so the
+second job on a team starts with everything the first one warmed up.
+
+Jobs whose spec does not match the pool configuration still run: they
+get a cold one-shot team (counted in ``cold_spawns``) that is closed on
+release.  Teams that come back degraded (fault-tolerance retries
+exhausted: their transport is permanently bypassed) or that fail to
+reset are *replaced* with fresh ones rather than recycled -- a pool must
+hand out healthy teams, and a degraded team, while still bit-identical,
+has lost its parallelism.
+
+``close()`` implements the pool's half of graceful drain: wait for
+leased teams to come home, then close everything.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.runtime.dispatch import FaultPolicy
+from repro.team import make_team
+from repro.team.base import Team
+
+
+class PoolClosed(RuntimeError):
+    """Lease attempted on a closed (drained) pool."""
+
+
+class TeamPool:
+    """Fixed-size pool of warm teams of one (backend, workers) shape."""
+
+    def __init__(self, backend: str = "serial", workers: int = 1,
+                 size: int = 2, policy: FaultPolicy | None = None):
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.backend = backend
+        self.workers = workers
+        self.size = size
+        self.policy = policy
+        self._cond = threading.Condition()
+        self._closed = False
+        self._in_use = 0
+        self.leases = 0
+        self.cold_spawns = 0
+        self.replacements = 0
+        self._idle: list[Team] = [self._spawn() for _ in range(size)]
+
+    def _spawn(self) -> Team:
+        return make_team(self.backend, self.workers, policy=self.policy)
+
+    def matches(self, backend: str, workers: int) -> bool:
+        """Whether a spec can be served by a warm pooled team."""
+        if backend != self.backend:
+            return False
+        # The serial backend ignores worker counts (always 1 master).
+        return backend == "serial" or workers == self.workers
+
+    # ------------------------------------------------------------------ #
+
+    def lease(self, backend: str | None = None, workers: int | None = None,
+              timeout: float | None = None) -> tuple[Team, bool]:
+        """Borrow a team for one job: ``(team, pooled)``.
+
+        A spec matching the pool configuration blocks until a warm team
+        is idle (the scheduler runs exactly ``size`` dispatchers, so the
+        wait is bounded by one job's runtime); any other spec gets a
+        cold one-shot team immediately.
+        """
+        backend = self.backend if backend is None else backend
+        workers = self.workers if workers is None else workers
+        if not self.matches(backend, workers):
+            with self._cond:
+                if self._closed:
+                    raise PoolClosed("pool is closed")
+                self.cold_spawns += 1
+                self.leases += 1
+            return make_team(backend, workers, policy=self.policy), False
+        with self._cond:
+            while not self._idle and not self._closed:
+                if not self._cond.wait(timeout):
+                    raise TimeoutError(
+                        f"no pooled team became idle within {timeout}s")
+            if self._closed:
+                raise PoolClosed("pool is closed")
+            team = self._idle.pop()
+            self._in_use += 1
+            self.leases += 1
+            return team, True
+
+    def release(self, team: Team, pooled: bool) -> None:
+        """Return a leased team; reset (or replace) pooled teams."""
+        if not pooled:
+            team.close()
+            return
+        healthy = not team.closed and not team.degraded
+        if healthy:
+            try:
+                team.reset()
+            except Exception:
+                healthy = False
+        if not healthy:
+            # Never recycle a degraded or unresettable team: close it
+            # (best effort) and back-fill the slot with a fresh one.
+            try:
+                team.close()
+            except Exception:
+                pass
+            team = self._spawn()
+            with self._cond:
+                self.replacements += 1
+        with self._cond:
+            self._in_use -= 1
+            if self._closed:
+                team.close()
+            else:
+                self._idle.append(team)
+            self._cond.notify()
+
+    # ------------------------------------------------------------------ #
+
+    def occupancy(self) -> dict:
+        with self._cond:
+            return {
+                "backend": self.backend,
+                "workers": self.workers,
+                "size": self.size,
+                "idle": len(self._idle),
+                "in_use": self._in_use,
+                "leases": self.leases,
+                "cold_spawns": self.cold_spawns,
+                "replacements": self.replacements,
+            }
+
+    def close(self, timeout: float | None = 30.0) -> None:
+        """Drain: wait for leased teams to come home, close everything."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+            deadline = (None if timeout is None
+                        else time.monotonic() + timeout)
+            while self._in_use > 0:
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            idle, self._idle = self._idle, []
+        for team in idle:
+            team.close()
+
+    def __enter__(self) -> "TeamPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

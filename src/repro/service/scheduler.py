@@ -1,0 +1,169 @@
+"""Scheduler: dispatcher threads joining queue, pool, and cache.
+
+One dispatcher thread per pool slot pulls jobs off the
+:class:`~repro.service.jobs.JobQueue` in priority order and drives each
+through its lifecycle:
+
+1. **cache probe** -- unless the job asked for ``no_cache``, a
+   fingerprint hit short-circuits the run: the job goes straight to the
+   terminal ``cached`` state carrying the stored record (with the
+   provenance of the job that actually computed it).
+2. **execute** -- lease a team from the :class:`~repro.service.pool.TeamPool`
+   (warm when the spec matches the pool shape, cold otherwise), point
+   its ``policy`` at the spec's fault knobs for the duration (per-job
+   deadlines and retry ride the existing
+   :class:`~repro.runtime.dispatch.FaultPolicy` machinery inside
+   ``Team._dispatch`` -- the scheduler adds no second retry layer), run
+   the benchmark, release the team.
+3. **record** -- stamp the v4 service fields (``job_id``, ``cache_hit``,
+   ``queue_wait_seconds``) into the run record, store it in the cache,
+   and mark the job ``done`` (or ``failed`` if the benchmark raised).
+
+``drain()`` is the graceful-shutdown half: close the queue (new
+submissions are rejected with ``AdmissionRejected``), let dispatchers
+finish every already-admitted job, join them, then close the pool.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+
+from repro.service.cache import ResultCache, provenance
+from repro.service.jobs import Job, JobQueue
+from repro.service.pool import TeamPool
+
+
+def _no_update(job: Job) -> None:
+    """Default on_update callback: nothing is watching."""
+
+
+class Scheduler:
+    """Runs queued jobs on pooled teams; one dispatcher per pool slot."""
+
+    def __init__(self, queue: JobQueue, pool: TeamPool, cache: ResultCache,
+                 on_update=None):
+        self._queue = queue
+        self._pool = pool
+        self._cache = cache
+        #: callback invoked after every job state change (the service
+        #: layer uses it to wake ``wait()`` ers); must be cheap
+        self._on_update = on_update if on_update is not None else _no_update
+        self._threads: list[threading.Thread] = []
+        self._lock = threading.Lock()
+        self.executed = 0
+        self.cached = 0
+        self.failed = 0
+        self.fault_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Spawn the dispatcher threads (idempotent)."""
+        if self._threads:
+            return
+        for i in range(self._pool.size):
+            thread = threading.Thread(target=self._loop, daemon=True,
+                                      name=f"npb-dispatcher-{i}")
+            self._threads.append(thread)
+            thread.start()
+
+    def _loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            try:
+                self._execute(job)
+            except Exception as exc:  # defensive: a dispatcher must survive
+                self._finish(job, "failed",
+                             error=f"{type(exc).__name__}: {exc}")
+
+    # ------------------------------------------------------------------ #
+
+    def _finish(self, job: Job, state: str, result: dict | None = None,
+                error: str | None = None) -> None:
+        job.result = result
+        job.error = error
+        job.state = state
+        job.finished_at = time.time()
+        with self._lock:
+            if state == "failed":
+                self.failed += 1
+        self._on_update(job)
+
+    def _execute(self, job: Job) -> None:
+        fingerprint = job.spec.fingerprint()
+        if not job.no_cache:
+            stored = self._cache.get(fingerprint)
+            if stored is not None:
+                job.cache_hit = True
+                job.started_at = time.time()
+                record = dict(stored)
+                record["job_id"] = job.job_id
+                record["cache_hit"] = True
+                record["queue_wait_seconds"] = job.queue_wait_seconds
+                with self._lock:
+                    self.cached += 1
+                self._finish(job, "cached", result=record)
+                return
+
+        team, pooled = self._pool.lease(job.spec.backend, job.spec.workers)
+        job.pooled = pooled
+        job.state = "running"
+        job.started_at = time.time()
+        self._on_update(job)
+        saved_policy = team.policy
+        job_policy = job.spec.fault_policy()
+        try:
+            from repro.core.registry import get_benchmark
+            if job_policy is not None:
+                team.policy = job_policy
+            benchmark = get_benchmark(job.spec.benchmark)(
+                job.spec.problem_class, team)
+            result = benchmark.run()
+        except Exception:
+            self._finish(job, "failed", error=traceback.format_exc())
+            return
+        finally:
+            team.policy = saved_policy
+            self._pool.release(team, pooled)
+
+        result.job_id = job.job_id
+        result.cache_hit = False
+        result.queue_wait_seconds = job.queue_wait_seconds
+        record = result.to_dict()
+        record["provenance"] = provenance(job.job_id, fingerprint)
+        self._cache.put(fingerprint, record)
+        with self._lock:
+            self.executed += 1
+            for kind, count in result.fault_counts.items():
+                self.fault_counts[kind] = (
+                    self.fault_counts.get(kind, 0) + count)
+        self._finish(job, "done", result=record)
+
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "dispatchers": len(self._threads),
+                "executed": self.executed,
+                "cached": self.cached,
+                "failed": self.failed,
+                "fault_counts": dict(self.fault_counts),
+            }
+
+    def drain(self, timeout: float | None = 30.0) -> bool:
+        """Graceful shutdown: finish admitted jobs, reject new ones.
+
+        Returns True when every dispatcher exited within the timeout.
+        """
+        self._queue.close()
+        clean = True
+        for thread in self._threads:
+            thread.join(timeout)
+            clean = clean and not thread.is_alive()
+        self._pool.close(timeout)
+        return clean

@@ -70,7 +70,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.runtime.arena import (allocation_probe_start,
-                                 allocation_probe_stop)
+                                 allocation_probe_stop, arena_rewind_task)
 from repro.runtime.dispatch import (FaultEvent, FaultPolicy,
                                     TransportFailure, WorkerReply,
                                     execute_task, raise_reply_error)
@@ -221,6 +221,34 @@ class Team(ABC):
     def reduce_sum(self, n: int, fn: Callable, *args: Any) -> float:
         """Sum of per-worker partials from ``fn(lo, hi, *args)``."""
         return float(sum(self.parallel_for(n, fn, *args)))
+
+    def reset(self) -> None:
+        """Prepare a live team for reuse by another benchmark run.
+
+        Pooled teams (:class:`repro.service.pool.TeamPool`) run many
+        benchmarks over one team lifetime; without a reset the second
+        run's :class:`~repro.runtime.region.RegionRecorder` report and
+        fault history would include the first run's events.  ``reset``
+        restores the observable state a fresh team would have:
+
+        * every worker's scratch arena opens a new generation
+          (:func:`~repro.runtime.arena.arena_rewind_task`) -- pooled
+          buffers are *kept*, because a warm arena is the state reuse
+          exists to amortize;
+        * the recorder drops all region stats, fault events, and any
+          stale region stack (:meth:`RegionRecorder.reset`).
+
+        The memoized :class:`~repro.runtime.plan.ExecutionPlan` survives
+        (partitions depend only on the worker count).  A degraded team
+        resets fine -- the rewind runs inline -- but stays degraded;
+        pool owners should replace it rather than reuse it.
+        """
+        if self._closed:
+            raise RuntimeError("team is closed")
+        # Rewind arenas first: this dispatch would otherwise land in the
+        # recorder stats the reset is about to guarantee are empty.
+        self.run_on_all(arena_rewind_task)
+        self.recorder.reset()
 
     def close(self) -> None:
         """Shut workers down and release shared resources (idempotent).

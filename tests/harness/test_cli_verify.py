@@ -1,5 +1,8 @@
-"""End-to-end CLI tests (verify command and report)."""
+"""End-to-end CLI tests (verify command, report, exit-code table)."""
 
+import threading
+
+from repro.harness import cli
 from repro.harness.cli import main
 
 
@@ -20,6 +23,63 @@ class TestVerifyCommand:
         assert main(["run", "EP", "-c", "S", "-b", "process",
                      "-w", "2"]) == 0
         assert "process x2" in capsys.readouterr().out
+
+
+class TestExitCodeTable:
+    """The authoritative exit-code table (cli.py module docstring).
+
+    Every subcommand returns one of these five codes; anything new must
+    extend the table, the docstring, and this test together.
+    """
+
+    def test_the_table(self):
+        assert cli.EXIT_OK == 0
+        assert cli.EXIT_FAILURE == 1
+        assert cli.EXIT_USAGE == 2
+        assert cli.EXIT_WORKER_FAILURE == 3
+        assert cli.EXIT_REJECTED == 4
+
+    def test_table_is_documented_in_one_place(self):
+        doc = cli.__doc__
+        for name in ("EXIT_OK", "EXIT_FAILURE", "EXIT_USAGE",
+                     "EXIT_WORKER_FAILURE", "EXIT_REJECTED"):
+            assert name in doc, f"{name} missing from the cli docstring"
+
+    def test_success_is_exit_ok(self, capsys):
+        assert main(["run", "CG", "-c", "S"]) == cli.EXIT_OK
+        capsys.readouterr()
+
+    def test_unreachable_service_is_exit_usage(self, capsys):
+        # nothing listens on this port (reserved port 47 is never bound)
+        code = main(["submit", "CG", "-c", "S",
+                     "--url", "http://127.0.0.1:47", "--timeout", "2"])
+        assert code == cli.EXIT_USAGE
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_admission_rejection_is_exit_rejected(self, capsys, tmp_path):
+        from repro.service import BenchService, make_server
+
+        # queue of depth 1 and no scheduler: the second submission must
+        # be rejected with HTTP 429 -> CLI exit 4
+        service = BenchService(pool_size=1, queue_depth=1,
+                               cache_dir=str(tmp_path / "cache"),
+                               autostart=False)
+        httpd = make_server(service, port=0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        host, port = httpd.server_address[:2]
+        url = f"http://{host}:{port}"
+        try:
+            assert main(["submit", "CG", "-c", "S", "--url", url,
+                         "--no-wait"]) == cli.EXIT_OK
+            assert main(["submit", "MG", "-c", "S", "--url", url,
+                         "--no-wait"]) == cli.EXIT_REJECTED
+            assert "admission rejected" in capsys.readouterr().err
+        finally:
+            httpd.shutdown()
+            thread.join(5)
+            httpd.server_close()
+            service.drain(timeout=5)
 
 
 class TestReportCommand:

@@ -1,0 +1,99 @@
+"""Content-addressed result cache unit tests."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.service.cache import ResultCache, provenance
+
+FP = "a" * 64
+FP2 = "b" * 64
+FP3 = "c" * 64
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        record = {"benchmark": "CG", "verified": True}
+        path = cache.put(FP, record)
+        assert os.path.exists(path)
+        assert cache.get(FP) == record
+
+    def test_miss_counts(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.get(FP) is None
+        cache.put(FP, {"x": 1})
+        assert cache.get(FP) == {"x": 1}
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction_drops_stalest(self, tmp_path):
+        cache = ResultCache(str(tmp_path), max_entries=2)
+        cache.put(FP, {"n": 1})
+        # ensure distinct mtimes even on coarse filesystems
+        os.utime(os.path.join(str(tmp_path), f"{FP}.json"),
+                 (time.time() - 100, time.time() - 100))
+        cache.put(FP2, {"n": 2})
+        cache.put(FP3, {"n": 3})
+        assert cache.get(FP) is None  # stalest entry evicted
+        assert cache.get(FP2) == {"n": 2}
+        assert cache.get(FP3) == {"n": 3}
+        assert cache.evictions == 1
+
+    def test_get_refreshes_lru_clock(self, tmp_path):
+        cache = ResultCache(str(tmp_path), max_entries=2)
+        cache.put(FP, {"n": 1})
+        cache.put(FP2, {"n": 2})
+        old = time.time() - 100
+        for fp in (FP, FP2):
+            os.utime(os.path.join(str(tmp_path), f"{fp}.json"), (old, old))
+        cache.get(FP)  # FP is now the freshest
+        cache.put(FP3, {"n": 3})
+        assert cache.get(FP) == {"n": 1}
+        assert cache.get(FP2) is None  # FP2 was the stalest
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        path = os.path.join(str(tmp_path), f"{FP}.json")
+        with open(path, "w") as fh:
+            fh.write("{torn")
+        assert cache.get(FP) is None
+        assert not os.path.exists(path)
+
+    def test_malformed_fingerprint_rejected(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        with pytest.raises(ValueError):
+            cache.get("../escape")
+        with pytest.raises(ValueError):
+            cache.put("evil.json", {})
+
+    def test_survives_restart(self, tmp_path):
+        ResultCache(str(tmp_path)).put(FP, {"persisted": True})
+        reopened = ResultCache(str(tmp_path))
+        assert reopened.get(FP) == {"persisted": True}
+
+    def test_stats_shape(self, tmp_path):
+        stats = ResultCache(str(tmp_path), max_entries=9).stats()
+        assert stats["entries"] == 0
+        assert stats["max_entries"] == 9
+        assert set(stats) >= {"directory", "hits", "misses", "hit_rate",
+                              "evictions"}
+
+    def test_entries_are_plain_json(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        path = cache.put(FP, {"inspectable": True})
+        with open(path) as fh:
+            assert json.load(fh) == {"inspectable": True}
+
+
+class TestProvenance:
+    def test_names_the_computing_job(self):
+        stamp = provenance("job-000042", FP)
+        assert stamp["source_job_id"] == "job-000042"
+        assert stamp["fingerprint"] == FP
+        assert "stored_at" in stamp

@@ -1,0 +1,90 @@
+"""Daemon lifecycle test: real ``npb serve`` process, mid-job SIGTERM.
+
+The in-process suite (test_service.py) covers every concurrency path
+without sockets; this file covers the one thing that needs a real
+process -- the SIGTERM handler's graceful drain: finish every admitted
+job, refuse new ones, close all teams, exit 0, leak nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def _read_url(process, deadline=30.0) -> str:
+    """Parse the listen address from the daemon's startup line."""
+    end = time.monotonic() + deadline
+    line = ""
+    while time.monotonic() < end:
+        line = process.stdout.readline()
+        if "listening on" in line:
+            return line.split("listening on ")[1].split()[0]
+        if process.poll() is not None:
+            break
+        time.sleep(0.05)
+    raise AssertionError(f"daemon never announced its address: {line!r}")
+
+
+def _post(url: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        f"{url}/jobs", data=json.dumps(payload).encode(), method="POST",
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.loads(response.read())
+
+
+@pytest.mark.timeout(120)
+def test_sigterm_mid_job_drains_cleanly(tmp_path):
+    cache_dir = tmp_path / "cache"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    # Process backend so the drain also has real forked workers to shut
+    # down -- a leak would outlive the daemon and be visible in ps.
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--pool", "1", "-b", "process", "-w", "2",
+         "--cache-dir", str(cache_dir), "--drain-timeout", "60"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env, cwd=str(tmp_path))
+    try:
+        url = _read_url(process)
+        # Admit work asynchronously, then TERM while it is in flight:
+        # the drain contract is that every admitted job still finishes.
+        jobs = [_post(url, {"benchmark": "CG", "problem_class": "S",
+                            "no_cache": True})
+                for _ in range(3)]
+        assert all(job["state"] in ("queued", "running", "done")
+                   for job in jobs)
+        process.send_signal(signal.SIGTERM)
+        out, _ = process.communicate(timeout=90)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate(timeout=10)
+    assert process.returncode == 0, out
+    assert "drained cleanly" in out
+    # every admitted job ran to completion: the records are in the
+    # content-addressed cache (same spec -> one fingerprint)
+    stored = list(cache_dir.glob("*.json"))
+    assert len(stored) == 1
+    record = json.loads(stored[0].read_text())
+    assert record["benchmark"] == "CG"
+    assert record["verified"] is True
+    # no orphan worker processes: forked ProcessTeam workers share the
+    # daemon's cmdline, so any survivor would still show "repro serve"
+    ps = subprocess.run(["ps", "-eo", "args"], capture_output=True,
+                        text=True).stdout
+    leaked = [line for line in ps.splitlines()
+              if "repro" in line and "serve" in line
+              and "ps -eo" not in line]
+    assert leaked == [], leaked

@@ -1,0 +1,126 @@
+"""Job model and admission queue unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.jobs import (AdmissionRejected, Job, JobQueue, JobSpec)
+
+
+def _spec(**overrides) -> JobSpec:
+    base = dict(benchmark="CG", problem_class="S")
+    base.update(overrides)
+    return JobSpec.create(**base)
+
+
+def _job(n: int = 1, priority: str = "normal", **spec) -> Job:
+    return Job(job_id=f"job-{n:06d}", spec=_spec(**spec), priority=priority)
+
+
+class TestJobSpec:
+    def test_fingerprint_is_deterministic(self):
+        assert _spec().fingerprint() == _spec().fingerprint()
+
+    def test_fingerprint_covers_every_run_dimension(self):
+        base = _spec().fingerprint()
+        assert _spec(benchmark="MG").fingerprint() != base
+        assert _spec(backend="threads", workers=2).fingerprint() != base
+        assert _spec(backend="serial", workers=1,
+                     max_retries=5).fingerprint() != base
+        assert _spec(dispatch_timeout=9.0).fingerprint() != base
+
+    def test_fingerprint_covers_environment_pin(self):
+        spec = _spec()
+        moved = JobSpec.from_dict({**spec.as_dict(), "git_sha": "deadbeef"})
+        assert moved.fingerprint() != spec.fingerprint()
+
+    def test_round_trip(self):
+        spec = _spec(backend="threads", workers=2, dispatch_timeout=3.0)
+        assert JobSpec.from_dict(spec.as_dict()) == spec
+
+    def test_create_validates(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            JobSpec.create("NOPE")
+        with pytest.raises(ValueError, match="unknown backend"):
+            JobSpec.create("CG", backend="gpu")
+        with pytest.raises(ValueError, match="workers"):
+            JobSpec.create("CG", workers=0)
+
+    def test_fault_policy_mapping(self):
+        assert _spec().fault_policy() is None
+        policy = _spec(dispatch_timeout=2.0, max_retries=7).fault_policy()
+        assert policy.dispatch_timeout == 2.0
+        assert policy.max_retries == 7
+
+
+class TestJobQueue:
+    def test_fifo_within_a_lane(self):
+        queue = JobQueue(maxdepth=8)
+        first, second = _job(1), _job(2)
+        queue.put(first)
+        queue.put(second)
+        assert queue.get() is first
+        assert queue.get() is second
+
+    def test_high_lane_drains_first(self):
+        queue = JobQueue(maxdepth=8)
+        normal, high = _job(1), _job(2, priority="high")
+        queue.put(normal)
+        queue.put(high)
+        assert queue.get() is high
+        assert queue.get() is normal
+
+    def test_put_stamps_queued_state(self):
+        queue = JobQueue(maxdepth=8)
+        job = _job(1)
+        assert job.state == "submitted" and job.queued_at is None
+        queue.put(job)
+        assert job.state == "queued" and job.queued_at is not None
+
+    def test_bounded_depth_rejects_explicitly(self):
+        queue = JobQueue(maxdepth=2)
+        queue.put(_job(1))
+        queue.put(_job(2))
+        with pytest.raises(AdmissionRejected) as excinfo:
+            queue.put(_job(3))
+        assert excinfo.value.depth == 2
+        assert excinfo.value.capacity == 2
+        # admitted work is untouched by the rejection
+        assert queue.depth == 2
+
+    def test_close_rejects_new_but_drains_admitted(self):
+        queue = JobQueue(maxdepth=8)
+        admitted = _job(1)
+        queue.put(admitted)
+        queue.close()
+        with pytest.raises(AdmissionRejected, match="draining"):
+            queue.put(_job(2))
+        # the admitted job still comes out; then None signals shutdown
+        assert queue.get() is admitted
+        assert queue.get() is None
+
+    def test_get_timeout_returns_none(self):
+        queue = JobQueue(maxdepth=2)
+        assert queue.get(timeout=0.05) is None
+
+    def test_unknown_priority_rejected(self):
+        queue = JobQueue(maxdepth=2)
+        with pytest.raises(ValueError, match="priority"):
+            queue.put(_job(1, priority="urgent"))
+
+
+class TestJobRecord:
+    def test_as_dict_carries_service_fields(self):
+        job = _job(7)
+        payload = job.as_dict()
+        assert payload["job_id"] == "job-000007"
+        assert payload["state"] == "submitted"
+        assert payload["fingerprint"] == job.spec.fingerprint()
+        assert payload["cache_hit"] is False
+        assert payload["queue_wait_seconds"] == 0.0
+
+    def test_queue_wait_measured_from_admission_to_start(self):
+        job = _job(1)
+        job.queued_at = 100.0
+        job.started_at = 100.5
+        assert job.queue_wait_seconds == pytest.approx(0.5)

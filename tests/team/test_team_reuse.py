@@ -1,0 +1,95 @@
+"""Team reuse regression suite (the warm-pool contract).
+
+Before the job service, a Team lived for exactly one benchmark; reusing
+one silently accumulated recorder state -- the second run's region
+report included the first run's fault events, and a stale region stack
+could misattribute dispatches.  ``Team.reset()`` is the fix; these tests
+pin the contract the :class:`~repro.service.pool.TeamPool` relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import get_benchmark
+from repro.runtime.dispatch import FaultEvent
+from repro.team import make_team
+
+
+def _verification_values(result):
+    return [(name, float(computed))
+            for name, computed, *_ in result.verification.checks]
+
+
+class TestSequentialRunsOnOneTeam:
+    @pytest.mark.parametrize("backend,workers", [
+        ("serial", 1), ("threads", 2), ("process", 2),
+    ])
+    def test_two_runs_bit_identical_and_non_accumulating(self, backend,
+                                                         workers):
+        cls = get_benchmark("CG")
+        with make_team(backend, workers) as team:
+            first = cls("S", team).run()
+            team.reset()
+            second = cls("S", team).run()
+        assert first.verified and second.verified
+        # bit-identical: the same spec on the same team must produce the
+        # exact same computed quantities (this is what makes the service
+        # result cache sound)
+        assert _verification_values(first) == _verification_values(second)
+        # non-accumulating: same regions, same dispatch counts -- run 2
+        # must not contain run 1's calls
+        assert set(first.regions) == set(second.regions)
+        for name in first.regions:
+            assert first.regions[name]["calls"] == \
+                second.regions[name]["calls"], name
+
+    def test_reset_drops_fault_history(self):
+        with make_team("serial") as team:
+            team.recorder.record_fault(FaultEvent(
+                kind="timeout", backend="serial", region="x"))
+            assert team.recorder.fault_counts() == {"timeout": 1}
+            team.reset()
+            assert team.recorder.fault_counts() == {}
+            result = get_benchmark("CG")("S", team).run()
+        # a run after reset reports only its own (zero) faults
+        assert result.faults == []
+
+    def test_reset_drops_stale_region_stack(self):
+        with make_team("serial") as team:
+            team.recorder.push("leftover")
+            team.reset()
+            assert team.recorder.current_region != "leftover"
+
+    def test_reset_keeps_plan_and_rewinds_arena(self):
+        with make_team("threads", 2) as team:
+            team.parallel_for(64, _touch_arena)
+            cached_before = team.plan.cache_info()["entries"]
+            generations = team.run_on_all(_read_generation)
+            team.reset()
+            # reset itself leaves the recorder empty...
+            assert team.recorder.report() == {}
+            # ...keeps the plan memoization (partitions depend only on
+            # the worker count)...
+            assert team.plan.cache_info()["entries"] >= cached_before
+            # ...and moved each worker's arena to a strictly newer
+            # generation (warm buffers retained, cursors rewound)
+            after = team.run_on_all(_read_generation)
+            assert all(g2 > g1 for g1, g2 in zip(generations, after))
+
+    def test_reset_on_closed_team_raises(self):
+        team = make_team("serial")
+        team.close()
+        with pytest.raises(RuntimeError):
+            team.reset()
+
+
+def _touch_arena(lo, hi):
+    from repro.runtime.arena import worker_arena
+    worker_arena().take((8,))
+    return hi - lo
+
+
+def _read_generation(rank, nworkers):
+    from repro.runtime.arena import worker_arena
+    return worker_arena().generation
