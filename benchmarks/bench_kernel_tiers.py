@@ -1,0 +1,206 @@
+"""Three-way kernel-tier timing: reference vs fused vs compiled.
+
+Times every kernel registered in the kernel-backend registry
+(:mod:`repro.kernels.registry`) at each tier that can serve it
+*strictly* (no fallback -- a tier is either timed as itself or reported
+unavailable), then prints the language-gap ratios the tiers exist to
+measure: ``reference/fused`` (what the arena rewrite bought) and
+``fused/compiled`` (what native loops buy on top -- the repository's
+analogue of the paper's Fortran/Java gap).  Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_kernel_tiers.py
+    PYTHONPATH=src python benchmarks/bench_kernel_tiers.py --json
+
+Methodology matches the bench trajectory (:mod:`repro.harness.stats`):
+each sample is ``--inner`` back-to-back calls, ``--repeat`` samples are
+summarized as min-of-k with the MAD as the noise bar, and every variant
+gets one untimed warm-up call first (which is also where numba pays its
+JIT cost, so compilation never pollutes a sample).  Without numba the
+compiled column reads ``n/a`` with the registry's reason; with
+``NPB_COMPILED_PUREPY=1`` it times the pure-python stand-in cores --
+useful to sanity-check the harness, meaningless as a performance claim.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+import numpy as np  # noqa: E402
+
+from repro.cfd.constants import CFDConstants  # noqa: E402
+from repro.harness.stats import time_callable  # noqa: E402
+from repro.kernels.registry import (  # noqa: E402
+    REGISTRY,
+    TIERS,
+    TierUnavailableError,
+)
+from repro.runtime.arena import worker_arena  # noqa: E402
+
+#: NPB MG class-S/W coefficient vectors.
+A = (-8.0 / 3.0, 0.0, 1.0 / 6.0, 1.0 / 12.0)
+C = (-3.0 / 8.0, 1.0 / 32.0, -1.0 / 64.0, 0.0)
+
+#: Workload extents: big enough that per-call Python overhead is not the
+#: whole measurement, small enough that the reference tier stays quick.
+MG_M = 34          # 32^3 interior, the class-S top grid
+CFD_GRID = (18, 18, 18)
+CG_N = 4000        # rows; 1..10 nonzeros each
+
+
+def _mg_arrays(seed):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal((MG_M, MG_M, MG_M)) for _ in range(3)]
+
+
+def _cfd_state(seed):
+    nz, ny, nx = CFD_GRID
+    rng = np.random.default_rng(seed)
+    u = 0.1 * rng.standard_normal((nz, ny, nx, 5))
+    u[..., 0] = 1.0 + 0.2 * rng.random((nz, ny, nx))
+    u[..., 4] = 5.0 + rng.random((nz, ny, nx))
+    fields = [np.empty((nz, ny, nx)) for _ in range(7)]
+    return u, fields
+
+
+def _cg_problem(seed):
+    rng = np.random.default_rng(seed)
+    counts = rng.integers(1, 11, size=CG_N)
+    rowstr = np.zeros(CG_N + 1, dtype=np.int64)
+    rowstr[1:] = np.cumsum(counts)
+    nnz = int(rowstr[CG_N])
+    colidx = rng.integers(0, CG_N, size=nnz).astype(np.int64)
+    a = rng.standard_normal(nnz)
+    x = rng.standard_normal(CG_N)
+    return rowstr, colidx, a, x
+
+
+def build_workloads():
+    """kernel -> (n, args) such that the timed call is fn(0, n, *args)."""
+    u, v, r = _mg_arrays(1)
+    mc = MG_M // 2 + 1  # coarse grid: fine extent = 2 * mc - 2
+    zc = np.random.default_rng(2).standard_normal((mc, mc, mc))
+    sc = np.empty_like(zc)
+    uf, fields = _cfd_state(3)
+    forcing = 0.01 * np.random.default_rng(4).standard_normal(
+        uf.shape)
+    rhs = np.empty_like(uf)
+    c = CFDConstants(CFD_GRID[2], CFD_GRID[1], CFD_GRID[0], 0.001)
+    rowstr, colidx, a, x = _cg_problem(5)
+    out = np.empty(CG_N)
+    zz = np.random.default_rng(6).standard_normal(CG_N)
+    rr = zz.copy()
+    rho_i, us, vs, ws, qs, square, speed = fields
+    return {
+        "mg.resid": (MG_M - 2, (u, v, r, A)),
+        "mg.psinv": (MG_M - 2, (r, u, C)),
+        "mg.rprj3": (zc.shape[0] - 2, (u, sc,
+                                       (1, 1, 1))),
+        "mg.interp": (zc.shape[0] - 1, (zc, v)),
+        "mg.norm2u3": (MG_M - 2, (r,)),
+        "cfd.fields": (CFD_GRID[0], (uf, rho_i, us, vs, ws, qs, square,
+                                     speed, c)),
+        "cfd.rhs": (CFD_GRID[0] - 2, (uf, rhs, forcing, rho_i, us, vs,
+                                      ws, qs, square, c)),
+        "cg.matvec": (CG_N, (rowstr, colidx, a, x, out, None)),
+        "cg.update_zr": (CG_N, (zz, rr, x, out, 0.5)),
+        "cg.norm_diff": (CG_N, (x, out)),
+    }
+
+
+def time_kernel(kernel, n, args, repeat, inner):
+    """tier -> timing dict (or unavailable note) for one kernel."""
+    arena = worker_arena()
+    rows = {}
+    for tier in TIERS:
+        try:
+            variant = REGISTRY.resolve(kernel, tier, fallback=False)
+        except TierUnavailableError as exc:
+            rows[tier] = {"available": False, "reason": str(exc)}
+            continue
+
+        def sample(fn=variant.fn):
+            for _ in range(inner):
+                arena.next_dispatch()
+                fn(0, n, *args)
+
+        sample()  # warm-up: arena pools fill, numba JIT-compiles
+        summary = time_callable(sample, repeat=repeat)
+        rows[tier] = {
+            "available": True,
+            "per_call_seconds": summary.best / inner,
+            "tolerance": variant.tolerance,
+            **summary.as_dict(),
+        }
+    return rows
+
+
+def _ratio(rows, num, den):
+    if rows.get(num, {}).get("available") and rows.get(den, {}).get(
+            "available"):
+        return rows[num]["per_call_seconds"] / rows[den]["per_call_seconds"]
+    return None
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Time each registered kernel at every available tier")
+    parser.add_argument("--repeat", type=int, default=5,
+                        help="samples per (kernel, tier) [5]")
+    parser.add_argument("--inner", type=int, default=10,
+                        help="kernel calls per sample [10]")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the structured report instead of a table")
+    args = parser.parse_args(argv)
+
+    workloads = build_workloads()
+    report = {"repeat": args.repeat, "inner": args.inner, "kernels": {}}
+    for kernel in REGISTRY.kernels():
+        if kernel not in workloads:
+            continue
+        n, kargs = workloads[kernel]
+        rows = time_kernel(kernel, n, kargs, args.repeat, args.inner)
+        rows["ratios"] = {
+            "reference_over_fused": _ratio(rows, "reference", "fused"),
+            "fused_over_compiled": _ratio(rows, "fused", "compiled"),
+        }
+        report["kernels"][kernel] = rows
+
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+
+    header = (f"{'kernel':<14}" + "".join(f"{t + ' ms':>14}" for t in TIERS)
+              + f"{'ref/fused':>11}{'fused/comp':>11}")
+    print(header)
+    print("-" * len(header))
+    unavailable = set()
+    for kernel, rows in report["kernels"].items():
+        cols = [f"{kernel:<14}"]
+        for tier in TIERS:
+            row = rows[tier]
+            if row["available"]:
+                cols.append(f"{1e3 * row['per_call_seconds']:>14.3f}")
+            else:
+                cols.append(f"{'n/a':>14}")
+                unavailable.add(tier)
+        for key in ("reference_over_fused", "fused_over_compiled"):
+            ratio = rows["ratios"][key]
+            cols.append(f"{ratio:>10.2f}x" if ratio is not None
+                        else f"{'-':>11}")
+        print("".join(cols))
+    for tier in sorted(unavailable):
+        available, reason = REGISTRY.tier_status(tier)
+        if not available:
+            print(f"\n{tier}: unavailable -- {reason}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cfd.constants import CFDConstants
+from repro.kernels import registry
 from repro.runtime.arena import worker_arena
 
 _AXIS = {"x": 2, "y": 1, "z": 0}
@@ -515,3 +516,13 @@ def _dissipation_u(rhs, u, axis: int, lo: int, hi: int, dssp: float) -> None:
 def add_slab(lo: int, hi: int, u, rhs) -> None:
     """u += rhs on interior planes [1+lo, 1+hi) (the ``add`` routine)."""
     u[1 + lo : 1 + hi, 1:-1, 1:-1, :] += rhs[1 + lo : 1 + hi, 1:-1, 1:-1, :]
+
+
+# --------------------------------------------------------------------- #
+# kernel-tier registration (see repro.kernels.registry); the compiled
+# flux+dissipation kernel lives in repro.kernels.compiled
+
+registry.register("cfd.fields", "reference", fields_slab_reference)
+registry.register("cfd.fields", "fused", fields_slab)
+registry.register("cfd.rhs", "reference", rhs_slab_reference)
+registry.register("cfd.rhs", "fused", rhs_slab)

@@ -21,6 +21,7 @@ import math
 
 import numpy as np
 
+from repro.kernels import registry
 from repro.runtime.arena import worker_arena
 from repro.team.base import Team
 
@@ -57,9 +58,11 @@ def compute_reduceat_offsets(bounds, rowstr, out) -> None:
 
 
 def _matvec_slab_reference(lo: int, hi: int, rowstr, colidx, a, x,
-                           out) -> None:
+                           out, offsets=None) -> None:
     """Expression-form CSR mat-vec restricted to rows ``[lo, hi)`` (no
-    empty rows assumed); allocates the gather and products temporaries."""
+    empty rows assumed); allocates the gather and products temporaries.
+    ``offsets`` (the fused tier's reduceat precomputation) is accepted
+    for signature compatibility across tiers and ignored."""
     if hi <= lo:
         return
     start = int(rowstr[lo])
@@ -156,14 +159,27 @@ def conj_grad(team: Team, n: int, rowstr, colidx, a,
     rho = team.reduce_sum(n, _dot_slab, r, r)
 
     for _ in range(CG_ITERATIONS):
-        team.parallel_for(n, _matvec_slab, rowstr, colidx, a, p, q, offsets)
+        team.parallel_kernel("cg.matvec", n, rowstr, colidx, a, p, q,
+                             offsets)
         d = team.reduce_sum(n, _dot_slab, p, q)
         alpha = rho / d
-        team.parallel_for(n, _update_zr_slab, z, r, p, q, alpha)
+        team.parallel_kernel("cg.update_zr", n, z, r, p, q, alpha)
         rho0 = rho
         rho = team.reduce_sum(n, _dot_slab, r, r)
         beta = rho / rho0
         team.parallel_for(n, _update_p_slab, p, r, beta)
 
-    team.parallel_for(n, _matvec_slab, rowstr, colidx, a, z, r, offsets)
-    return math.sqrt(team.reduce_sum(n, _norm_diff_slab, x, r))
+    team.parallel_kernel("cg.matvec", n, rowstr, colidx, a, z, r, offsets)
+    return math.sqrt(team.reduce_kernel("cg.norm_diff", n, x, r))
+
+
+# --------------------------------------------------------------------- #
+# kernel-tier registration (see repro.kernels.registry); the compiled
+# mat-vec lives in repro.kernels.compiled
+
+registry.register("cg.matvec", "reference", _matvec_slab_reference)
+registry.register("cg.matvec", "fused", _matvec_slab)
+registry.register("cg.update_zr", "reference", _update_zr_slab_reference)
+registry.register("cg.update_zr", "fused", _update_zr_slab)
+registry.register("cg.norm_diff", "reference", _norm_diff_slab_reference)
+registry.register("cg.norm_diff", "fused", _norm_diff_slab)

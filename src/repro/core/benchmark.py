@@ -35,7 +35,9 @@ from repro.team import SerialTeam, Team
 #: v4: added the job-service fields ``job_id`` (null outside the
 #: service), ``cache_hit``, and ``queue_wait_seconds`` (see
 #: :mod:`repro.service`).
-RUN_RECORD_SCHEMA_VERSION = 4
+#: v5: added ``kernel_backend`` (the kernel tier the run's team resolved
+#: against; see :mod:`repro.kernels.registry`).
+RUN_RECORD_SCHEMA_VERSION = 5
 
 
 @dataclass
@@ -65,6 +67,10 @@ class BenchmarkResult:
     job_id: str | None = None
     cache_hit: bool = False
     queue_wait_seconds: float = 0.0
+    #: kernel tier the run's team resolved kernels against (schema v5);
+    #: the *requested* tier -- an unavailable compiled tier still runs
+    #: (and reports) ``compiled`` while serving fallbacks per kernel
+    kernel_backend: str = "fused"
 
     @property
     def verified(self) -> bool:
@@ -106,6 +112,7 @@ class BenchmarkResult:
             "job_id": self.job_id,
             "cache_hit": self.cache_hit,
             "queue_wait_seconds": self.queue_wait_seconds,
+            "kernel_backend": self.kernel_backend,
         }
 
     def banner(self) -> str:
@@ -221,4 +228,5 @@ class NPBenchmark(ABC):
             timers=timers,
             regions=regions,
             faults=faults,
+            kernel_backend=self.team.kernel_backend,
         )

@@ -47,7 +47,12 @@ from repro.harness.stats import summarize, time_callable
 #: direct ``npb bench`` runs record null/false/zero, and v1-v3 records
 #: are migrated on load the same way (a recorded cell back then could
 #: only have been a direct run).
-SCHEMA_VERSION = 4
+#: v5: benchmark cells carry ``kernel_backend`` (the kernel tier; see
+#: :mod:`repro.kernels.registry`).  v1-v4 records are migrated on load
+#: with the historical default ``"fused"``, and a cell's ``cell_id``
+#: only grows a ``.{tier}`` suffix for non-default tiers, so committed
+#: baselines keep gating unchanged.
+SCHEMA_VERSION = 5
 
 #: The ``kind`` tag every record carries (guards against loading foreign JSON).
 RECORD_KIND = "npb-bench-record"
@@ -80,24 +85,35 @@ class BenchCell:
     problem_class: str
     backend: str
     workers: int
+    #: kernel tier the cell runs at (see :mod:`repro.kernels.registry`)
+    kernel_backend: str = "fused"
 
     @property
     def cell_id(self) -> str:
-        return (
+        base = (
             f"{self.benchmark}.{self.problem_class}."
             f"{self.backend}.x{self.workers}"
         )
+        # The default tier keeps the historical id so committed baselines
+        # (BENCH_0001.json) gate unchanged; other tiers get distinct ids.
+        if self.kernel_backend != "fused":
+            return f"{base}.{self.kernel_backend}"
+        return base
 
     @classmethod
     def parse(cls, spec: str) -> "BenchCell":
-        """Parse a ``BENCH:CLASS:BACKEND:WORKERS`` spec (``CG:S:threads:2``)."""
+        """Parse a ``BENCH:CLASS:BACKEND:WORKERS[:TIER]`` spec
+        (``CG:S:threads:2`` or ``CG:S:threads:2:compiled``)."""
         parts = spec.split(":")
-        if len(parts) != 4:
+        if len(parts) not in (4, 5):
             raise ValueError(
-                f"cell spec {spec!r} is not BENCHMARK:CLASS:BACKEND:WORKERS"
+                f"cell spec {spec!r} is not "
+                f"BENCHMARK:CLASS:BACKEND:WORKERS[:TIER]"
             )
-        name, problem_class, backend, workers = parts
-        return cls(name.upper(), problem_class.upper(), backend, int(workers))
+        name, problem_class, backend, workers = parts[:4]
+        tier = parts[4] if len(parts) == 5 else "fused"
+        return cls(name.upper(), problem_class.upper(), backend,
+                   int(workers), kernel_backend=tier)
 
 
 @dataclass(frozen=True)
@@ -182,10 +198,16 @@ def _git_sha() -> str:
 
 def environment_fingerprint() -> dict:
     """Stamp that makes two records comparable (or explains why not)."""
+    try:
+        import numba
+        numba_version = numba.__version__
+    except ImportError:
+        numba_version = None
     return {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "numpy": np.__version__,
+        "numba": numba_version,
         "platform": platform.platform(),
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
@@ -205,7 +227,8 @@ def run_bench_cell(cell: BenchCell, repeat: int) -> dict:
     for _ in range(repeat):
         results.append(
             run_benchmark(
-                cell.benchmark, cell.problem_class, cell.backend, cell.workers
+                cell.benchmark, cell.problem_class, cell.backend,
+                cell.workers, kernel_backend=cell.kernel_backend,
             )
         )
     times = [r.time_seconds for r in results]
@@ -235,6 +258,9 @@ def run_bench_cell(cell: BenchCell, repeat: int) -> dict:
         "job_id": best.job_id,
         "cache_hit": best.cache_hit,
         "queue_wait_seconds": best.queue_wait_seconds,
+        # kernel tier (schema v5): the *requested* tier; an unavailable
+        # compiled tier records "compiled" while serving fallbacks
+        "kernel_backend": cell.kernel_backend,
     }
     record.update(summary.as_dict())
     return record
@@ -363,6 +389,13 @@ def _migrate_record(record: dict, version: int) -> dict:
                 cell.setdefault("job_id", None)
                 cell.setdefault("cache_hit", False)
                 cell.setdefault("queue_wait_seconds", 0.0)
+    if version < 5:
+        # v4 predates kernel tiers; every recorded cell ran the fused
+        # kernels (the tier that is now the default), so "fused" is the
+        # faithful migration.
+        for cell in record.get("cells", []):
+            if cell.get("kind") == "benchmark":
+                cell.setdefault("kernel_backend", "fused")
     if version < SCHEMA_VERSION:
         record["schema_version"] = SCHEMA_VERSION
     return record

@@ -15,7 +15,13 @@ Subcommands::
                                        (queue + warm team pool + cache)
     npb submit CG -c S --url URL       submit a job to a running service
     npb jobs [JOB_ID] --url URL        service status / job inspection
+    npb backends [--json]              list kernel tiers, per-kernel
+                                       coverage, and availability
     npb list                           list benchmarks and classes
+
+Kernel tiers: ``run``/``verify``/``profile``/``bench``/``serve``/
+``submit`` accept ``--kernel-backend {reference,fused,compiled}``
+(default ``fused``); see :mod:`repro.kernels.registry`.
 
 Exit codes
 ----------
@@ -41,11 +47,13 @@ code  meaning
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 
 from repro import available_benchmarks, run_benchmark
 from repro.common.params import CLASS_ORDER
+from repro.kernels.registry import DEFAULT_TIER, REGISTRY, TIERS
 from repro.harness.bench import (DEFAULT_ABS_SLACK, DEFAULT_MAD_MULTIPLIER,
                                  DEFAULT_TOLERANCE)
 from repro.harness.report import format_table, region_profile_table
@@ -78,6 +86,19 @@ def _fault_policy(args) -> FaultPolicy | None:
     return FaultPolicy(**kwargs)
 
 
+def _warn_tier_fallback(tier: str) -> None:
+    """One stderr line when the requested tier cannot fully serve.
+
+    The run proceeds (resolution falls back per kernel, exactly as
+    documented); this just makes sure nobody reads a fallback run's
+    numbers as the compiled tier's.
+    """
+    available, reason = REGISTRY.tier_status(tier)
+    if not available:
+        print(f"npb: kernel backend {tier!r} unavailable ({reason}); "
+              f"kernels fall back to the next tier", file=sys.stderr)
+
+
 def _fault_lines(result) -> str:
     """Per-event fault report lines for the text output."""
     return "\n".join(
@@ -87,9 +108,11 @@ def _fault_lines(result) -> str:
 
 
 def _cmd_run(args) -> int:
+    _warn_tier_fallback(args.kernel_backend)
     result = run_benchmark(args.benchmark.upper(), args.problem_class,
                            args.backend, args.workers,
-                           policy=_fault_policy(args))
+                           policy=_fault_policy(args),
+                           kernel_backend=args.kernel_backend)
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
     else:
@@ -102,11 +125,13 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_verify(args) -> int:
+    _warn_tier_fallback(args.kernel_backend)
     failures = 0
     records = []
     for name in available_benchmarks():
         result = run_benchmark(name, args.problem_class, args.backend,
-                               args.workers, policy=_fault_policy(args))
+                               args.workers, policy=_fault_policy(args),
+                               kernel_backend=args.kernel_backend)
         if args.json:
             records.append(result.to_dict())
         else:
@@ -132,11 +157,13 @@ def _cmd_profile(args) -> int:
     from repro.team import make_team
 
     cls = get_benchmark(args.benchmark.upper())
+    _warn_tier_fallback(args.kernel_backend)
     if args.alloc and not tracemalloc.is_tracing():
         tracemalloc.start()
     try:
         with make_team(args.backend, args.workers,
-                       policy=_fault_policy(args)) as team:
+                       policy=_fault_policy(args),
+                       kernel_backend=args.kernel_backend) as team:
             result = cls(args.problem_class, team).run()
             plan_info = team.plan.cache_info()
     finally:
@@ -187,6 +214,12 @@ def _cmd_bench(args) -> int:
         kernels = bench.FULL_KERNELS
     if args.no_kernels:
         kernels = []
+    if args.kernel_backend != DEFAULT_TIER:
+        # Re-tier the whole benchmark cell set; the Table-1 basic-op
+        # kernels time raw numpy idioms and have no tier to select.
+        _warn_tier_fallback(args.kernel_backend)
+        cells = [dataclasses.replace(c, kernel_backend=args.kernel_backend)
+                 for c in cells]
     progress = None if args.json else print
     record = bench.run_suite(cells, kernels, repeat=args.repeat,
                              quick=args.quick, progress=progress,
@@ -211,11 +244,13 @@ def _cmd_serve(args) -> int:
 
     from repro.service import BenchService, make_server
 
+    _warn_tier_fallback(args.kernel_backend)
     service = BenchService(
         backend=args.backend, workers=args.workers,
         pool_size=args.pool, queue_depth=args.queue_depth,
         cache_dir=args.cache_dir, cache_entries=args.cache_entries,
-        policy=_fault_policy(args))
+        policy=_fault_policy(args),
+        kernel_backend=args.kernel_backend)
     httpd = make_server(service, host=args.host, port=args.port,
                         verbose=args.verbose)
     host, port = httpd.server_address[:2]
@@ -277,6 +312,7 @@ def _cmd_submit(args) -> int:
         "workers": args.workers,
         "priority": args.priority,
         "no_cache": args.no_cache,
+        "kernel_backend": args.kernel_backend,
         "wait": not args.no_wait,
     }
     if args.dispatch_timeout is not None:
@@ -422,11 +458,42 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_backends(args) -> int:
+    """List kernel tiers, availability (with the why), and coverage."""
+    coverage = REGISTRY.coverage()
+    if args.json:
+        print(json.dumps(coverage, indent=2))
+        return EXIT_OK
+    for tier in TIERS:
+        info = coverage["tiers"][tier]
+        flags = []
+        if info["default"]:
+            flags.append("default")
+        flags.append("available" if info["available"] else "UNAVAILABLE")
+        print(f"{tier:<10} [{', '.join(flags)}]")
+        if not info["available"]:
+            print(f"  reason: {info['reason']}")
+        for kernel, detail in info["kernels"].items():
+            line = f"  {kernel:<14}"
+            if detail["serves"] != tier:
+                line += f" -> serves via {detail['serves']}"
+            if detail["tolerance"]:
+                line += f"  tolerance {detail['tolerance']:g}"
+            print(line)
+        uncovered = [k for k in coverage["kernels"]
+                     if k not in info["kernels"]]
+        if uncovered:
+            print("  (falls back for: " + ", ".join(uncovered) + ")")
+    return EXIT_OK
+
+
 def _cmd_list(args) -> int:
-    print("Benchmarks:", ", ".join(available_benchmarks()))
-    print("Classes:   ", ", ".join(str(c) for c in CLASS_ORDER))
-    print("Backends:   serial, threads, process")
-    print("Tables:    ", ", ".join(str(t) for t in TABLES))
+    print("Benchmarks:  ", ", ".join(available_benchmarks()))
+    print("Classes:     ", ", ".join(str(c) for c in CLASS_ORDER))
+    print("Backends:     serial, threads, process")
+    print("Kernel tiers:", ", ".join(TIERS),
+          f"(default {DEFAULT_TIER}; see 'npb backends')")
+    print("Tables:      ", ", ".join(str(t) for t in TABLES))
     return 0
 
 
@@ -516,6 +583,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "alloc_bytes/alloc_blocks are populated; "
                             "traced records are slower -- only compare "
                             "them against other traced records")
+    bench.add_argument("--kernel-backend", default=DEFAULT_TIER,
+                       choices=list(TIERS),
+                       help="kernel tier for every benchmark cell; "
+                            "non-default tiers get distinct cell ids "
+                            "(CG.S.serial.x1.compiled) so they never "
+                            "collide with fused baselines")
     bench.add_argument("--json", action="store_true",
                        help="print the record (or comparison) as JSON")
     bench.set_defaults(fn=_cmd_bench)
@@ -617,6 +690,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="omit the simulated tables")
     report.set_defaults(fn=_cmd_report)
 
+    backends = sub.add_parser(
+        "backends", help="list kernel tiers, per-kernel coverage, and "
+                         "availability (with the why-unavailable reason)")
+    backends.add_argument("--json", action="store_true",
+                          help="emit the structured coverage report")
+    backends.set_defaults(fn=_cmd_backends)
+
     lst = sub.add_parser("list", help="list benchmarks, classes, tables")
     lst.set_defaults(fn=_cmd_list)
     return parser
@@ -627,6 +707,13 @@ def _common(sub_parser) -> None:
     sub_parser.add_argument("-b", "--backend", default="serial",
                             choices=["serial", "threads", "process"])
     sub_parser.add_argument("-w", "--workers", type=int, default=1)
+    sub_parser.add_argument("--kernel-backend", default=DEFAULT_TIER,
+                            choices=list(TIERS),
+                            help="kernel tier to resolve registered "
+                                 "kernels against (default fused; an "
+                                 "unavailable compiled tier warns and "
+                                 "falls back per kernel -- see "
+                                 "'npb backends')")
     sub_parser.add_argument("--dispatch-timeout", type=float, default=None,
                             metavar="SECONDS",
                             help="per-dispatch deadline; hung workers are "

@@ -1,0 +1,25 @@
+"""Kernel-backend registry package: named, selectable kernel tiers.
+
+See :mod:`repro.kernels.registry` for the registry itself and
+:mod:`repro.kernels.compiled` for the Numba tier.
+"""
+
+from repro.kernels.registry import (DEFAULT_TIER, REGISTRY, TIERS,
+                                    KernelRegistry, KernelVariant,
+                                    TierUnavailableError, UnknownKernelError,
+                                    UnknownTierError, register, resolve,
+                                    validate_tier)
+
+__all__ = [
+    "DEFAULT_TIER",
+    "REGISTRY",
+    "TIERS",
+    "KernelRegistry",
+    "KernelVariant",
+    "TierUnavailableError",
+    "UnknownKernelError",
+    "UnknownTierError",
+    "register",
+    "resolve",
+    "validate_tier",
+]

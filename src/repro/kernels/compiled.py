@@ -1,0 +1,375 @@
+"""Compiled kernel tier: Numba ``njit`` scalar-loop micro-kernels.
+
+The third point on the paper's language-gap axis (Halli et al.'s JNI
+micro-kernels, PAPERS.md): native code for the hottest slab kernels
+behind the same managed front end.  Covered kernels -- MG resid/psinv,
+CG mat-vec, BT/SP rhs with its 4th-order dissipation -- are the ones the
+per-region profiles put at the top of every run.
+
+Structure
+---------
+Each kernel is a *plain module-level wrapper* (picklable by qualified
+name, so the process backend ships it like any other slab function) that
+unpacks non-numeric arguments (coefficient tuples,
+:class:`~repro.cfd.constants.CFDConstants`) into scalars/arrays and calls
+a *core*.  Cores are written as straight scalar loops that replicate the
+reference kernels' floating-point grouping term by term -- the same
+left-associative statement order the fused tier fuses -- and are wrapped
+with ``numba.njit(cache=True)`` at import time when numba is present.
+
+Tolerance policy (asserted by ``tests/kernels/test_fused_equivalence.py``)
+--------------------------------------------------------------------------
+The scalar loops replicate the reference grouping exactly, so results are
+bit-identical in practice; each variant still declares a 1e-12 relative
+band because the *jitted* code runs through LLVM, which may contract
+``a*b + c`` into a fused multiply-add on some targets (numba disables
+``fastmath`` but contraction is a backend decision).  ``cg.matvec``
+additionally accumulates each row left to right, which is not guaranteed
+to match ``np.add.reduceat``'s segment reduction order.  Nothing is waved
+through: the declared band is the asserted bound.
+
+Availability
+------------
+Without numba the module still imports; it marks the ``compiled`` tier
+unavailable-with-reason in the registry and registers nothing, so
+resolution falls back to ``fused``.  Install with ``pip install
+'repro[compiled]'``.  Setting ``NPB_COMPILED_PUREPY=1`` registers the
+un-jitted cores instead (identical arithmetic, interpreter speed) --
+useful for validating the tier's numerics where numba cannot be
+installed; the registry reports the substitution.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.kernels import registry
+
+try:
+    import numba
+
+    NUMBA_AVAILABLE = True
+    NUMBA_UNAVAILABLE_REASON = ""
+except ImportError:
+    numba = None
+    NUMBA_AVAILABLE = False
+    NUMBA_UNAVAILABLE_REASON = (
+        "numba is not installed; pip install 'repro[compiled]' "
+        "(pure-python stand-in available via NPB_COMPILED_PUREPY=1)")
+
+#: Pure-python stand-in: register the un-jitted cores when numba is
+#: missing.  Same IEEE double arithmetic, interpreter speed.
+PUREPY = os.environ.get("NPB_COMPILED_PUREPY", "") not in ("", "0")
+
+#: The declared relative band for the compiled variants (see module
+#: docstring); relative to the max magnitude of the reference result.
+COMPILED_TOLERANCE = 1e-12
+
+_FMA_NOTE = ("scalar loops replicate the reference FP grouping; the band "
+             "covers LLVM fused-multiply-add contraction in jitted code")
+
+
+# ===================================================================== #
+# cores (plain python here; njit-wrapped below when numba is present)
+# ===================================================================== #
+
+
+def _resid_core(lo, hi, u, v, r, a0, a2, a3):
+    """r = v - A u on interior planes [1+lo, 1+hi); grouping matches
+    ``_resid_slab_reference`` statement by statement."""
+    n3, n2, n1 = u.shape
+    u1 = np.empty(n1)
+    u2 = np.empty(n1)
+    for i3 in range(1 + lo, 1 + hi):
+        for i2 in range(1, n2 - 1):
+            for i1 in range(n1):
+                u1[i1] = ((u[i3, i2 - 1, i1] + u[i3, i2 + 1, i1])
+                          + u[i3 - 1, i2, i1]) + u[i3 + 1, i2, i1]
+                u2[i1] = ((u[i3 - 1, i2 - 1, i1] + u[i3 - 1, i2 + 1, i1])
+                          + u[i3 + 1, i2 - 1, i1]) + u[i3 + 1, i2 + 1, i1]
+            for i1 in range(1, n1 - 1):
+                t = v[i3, i2, i1] - a0 * u[i3, i2, i1]
+                t = t - a2 * ((u2[i1] + u1[i1 - 1]) + u1[i1 + 1])
+                r[i3, i2, i1] = t - a3 * (u2[i1 - 1] + u2[i1 + 1])
+
+
+def _psinv_core(lo, hi, r, u, c0, c1, c2):
+    """u += S r on interior planes [1+lo, 1+hi); grouping matches
+    ``_psinv_slab_reference``."""
+    n3, n2, n1 = r.shape
+    r1 = np.empty(n1)
+    r2 = np.empty(n1)
+    for i3 in range(1 + lo, 1 + hi):
+        for i2 in range(1, n2 - 1):
+            for i1 in range(n1):
+                r1[i1] = ((r[i3, i2 - 1, i1] + r[i3, i2 + 1, i1])
+                          + r[i3 - 1, i2, i1]) + r[i3 + 1, i2, i1]
+                r2[i1] = ((r[i3 - 1, i2 - 1, i1] + r[i3 - 1, i2 + 1, i1])
+                          + r[i3 + 1, i2 - 1, i1]) + r[i3 + 1, i2 + 1, i1]
+            for i1 in range(1, n1 - 1):
+                t = c0 * r[i3, i2, i1]
+                t = t + c1 * ((r[i3, i2, i1 - 1] + r[i3, i2, i1 + 1])
+                              + r1[i1])
+                t = t + c2 * ((r2[i1] + r1[i1 - 1]) + r1[i1 + 1])
+                u[i3, i2, i1] = u[i3, i2, i1] + t
+
+
+def _matvec_core(lo, hi, rowstr, colidx, a, x, out):
+    """CSR mat-vec rows [lo, hi); each row accumulates left to right."""
+    for row in range(lo, hi):
+        s = 0.0
+        for k in range(rowstr[row], rowstr[row + 1]):
+            s += a[k] * x[colidx[k]]
+        out[row] = s
+
+
+def _rhs_flux_core(lo, hi, u, rhs, rho_i, us, vs, ws, qs, square,
+                   o3, o2, o1, vel, t2, con2, con3, con4, con5,
+                   d_t1, con43, c1, c2):
+    """Central-difference fluxes of one direction ``(o3, o2, o1)`` on the
+    slab interior; grouping matches the matching ``rhs_slab_reference``
+    statements."""
+    ny = u.shape[1]
+    nx = u.shape[2]
+    if vel == 1:
+        w = us
+    elif vel == 2:
+        w = vs
+    else:
+        w = ws
+    for k in range(1 + lo, 1 + hi):
+        for j in range(1, ny - 1):
+            for i in range(1, nx - 1):
+                kp = k + o3
+                jp = j + o2
+                ip = i + o1
+                km = k - o3
+                jm = j - o2
+                im = i - o1
+                wp = w[kp, jp, ip]
+                wc = w[k, j, i]
+                wm = w[km, jm, im]
+                sqp = square[kp, jp, ip]
+                sqm = square[km, jm, im]
+                # continuity: d_t1[0]*D2U(0) - t2*(U(vel,+1) - U(vel,-1))
+                acc = ((u[kp, jp, ip, 0] - 2.0 * u[k, j, i, 0])
+                       + u[km, jm, im, 0])
+                acc = d_t1[0] * acc
+                acc = acc - t2 * (u[kp, jp, ip, vel] - u[km, jm, im, vel])
+                rhs[k, j, i, 0] = rhs[k, j, i, 0] + acc
+                # momentum
+                for m in range(1, 4):
+                    acc = ((u[kp, jp, ip, m] - 2.0 * u[k, j, i, m])
+                           + u[km, jm, im, m])
+                    acc = d_t1[m] * acc
+                    if m == vel:
+                        acc = acc + con2 * con43 * ((wp - 2.0 * wc) + wm)
+                        t = u[kp, jp, ip, m] * wp - u[km, jm, im, m] * wm
+                        t = t + (((u[kp, jp, ip, 4] - sqp)
+                                  - u[km, jm, im, 4]) + sqm) * c2
+                        acc = acc - t2 * t
+                    else:
+                        if m == 1:
+                            f = us
+                        elif m == 2:
+                            f = vs
+                        else:
+                            f = ws
+                        d2f = ((f[kp, jp, ip] - 2.0 * f[k, j, i])
+                               + f[km, jm, im])
+                        acc = acc + con2 * d2f
+                        acc = acc - t2 * (u[kp, jp, ip, m] * wp
+                                          - u[km, jm, im, m] * wm)
+                    rhs[k, j, i, m] = rhs[k, j, i, m] + acc
+                # energy
+                acc = ((u[kp, jp, ip, 4] - 2.0 * u[k, j, i, 4])
+                       + u[km, jm, im, 4])
+                acc = d_t1[4] * acc
+                acc = acc + con3 * ((qs[kp, jp, ip] - 2.0 * qs[k, j, i])
+                                    + qs[km, jm, im])
+                acc = acc + con4 * ((wp * wp - (2.0 * wc) * wc) + wm * wm)
+                acc = acc + con5 * ((u[kp, jp, ip, 4] * rho_i[kp, jp, ip]
+                                     - (2.0 * u[k, j, i, 4])
+                                     * rho_i[k, j, i])
+                                    + u[km, jm, im, 4] * rho_i[km, jm, im])
+                t = (c1 * u[kp, jp, ip, 4] - c2 * sqp) * wp
+                t = t - (c1 * u[km, jm, im, 4] - c2 * sqm) * wm
+                acc = acc - t2 * t
+                rhs[k, j, i, 4] = rhs[k, j, i, 4] + acc
+
+
+def _rhs_dissipation_core(lo, hi, u, rhs, o3, o2, o1, n, dssp):
+    """4th-order dissipation of ``u`` along direction ``(o3, o2, o1)``
+    (extent ``n``), one-sided at the first/last two interior rows;
+    grouping matches ``_dissipation_u_reference``."""
+    ny = u.shape[1]
+    nx = u.shape[2]
+    for k in range(1 + lo, 1 + hi):
+        for j in range(1, ny - 1):
+            for i in range(1, nx - 1):
+                if o3 == 1:
+                    pos = k
+                elif o2 == 1:
+                    pos = j
+                else:
+                    pos = i
+                for m in range(5):
+                    u0 = u[k, j, i, m]
+                    if pos == 1:
+                        d = ((5.0 * u0 - 4.0 * u[k + o3, j + o2, i + o1, m])
+                             + u[k + 2 * o3, j + 2 * o2, i + 2 * o1, m])
+                    elif pos == 2:
+                        d = (((-4.0 * u[k - o3, j - o2, i - o1, m]
+                               + 6.0 * u0)
+                              - 4.0 * u[k + o3, j + o2, i + o1, m])
+                             + u[k + 2 * o3, j + 2 * o2, i + 2 * o1, m])
+                    elif pos == n - 3:
+                        d = (((u[k - 2 * o3, j - 2 * o2, i - 2 * o1, m]
+                               - 4.0 * u[k - o3, j - o2, i - o1, m])
+                              + 6.0 * u0)
+                             - 4.0 * u[k + o3, j + o2, i + o1, m])
+                    elif pos == n - 2:
+                        d = ((u[k - 2 * o3, j - 2 * o2, i - 2 * o1, m]
+                              - 4.0 * u[k - o3, j - o2, i - o1, m])
+                             + 5.0 * u0)
+                    else:
+                        d = ((((u[k - 2 * o3, j - 2 * o2, i - 2 * o1, m]
+                                - 4.0 * u[k - o3, j - o2, i - o1, m])
+                               + 6.0 * u0)
+                              - 4.0 * u[k + o3, j + o2, i + o1, m])
+                             + u[k + 2 * o3, j + 2 * o2, i + 2 * o1, m])
+                    rhs[k, j, i, m] = rhs[k, j, i, m] - dssp * d
+
+
+if NUMBA_AVAILABLE:
+    # cache=True persists the compilation across processes (each forked
+    # ProcessTeam worker would otherwise re-JIT on its first dispatch);
+    # fastmath stays off -- reassociation would void the tolerance policy.
+    _jit = numba.njit(cache=True, fastmath=False)
+    _resid_core = _jit(_resid_core)
+    _psinv_core = _jit(_psinv_core)
+    _matvec_core = _jit(_matvec_core)
+    _rhs_flux_core = _jit(_rhs_flux_core)
+    _rhs_dissipation_core = _jit(_rhs_dissipation_core)
+
+
+# ===================================================================== #
+# slab wrappers (module-level: the process backend pickles them by name)
+# ===================================================================== #
+
+
+_AXIS_OFFSETS = {"x": (0, 0, 1), "y": (0, 1, 0), "z": (1, 0, 0)}
+_CON_PREFIX = {"x": "xx", "y": "yy", "z": "zz"}
+
+
+def resid_slab_compiled(lo: int, hi: int, u, v, r, a) -> None:
+    """Compiled MG residual; same signature as ``_resid_slab``."""
+    if hi <= lo:
+        return
+    a0, _, a2, a3 = a
+    _resid_core(lo, hi, u, v, r, float(a0), float(a2), float(a3))
+
+
+def psinv_slab_compiled(lo: int, hi: int, r, u, c) -> None:
+    """Compiled MG smoother; same signature as ``_psinv_slab``."""
+    if hi <= lo:
+        return
+    c0, c1, c2, _ = c
+    _psinv_core(lo, hi, r, u, float(c0), float(c1), float(c2))
+
+
+def matvec_slab_compiled(lo: int, hi: int, rowstr, colidx, a, x, out,
+                         offsets=None) -> None:
+    """Compiled CSR mat-vec; ``offsets`` (a reduceat precomputation) is
+    accepted for signature compatibility and ignored -- the scalar loop
+    needs no segment offsets."""
+    if hi <= lo:
+        return
+    _matvec_core(lo, hi, rowstr, colidx, a, x, out)
+
+
+def rhs_slab_compiled(lo: int, hi: int, u, rhs, forcing, rho_i, us, vs,
+                      ws, qs, square, c) -> None:
+    """Compiled BT/SP fluxes + dissipation + dt scaling; same signature
+    and phase structure as ``rhs_slab`` (boundary-plane forcing copy,
+    x/y/z flux+dissipation in order, final dt scale)."""
+    if hi <= lo:
+        return
+    nz = u.shape[0]
+    klo_copy = 0 if lo == 0 else 1 + lo
+    khi_copy = nz if hi == nz - 2 else 1 + hi
+    rhs[klo_copy:khi_copy] = forcing[klo_copy:khi_copy]
+    extents = {"x": u.shape[2], "y": u.shape[1], "z": u.shape[0]}
+    for direction, vel in (("x", 1), ("y", 2), ("z", 3)):
+        o3, o2, o1 = _AXIS_OFFSETS[direction]
+        prefix = _CON_PREFIX[direction]
+        d_t1 = np.array([getattr(c, f"d{direction}{m}t{direction}1")
+                         for m in range(1, 6)])
+        _rhs_flux_core(lo, hi, u, rhs, rho_i, us, vs, ws, qs, square,
+                       o3, o2, o1, vel,
+                       float(getattr(c, f"t{direction}2")),
+                       float(getattr(c, f"{prefix}con2")),
+                       float(getattr(c, f"{prefix}con3")),
+                       float(getattr(c, f"{prefix}con4")),
+                       float(getattr(c, f"{prefix}con5")),
+                       d_t1, float(c.con43), float(c.c1), float(c.c2))
+        _rhs_dissipation_core(lo, hi, u, rhs, o3, o2, o1,
+                              extents[direction], float(c.dssp))
+    rhs[1 + lo: 1 + hi, 1:-1, 1:-1, :] *= c.dt
+
+
+# ===================================================================== #
+# registration
+# ===================================================================== #
+
+
+def warm_jit_cache(grid: int = 6) -> bool:
+    """Trigger compilation of every core on a toy problem (CI smoke and
+    microbenchmarks call this so JIT time never lands in a timed
+    region).  Returns False when the tier is not registered."""
+    if not (NUMBA_AVAILABLE or PUREPY):
+        return False
+    rng = np.random.default_rng(0)
+    m = grid
+    u = rng.standard_normal((m, m, m))
+    r = rng.standard_normal((m, m, m))
+    resid_slab_compiled(0, m - 2, u, u.copy(), r, (1.0, 0.0, 0.5, 0.25))
+    psinv_slab_compiled(0, m - 2, r, u, (1.0, 0.5, 0.25, 0.0))
+    rowstr = np.arange(m + 1, dtype=np.int64)
+    colidx = np.zeros(m, dtype=np.int64)
+    matvec_slab_compiled(0, m, rowstr, colidx, np.ones(m),
+                         np.ones(m), np.empty(m))
+    from repro.cfd.constants import CFDConstants
+
+    cons = CFDConstants(m, m, m, 0.001)
+    state = 0.1 * rng.standard_normal((m, m, m, 5))
+    state[..., 0] = 1.0
+    state[..., 4] = 5.0
+    fields = [np.zeros((m, m, m)) for _ in range(6)]
+    from repro.cfd.rhs import fields_slab_reference
+
+    fields_slab_reference(0, m, state, *fields, None, cons)
+    rho_i, us, vs, ws, qs, square = fields
+    rhs_slab_compiled(0, m - 2, state, np.zeros((m, m, m, 5)),
+                      np.zeros((m, m, m, 5)), rho_i, us, vs, ws, qs,
+                      square, cons)
+    return True
+
+
+if NUMBA_AVAILABLE or PUREPY:
+    _matvec_note = ("row sums accumulate left to right, which "
+                    "np.add.reduceat's segment reduction order does not "
+                    "guarantee; " + _FMA_NOTE)
+    registry.register("mg.resid", "compiled", resid_slab_compiled,
+                      tolerance=COMPILED_TOLERANCE, note=_FMA_NOTE)
+    registry.register("mg.psinv", "compiled", psinv_slab_compiled,
+                      tolerance=COMPILED_TOLERANCE, note=_FMA_NOTE)
+    registry.register("cg.matvec", "compiled", matvec_slab_compiled,
+                      tolerance=COMPILED_TOLERANCE, note=_matvec_note)
+    registry.register("cfd.rhs", "compiled", rhs_slab_compiled,
+                      tolerance=COMPILED_TOLERANCE, note=_FMA_NOTE)
+else:
+    registry.REGISTRY.mark_tier_unavailable(
+        "compiled", NUMBA_UNAVAILABLE_REASON)

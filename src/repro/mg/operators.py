@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels import registry
 from repro.runtime.arena import worker_arena
 from repro.team.base import Team
 
@@ -112,7 +113,7 @@ def _resid_slab(lo: int, hi: int, u, v, r, a) -> None:
 
 def resid(team: Team, u, v, r, a) -> None:
     """r = v - A u (safe when v is r), then ghost exchange on r."""
-    team.parallel_for(u.shape[0] - 2, _resid_slab, u, v, r, a)
+    team.parallel_kernel("mg.resid", u.shape[0] - 2, u, v, r, a)
     comm3(r)
 
 
@@ -179,7 +180,7 @@ def _psinv_slab(lo: int, hi: int, r, u, c) -> None:
 
 def psinv(team: Team, r, u, c) -> None:
     """u += S r, then ghost exchange on u."""
-    team.parallel_for(r.shape[0] - 2, _psinv_slab, r, u, c)
+    team.parallel_kernel("mg.psinv", r.shape[0] - 2, r, u, c)
     comm3(u)
 
 
@@ -275,7 +276,7 @@ def _rprj3_slab(lo: int, hi: int, r, s, d) -> None:
 def rprj3(team: Team, r, s) -> None:
     """Restrict fine residual r to coarse grid s, then exchange ghosts."""
     d = tuple(2 if mk == 3 else 1 for mk in r.shape)
-    team.parallel_for(s.shape[0] - 2, _rprj3_slab, r, s, d)
+    team.parallel_kernel("mg.rprj3", s.shape[0] - 2, r, s, d)
     comm3(s)
 
 
@@ -377,7 +378,7 @@ def interp(team: Team, z, u) -> None:
             "interp onto a size-3 grid (interior 1) is not reachable for "
             "the NPB problem classes"
         )
-    team.parallel_for(z.shape[0] - 1, _interp_slab, z, u)
+    team.parallel_kernel("mg.interp", z.shape[0] - 1, z, u)
 
 
 # --------------------------------------------------------------------- #
@@ -415,8 +416,28 @@ def _norm_slab(lo: int, hi: int, r) -> tuple[float, float]:
 
 def norm2u3(team: Team, r, nx: int, ny: int, nz: int) -> tuple[float, float]:
     """L2 norm (per-point) and max norm of the interior (norm2u3)."""
-    partials = team.parallel_for(r.shape[0] - 2, _norm_slab, r)
+    partials = team.parallel_kernel("mg.norm2u3", r.shape[0] - 2, r)
     total = sum(p[0] for p in partials)
     rnmu = max(p[1] for p in partials)
     rnm2 = float(np.sqrt(total / (float(nx) * ny * nz)))
     return rnm2, rnmu
+
+
+# --------------------------------------------------------------------- #
+# kernel-tier registration (see repro.kernels.registry); the compiled
+# variants of the hot kernels live in repro.kernels.compiled
+
+registry.register("mg.resid", "reference", _resid_slab_reference)
+registry.register("mg.resid", "fused", _resid_slab)
+registry.register("mg.psinv", "reference", _psinv_slab_reference)
+registry.register("mg.psinv", "fused", _psinv_slab)
+registry.register("mg.rprj3", "reference", _rprj3_slab_reference)
+registry.register("mg.rprj3", "fused", _rprj3_slab)
+registry.register("mg.interp", "reference", _interp_slab_reference)
+registry.register("mg.interp", "fused", _interp_slab)
+registry.register("mg.norm2u3", "reference", _norm_slab_reference)
+registry.register(
+    "mg.norm2u3", "fused", _norm_slab, tolerance=1e-13,
+    note="BLAS dot accumulation order differs from np.sum in the last "
+         "ulp (see _norm_slab docstring); MG verification compares at "
+         "1e-8")

@@ -10,7 +10,7 @@ shim over it on a stdlib ``ThreadingHTTPServer``:
     Submit a job.  Body: ``{"benchmark": "CG", "problem_class": "S",
     "backend": "serial", "workers": 1, "priority": "normal",
     "no_cache": false, "dispatch_timeout": null, "max_retries": null,
-    "wait": false}``.  Returns 202 with the job dict (or 200 with the
+    "kernel_backend": "fused", "wait": false}``.  Returns 202 with the job dict (or 200 with the
     terminal job when ``wait`` is true); 429 when admission is rejected
     (queue full or draining); 400 on a malformed spec.
 ``GET /jobs`` / ``GET /jobs/<id>``
@@ -50,7 +50,10 @@ class BenchService:
                  cache_dir: str = DEFAULT_CACHE_DIR,
                  cache_entries: int = 256,
                  policy: FaultPolicy | None = None,
+                 kernel_backend: str = "fused",
                  autostart: bool = True):
+        #: default kernel tier for submissions that don't name one
+        self.default_kernel_backend = kernel_backend
         self.queue = JobQueue(maxdepth=queue_depth)
         self.pool = TeamPool(backend, workers, size=pool_size, policy=policy)
         self.cache = ResultCache(cache_dir, max_entries=cache_entries)
@@ -74,18 +77,23 @@ class BenchService:
                backend: str | None = None, workers: int | None = None,
                priority: str = "normal", no_cache: bool = False,
                dispatch_timeout: float | None = None,
-               max_retries: int | None = None) -> Job:
+               max_retries: int | None = None,
+               kernel_backend: str | None = None) -> Job:
         """Admit one job (raises :class:`AdmissionRejected` when full).
 
         ``backend``/``workers`` default to the pool configuration, which
         is the warm path; overriding them still works but runs on a cold
-        one-shot team.
+        one-shot team.  ``kernel_backend`` selects the kernel tier for
+        the run; the scheduler swaps it onto the leased team per job, so
+        pooled teams stay warm across tiers.
         """
         spec = JobSpec.create(
             benchmark, problem_class,
             backend=self.pool.backend if backend is None else backend,
             workers=self.pool.workers if workers is None else workers,
-            dispatch_timeout=dispatch_timeout, max_retries=max_retries)
+            dispatch_timeout=dispatch_timeout, max_retries=max_retries,
+            kernel_backend=(self.default_kernel_backend
+                            if kernel_backend is None else kernel_backend))
         with self._cond:
             self._counter += 1
             job = Job(job_id=f"job-{self._counter:06d}", spec=spec,

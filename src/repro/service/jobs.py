@@ -86,6 +86,10 @@ class JobSpec:
     #: clean run have different fault histories in their records
     dispatch_timeout: float | None = None
     max_retries: int | None = None
+    #: kernel tier the run resolves kernels against -- fingerprint-
+    #: affecting by construction: two tiers of the same cell are
+    #: different results (that ratio *is* the language-gap study)
+    kernel_backend: str = "fused"
     #: environment pin: results from another tree/interpreter/numpy are
     #: different cache entries by construction
     git_sha: str = "unknown"
@@ -96,9 +100,11 @@ class JobSpec:
     def create(cls, benchmark: str, problem_class: str = "S",
                backend: str = "serial", workers: int = 1,
                dispatch_timeout: float | None = None,
-               max_retries: int | None = None) -> "JobSpec":
+               max_retries: int | None = None,
+               kernel_backend: str = "fused") -> "JobSpec":
         """Validated spec with the environment pin stamped in."""
         from repro import available_benchmarks
+        from repro.kernels.registry import validate_tier
 
         benchmark = str(benchmark).upper()
         problem_class = str(problem_class).upper()
@@ -117,6 +123,7 @@ class JobSpec:
             workers=workers,
             dispatch_timeout=dispatch_timeout,
             max_retries=max_retries,
+            kernel_backend=validate_tier(str(kernel_backend)),
             git_sha=_git_sha(),
             python_version=platform.python_version(),
             numpy_version=np.__version__,
@@ -130,6 +137,7 @@ class JobSpec:
             "workers": self.workers,
             "dispatch_timeout": self.dispatch_timeout,
             "max_retries": self.max_retries,
+            "kernel_backend": self.kernel_backend,
             "git_sha": self.git_sha,
             "python_version": self.python_version,
             "numpy_version": self.numpy_version,

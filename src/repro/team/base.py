@@ -69,6 +69,8 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.kernels.registry import (DEFAULT_TIER, resolve as resolve_kernel,
+                                    validate_tier)
 from repro.runtime.arena import (allocation_probe_start,
                                  allocation_probe_stop, arena_rewind_task)
 from repro.runtime.dispatch import (FaultEvent, FaultPolicy,
@@ -84,14 +86,19 @@ class Team(ABC):
     #: backend name, set by subclasses
     backend: str = "abstract"
 
-    def __init__(self, nworkers: int, policy: FaultPolicy | None = None):
+    def __init__(self, nworkers: int, policy: FaultPolicy | None = None,
+                 kernel_backend: str = DEFAULT_TIER):
         if nworkers < 1:
             raise ValueError("nworkers must be >= 1")
         self._nworkers = nworkers
         #: fault-tolerance knobs (timeout, retries, backoff)
         self.policy = policy if policy is not None else FaultPolicy()
-        #: memoized slab partitions for this worker count
-        self.plan = ExecutionPlan(nworkers)
+        #: memoized slab partitions for this worker count; also carries
+        #: the selected kernel tier (resolved at dispatch time)
+        self.plan = ExecutionPlan(nworkers,
+                                  kernel_backend=validate_tier(kernel_backend))
+        #: kernel name -> resolved callable for the current tier
+        self._kernel_fns: dict[str, Callable] = {}
         #: per-region dispatch/execute/barrier accounting
         self.recorder = RegionRecorder(nworkers)
         self._closed = False
@@ -202,6 +209,52 @@ class Team(ABC):
                 if not reply.ok:
                     raise_reply_error(reply)
             return [reply.value for reply in replies]
+
+    # ------------------------------------------------------------------ #
+    # kernel-tier selection (see repro.kernels.registry)
+
+    @property
+    def kernel_backend(self) -> str:
+        """The selected kernel tier (``reference``/``fused``/``compiled``).
+
+        This is the *requested* tier; an unavailable tier (compiled
+        without numba) silently serves the best fallback per kernel --
+        ``npb backends`` reports what actually serves.
+        """
+        return self.plan.kernel_backend
+
+    def set_kernel_backend(self, tier: str) -> None:
+        """Re-select the kernel tier on a live team.
+
+        Pooled teams outlive a single job, so the scheduler swaps the
+        tier per job the same way it swaps the fault policy; the resolved-
+        kernel cache is dropped so the next dispatch re-resolves.
+        """
+        self.plan.kernel_backend = validate_tier(tier)
+        self._kernel_fns.clear()
+
+    def _resolve_kernel(self, kernel: str) -> Callable:
+        fn = self._kernel_fns.get(kernel)
+        if fn is None:
+            fn = resolve_kernel(kernel, self.plan.kernel_backend).fn
+            self._kernel_fns[kernel] = fn
+        return fn
+
+    def parallel_kernel(self, kernel: str, n: int, *args: Any) -> list[Any]:
+        """``parallel_for`` over a *named* registered kernel.
+
+        The registry resolves ``kernel`` at the team's selected tier
+        (with fallback) to a module-level callable -- picklable by
+        qualified name, so the process backend ships it like any other
+        slab function.  Resolution is memoized per team until the tier
+        changes.
+        """
+        return self._dispatch(self._resolve_kernel(kernel),
+                              self.plan.bounds(n), args)
+
+    def reduce_kernel(self, kernel: str, n: int, *args: Any) -> float:
+        """Sum of per-worker partials from a named registered kernel."""
+        return float(sum(self.parallel_kernel(kernel, n, *args)))
 
     def parallel_for(self, n: int, fn: Callable, *args: Any) -> list[Any]:
         """Block-partition ``range(n)``; worker ``r`` runs ``fn(lo_r, hi_r, *args)``.

@@ -47,8 +47,10 @@ class ThreadTeam(Team):
     backend = "threads"
 
     def __init__(self, nworkers: int, join_timeout: float = 5.0,
-                 policy: FaultPolicy | None = None):
-        super().__init__(nworkers, policy=policy)
+                 policy: FaultPolicy | None = None,
+                 kernel_backend: str = "fused"):
+        super().__init__(nworkers, policy=policy,
+                         kernel_backend=kernel_backend)
         self._join_timeout = join_timeout
         self._cond = threading.Condition()
         self._generation = 0

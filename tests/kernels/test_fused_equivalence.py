@@ -1,18 +1,31 @@
-"""Fused kernels vs reference kernels: same bits, every backend.
+"""Kernel tiers vs reference kernels: same bits, every backend.
 
-Every hot slab kernel was rewritten as an in-place ``out=`` chain into
-per-worker arena scratch (:mod:`repro.runtime.arena`); the original
-expression-form kernels survive as ``*_reference``.  This suite draws
+Every hot slab kernel is registered in the kernel-backend registry
+(:mod:`repro.kernels.registry`) under up to three tiers: ``reference``
+(the original expression-form kernels), ``fused`` (in-place arena
+chains), and ``compiled`` (Numba scalar loops).  This suite draws
 randomized ``(backend, worker count)`` cases and extents from a fixed
-seed (the pattern of ``tests/team/test_equivalence.py``) and asserts the
-fused results are *bit-identical* to the reference -- not approximately
-equal -- because the fused chains preserve the reference's floating-point
-grouping term by term.
+seed (the pattern of ``tests/team/test_equivalence.py``) and asserts
+every non-reference tier against the reference through the production
+path -- ``make_team(..., kernel_backend=tier)`` +
+``Team.parallel_kernel`` -- so tier selection, dispatch, and the kernel
+itself are all under test at once.
 
-The one documented exception is the MG norm's sum of squares, where the
-fused BLAS dot (``d @ d``) accumulates in a different order than
-``np.sum(interior * interior)``; it is pinned at 1e-13 relative (the max
-norm stays exact).
+The contract is *bit-identity* unless the registered variant declares a
+tolerance, in which case exactly that declared bound is asserted (the
+registry refuses a nonzero tolerance without a documenting note).  Two
+variants currently declare one:
+
+* ``mg.norm2u3`` (fused): the BLAS dot (``d @ d``) accumulates in a
+  different order than ``np.sum(interior * interior)``; 1e-13 relative
+  (the max norm stays exact).
+* ``cg.matvec`` (compiled): left-to-right scalar row sums versus
+  ``np.add.reduceat`` pairwise order; 1e-12 relative.
+
+Compiled cases are skipped when numba is not installed -- unless
+``NPB_COMPILED_PUREPY=1`` registers the pure-python stand-in cores
+(same arithmetic, no JIT), which is how this suite validates the
+compiled tier in environments without numba.
 """
 
 import random
@@ -24,8 +37,51 @@ from repro.cfd import rhs as cfd_rhs
 from repro.cfd.constants import CFDConstants
 from repro.cg import solver as cg
 from repro.core import basic_ops
+from repro.kernels import compiled as kc
+from repro.kernels.registry import REGISTRY
 from repro.mg import operators as mg
 from repro.team import make_team
+
+#: Whether the compiled tier actually registers variants in this
+#: environment (numba, or the pure-python stand-in cores).
+COMPILED_OK = kc.NUMBA_AVAILABLE or kc.PUREPY
+
+_compiled_skip = pytest.mark.skipif(
+    not COMPILED_OK,
+    reason="numba is not installed and NPB_COMPILED_PUREPY is unset")
+
+#: Kernels the compiled tier covers; their tests grow a ``compiled``
+#: case (skipped, not silently absent, when the tier is unavailable).
+COMPILED_KERNELS = frozenset(
+    {"mg.resid", "mg.psinv", "cg.matvec", "cfd.rhs"})
+
+
+def tier_params(kernel):
+    """Non-reference tiers to test ``kernel`` under, as parametrize
+    values; the compiled case carries the availability skip marker."""
+    params = ["fused"]
+    if kernel in COMPILED_KERNELS:
+        params.append(pytest.param("compiled", marks=_compiled_skip))
+    return params
+
+
+def _variant(kernel, tier):
+    """Strictly resolve (no fallback): a missing registration here is a
+    test failure, not a silent downgrade to a tier already covered."""
+    return REGISTRY.resolve(kernel, tier, fallback=False)
+
+
+def _assert_matches(got, want, variant):
+    """Bit-identity, or exactly the variant's declared relative bound."""
+    if variant.tolerance == 0.0:
+        assert got.tobytes() == want.tobytes()
+    else:
+        scale = max(1.0, float(np.max(np.abs(want))))
+        err = float(np.max(np.abs(got - want)))
+        assert err <= variant.tolerance * scale, (
+            f"{variant.kernel}/{variant.tier}: max rel error {err / scale:g}"
+            f" exceeds declared tolerance {variant.tolerance:g}")
+
 
 #: Fixed-seed random (backend, workers) cases; worker counts deliberately
 #: include 1 and counts that do not divide the extents below.
@@ -54,9 +110,11 @@ def _shared(team, rng, shape):
 
 
 @pytest.mark.parametrize("backend,workers", TEAM_CASES, ids=TEAM_IDS)
-class TestMGFused:
-    def test_resid(self, backend, workers):
-        with make_team(backend, workers) as team:
+class TestMGTiers:
+    @pytest.mark.parametrize("tier", tier_params("mg.resid"))
+    def test_resid(self, backend, workers, tier):
+        variant = _variant("mg.resid", tier)
+        with make_team(backend, workers, kernel_backend=tier) as team:
             for m in MG_SIZES:
                 rng = np.random.default_rng(100 + m)
                 u = _shared(team, rng, (m, m, m))
@@ -64,35 +122,41 @@ class TestMGFused:
                 r = _shared(team, rng, (m, m, m))
                 r_ref = r.copy()
                 mg._resid_slab_reference(0, m - 2, u, v, r_ref, A)
-                team.parallel_for(m - 2, mg._resid_slab, u, v, r, A)
-                assert r.tobytes() == r_ref.tobytes()
+                team.parallel_kernel("mg.resid", m - 2, u, v, r, A)
+                _assert_matches(r, r_ref, variant)
 
-    def test_resid_v_aliases_r(self, backend, workers):
+    @pytest.mark.parametrize("tier", tier_params("mg.resid"))
+    def test_resid_v_aliases_r(self, backend, workers, tier):
         """The MG driver calls resid(u, r, r) -- v and r are the same
-        array; the fused kernel must read v before overwriting r."""
-        with make_team(backend, workers) as team:
+        array; every tier must read v before overwriting r."""
+        variant = _variant("mg.resid", tier)
+        with make_team(backend, workers, kernel_backend=tier) as team:
             m = MG_SIZES[0]
             rng = np.random.default_rng(17)
             u = _shared(team, rng, (m, m, m))
             r = _shared(team, rng, (m, m, m))
             r_ref = r.copy()
             mg._resid_slab_reference(0, m - 2, u, r_ref, r_ref, A)
-            team.parallel_for(m - 2, mg._resid_slab, u, r, r, A)
-            assert r.tobytes() == r_ref.tobytes()
+            team.parallel_kernel("mg.resid", m - 2, u, r, r, A)
+            _assert_matches(r, r_ref, variant)
 
-    def test_psinv(self, backend, workers):
-        with make_team(backend, workers) as team:
+    @pytest.mark.parametrize("tier", tier_params("mg.psinv"))
+    def test_psinv(self, backend, workers, tier):
+        variant = _variant("mg.psinv", tier)
+        with make_team(backend, workers, kernel_backend=tier) as team:
             for m in MG_SIZES:
                 rng = np.random.default_rng(200 + m)
                 r = _shared(team, rng, (m, m, m))
                 u = _shared(team, rng, (m, m, m))
                 u_ref = u.copy()
                 mg._psinv_slab_reference(0, m - 2, r, u_ref, C)
-                team.parallel_for(m - 2, mg._psinv_slab, r, u, C)
-                assert u.tobytes() == u_ref.tobytes()
+                team.parallel_kernel("mg.psinv", m - 2, r, u, C)
+                _assert_matches(u, u_ref, variant)
 
-    def test_rprj3(self, backend, workers):
-        with make_team(backend, workers) as team:
+    @pytest.mark.parametrize("tier", tier_params("mg.rprj3"))
+    def test_rprj3(self, backend, workers, tier):
+        variant = _variant("mg.rprj3", tier)
+        with make_team(backend, workers, kernel_backend=tier) as team:
             for mc in COARSE_SIZES:
                 mf = 2 * mc - 2
                 rng = np.random.default_rng(300 + mc)
@@ -101,11 +165,13 @@ class TestMGFused:
                 s_ref = s.copy()
                 d = tuple(2 if mk == 3 else 1 for mk in r.shape)
                 mg._rprj3_slab_reference(0, mc - 2, r, s_ref, d)
-                team.parallel_for(mc - 2, mg._rprj3_slab, r, s, d)
-                assert s.tobytes() == s_ref.tobytes()
+                team.parallel_kernel("mg.rprj3", mc - 2, r, s, d)
+                _assert_matches(s, s_ref, variant)
 
-    def test_interp(self, backend, workers):
-        with make_team(backend, workers) as team:
+    @pytest.mark.parametrize("tier", tier_params("mg.interp"))
+    def test_interp(self, backend, workers, tier):
+        variant = _variant("mg.interp", tier)
+        with make_team(backend, workers, kernel_backend=tier) as team:
             for mc in COARSE_SIZES:
                 mf = 2 * mc - 2
                 rng = np.random.default_rng(400 + mc)
@@ -113,22 +179,26 @@ class TestMGFused:
                 u = _shared(team, rng, (mf, mf, mf))
                 u_ref = u.copy()
                 mg._interp_slab_reference(0, mc - 1, z, u_ref)
-                team.parallel_for(mc - 1, mg._interp_slab, z, u)
-                assert u.tobytes() == u_ref.tobytes()
+                team.parallel_kernel("mg.interp", mc - 1, z, u)
+                _assert_matches(u, u_ref, variant)
 
-    def test_norm(self, backend, workers):
-        """Sum of squares at 1e-13 relative (BLAS dot order), max exact."""
-        with make_team(backend, workers) as team:
+    @pytest.mark.parametrize("tier", tier_params("mg.norm2u3"))
+    def test_norm(self, backend, workers, tier):
+        """Sum of squares at the variant's declared relative tolerance
+        (BLAS dot order for the fused tier); the max norm stays exact."""
+        variant = _variant("mg.norm2u3", tier)
+        with make_team(backend, workers, kernel_backend=tier) as team:
             for m in MG_SIZES:
                 rng = np.random.default_rng(500 + m)
                 r = _shared(team, rng, (m, m, m))
-                partials = team.parallel_for(m - 2, mg._norm_slab, r)
+                partials = team.parallel_kernel("mg.norm2u3", m - 2, r)
                 expected = [mg._norm_slab_reference(lo, hi, r)
                             for lo, hi in team.plan.bounds(m - 2)]
                 assert len(partials) == len(expected)
+                tol = variant.tolerance
                 for (ssq, rmax), (ssq_ref, rmax_ref) in zip(partials,
                                                             expected):
-                    assert abs(ssq - ssq_ref) <= 1e-13 * abs(ssq_ref)
+                    assert abs(ssq - ssq_ref) <= tol * abs(ssq_ref)
                     assert rmax == rmax_ref  # |.| and max commute bitwise
 
 
@@ -145,34 +215,40 @@ def _cfd_state(team, nz, ny, nx, seed):
 
 
 @pytest.mark.parametrize("backend,workers", TEAM_CASES, ids=TEAM_IDS)
-class TestCFDFused:
-    def test_fields(self, backend, workers):
-        with make_team(backend, workers) as team:
+class TestCFDTiers:
+    @pytest.mark.parametrize("tier", tier_params("cfd.fields"))
+    def test_fields(self, backend, workers, tier):
+        variant = _variant("cfd.fields", tier)
+        with make_team(backend, workers, kernel_backend=tier) as team:
             for i, (nz, ny, nx) in enumerate(CFD_GRIDS):
                 c = CFDConstants(nx, ny, nz, 0.001)
-                u, fused = _cfd_state(team, nz, ny, nx, 600 + i)
-                reference = [f.copy() for f in fused]
+                u, tiered = _cfd_state(team, nz, ny, nx, 600 + i)
+                reference = [f.copy() for f in tiered]
                 cfd_rhs.fields_slab_reference(0, nz, u, *reference, c)
-                team.parallel_for(nz, cfd_rhs.fields_slab, u, *fused, c)
-                for got, want in zip(fused, reference):
-                    assert got.tobytes() == want.tobytes()
+                team.parallel_kernel("cfd.fields", nz, u, *tiered, c)
+                for got, want in zip(tiered, reference):
+                    _assert_matches(got, want, variant)
 
-    def test_fields_speed_none(self, backend, workers):
-        """The BT variant passes speed=None; the fused kernel must skip
-        that chain identically."""
-        with make_team(backend, workers) as team:
+    @pytest.mark.parametrize("tier", tier_params("cfd.fields"))
+    def test_fields_speed_none(self, backend, workers, tier):
+        """The BT variant passes speed=None; the kernel must skip that
+        chain identically."""
+        variant = _variant("cfd.fields", tier)
+        with make_team(backend, workers, kernel_backend=tier) as team:
             nz, ny, nx = CFD_GRIDS[0]
             c = CFDConstants(nx, ny, nz, 0.001)
-            u, fused = _cfd_state(team, nz, ny, nx, 77)
-            fused = fused[:6]
-            reference = [f.copy() for f in fused]
+            u, tiered = _cfd_state(team, nz, ny, nx, 77)
+            tiered = tiered[:6]
+            reference = [f.copy() for f in tiered]
             cfd_rhs.fields_slab_reference(0, nz, u, *reference, None, c)
-            team.parallel_for(nz, cfd_rhs.fields_slab, u, *fused, None, c)
-            for got, want in zip(fused, reference):
-                assert got.tobytes() == want.tobytes()
+            team.parallel_kernel("cfd.fields", nz, u, *tiered, None, c)
+            for got, want in zip(tiered, reference):
+                _assert_matches(got, want, variant)
 
-    def test_rhs(self, backend, workers):
-        with make_team(backend, workers) as team:
+    @pytest.mark.parametrize("tier", tier_params("cfd.rhs"))
+    def test_rhs(self, backend, workers, tier):
+        variant = _variant("cfd.rhs", tier)
+        with make_team(backend, workers, kernel_backend=tier) as team:
             for i, (nz, ny, nx) in enumerate(CFD_GRIDS):
                 c = CFDConstants(nx, ny, nz, 0.001)
                 u, fields = _cfd_state(team, nz, ny, nx, 700 + i)
@@ -185,9 +261,9 @@ class TestCFDFused:
                 rhs_ref = rhs.copy()
                 cfd_rhs.rhs_slab_reference(0, nz - 2, u, rhs_ref, forcing,
                                            rho_i, us, vs, ws, qs, square, c)
-                team.parallel_for(nz - 2, cfd_rhs.rhs_slab, u, rhs,
-                                  forcing, rho_i, us, vs, ws, qs, square, c)
-                assert rhs.tobytes() == rhs_ref.tobytes()
+                team.parallel_kernel("cfd.rhs", nz - 2, u, rhs, forcing,
+                                     rho_i, us, vs, ws, qs, square, c)
+                _assert_matches(rhs, rhs_ref, variant)
 
 
 def _cg_problem(team, n, seed):
@@ -207,9 +283,11 @@ def _cg_problem(team, n, seed):
 
 
 @pytest.mark.parametrize("backend,workers", TEAM_CASES, ids=TEAM_IDS)
-class TestCGFused:
-    def test_matvec_with_precomputed_offsets(self, backend, workers):
-        with make_team(backend, workers) as team:
+class TestCGTiers:
+    @pytest.mark.parametrize("tier", tier_params("cg.matvec"))
+    def test_matvec_with_precomputed_offsets(self, backend, workers, tier):
+        variant = _variant("cg.matvec", tier)
+        with make_team(backend, workers, kernel_backend=tier) as team:
             for n in CG_SIZES:
                 rowstr, colidx, a, x = _cg_problem(team, n, 900 + n)
                 offsets = team.shared(n, dtype=np.int64)
@@ -220,24 +298,28 @@ class TestCGFused:
                 for lo, hi in team.plan.bounds(n):
                     cg._matvec_slab_reference(lo, hi, rowstr, colidx, a,
                                               x, out_ref)
-                team.parallel_for(n, cg._matvec_slab, rowstr, colidx, a,
-                                  x, out, offsets)
-                assert out.tobytes() == out_ref.tobytes()
+                team.parallel_kernel("cg.matvec", n, rowstr, colidx, a,
+                                     x, out, offsets)
+                _assert_matches(out, out_ref, variant)
 
-    def test_matvec_without_offsets(self, backend, workers):
+    @pytest.mark.parametrize("tier", tier_params("cg.matvec"))
+    def test_matvec_without_offsets(self, backend, workers, tier):
         """offsets=None falls back to per-call offset computation."""
-        with make_team(backend, workers) as team:
+        variant = _variant("cg.matvec", tier)
+        with make_team(backend, workers, kernel_backend=tier) as team:
             n = CG_SIZES[0]
             rowstr, colidx, a, x = _cg_problem(team, n, 41)
             out = team.shared(n)
             out_ref = np.empty(n)
             cg._matvec_slab_reference(0, n, rowstr, colidx, a, x, out_ref)
-            team.parallel_for(n, cg._matvec_slab, rowstr, colidx, a, x,
-                              out, None)
-            assert out.tobytes() == out_ref.tobytes()
+            team.parallel_kernel("cg.matvec", n, rowstr, colidx, a, x,
+                                 out, None)
+            _assert_matches(out, out_ref, variant)
 
-    def test_update_zr(self, backend, workers):
-        with make_team(backend, workers) as team:
+    @pytest.mark.parametrize("tier", tier_params("cg.update_zr"))
+    def test_update_zr(self, backend, workers, tier):
+        variant = _variant("cg.update_zr", tier)
+        with make_team(backend, workers, kernel_backend=tier) as team:
             for n in CG_SIZES:
                 rng = np.random.default_rng(1000 + n)
                 z, r, p, q = (_shared(team, rng, n) for _ in range(4))
@@ -245,17 +327,19 @@ class TestCGFused:
                 z_ref, r_ref = z.copy(), r.copy()
                 cg._update_zr_slab_reference(0, n, z_ref, r_ref, p, q,
                                              alpha)
-                team.parallel_for(n, cg._update_zr_slab, z, r, p, q, alpha)
-                assert z.tobytes() == z_ref.tobytes()
-                assert r.tobytes() == r_ref.tobytes()
+                team.parallel_kernel("cg.update_zr", n, z, r, p, q, alpha)
+                _assert_matches(z, z_ref, variant)
+                _assert_matches(r, r_ref, variant)
 
-    def test_norm_diff(self, backend, workers):
-        with make_team(backend, workers) as team:
+    @pytest.mark.parametrize("tier", tier_params("cg.norm_diff"))
+    def test_norm_diff(self, backend, workers, tier):
+        _variant("cg.norm_diff", tier)
+        with make_team(backend, workers, kernel_backend=tier) as team:
             for n in CG_SIZES:
                 rng = np.random.default_rng(1100 + n)
                 x = _shared(team, rng, n)
                 r = _shared(team, rng, n)
-                partials = team.parallel_for(n, cg._norm_diff_slab, x, r)
+                partials = team.parallel_kernel("cg.norm_diff", n, x, r)
                 expected = [cg._norm_diff_slab_reference(lo, hi, x, r)
                             for lo, hi in team.plan.bounds(n)]
                 assert partials == expected  # bit-identical floats
@@ -336,9 +420,12 @@ class TestRandomExtents:
                                     _rng.randint(0, 16))))
                       for _ in range(10)})
 
+    @pytest.mark.parametrize("tier", tier_params("mg.resid"))
     @pytest.mark.parametrize("lo,hi", EXTENTS,
                              ids=[f"{lo}-{hi}" for lo, hi in EXTENTS])
-    def test_mg_kernels_any_extent(self, lo, hi):
+    def test_mg_kernels_any_extent(self, lo, hi, tier):
+        resid = _variant("mg.resid", tier)
+        psinv = _variant("mg.psinv", tier)
         m = 18  # interior extent 16 >= any hi above
         rng = np.random.default_rng(1300 + lo + 31 * hi)
         u = rng.standard_normal((m, m, m))
@@ -346,12 +433,12 @@ class TestRandomExtents:
         r = rng.standard_normal((m, m, m))
         r_ref = r.copy()
         mg._resid_slab_reference(lo, hi, u, v, r_ref, A)
-        mg._resid_slab(lo, hi, u, v, r, A)
-        assert r.tobytes() == r_ref.tobytes()
+        resid.fn(lo, hi, u, v, r, A)
+        _assert_matches(r, r_ref, resid)
         u_ref = u.copy()
         mg._psinv_slab_reference(lo, hi, r, u_ref, C)
-        mg._psinv_slab(lo, hi, r, u, C)
-        assert u.tobytes() == u_ref.tobytes()
+        psinv.fn(lo, hi, r, u, C)
+        _assert_matches(u, u_ref, psinv)
 
     @pytest.mark.parametrize("lo,hi", EXTENTS,
                              ids=[f"{lo}-{hi}" for lo, hi in EXTENTS])
