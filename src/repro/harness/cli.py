@@ -13,8 +13,14 @@ Subcommands::
     npb tables [--measured]            regenerate all seven tables
     npb serve --pool 2 --port 8642     long-lived benchmark job service
                                        (queue + warm team pool + cache)
+    npb shard-serve --spawn 2          consistent-hash coordinator over N
+                                       worker daemons (spawned or --shard
+                                       URL); same HTTP API as serve
     npb submit CG -c S --url URL       submit a job to a running service
     npb jobs [JOB_ID] --url URL        service status / job inspection
+    npb loadgen --url URL -C 1,2,4     closed/open-loop traffic harness;
+                                       appends LOADGEN_<seq>.json records
+    npb loadgen --compare BASE.json    noise-aware SLO/latency gate
     npb backends [--json]              list kernel tiers, per-kernel
                                        coverage, and availability
     npb list                           list benchmarks and classes
@@ -70,6 +76,15 @@ EXIT_REJECTED = 4
 
 #: Default address of the ``npb serve`` daemon.
 DEFAULT_SERVICE_URL = "http://127.0.0.1:8642"
+
+#: Default listen port of the ``npb shard-serve`` coordinator.
+DEFAULT_COORDINATOR_PORT = 8640
+
+#: Built-in loadgen traffic profile names.  Mirrored here (instead of
+#: importing repro.service.loadgen at parser-build time) so `npb --help`
+#: stays cheap; tests/service/test_loadgen.py asserts the two stay in
+#: sync with repro.service.loadgen.PROFILES.
+LOADGEN_PROFILES = ("cache-heavy", "mixed", "smoke")
 
 
 def _fault_policy(args) -> FaultPolicy | None:
@@ -284,6 +299,118 @@ def _cmd_serve(args) -> int:
     return EXIT_OK if clean else EXIT_FAILURE
 
 
+def _cmd_shard_serve(args) -> int:
+    import os
+    import re
+    import signal
+    import subprocess
+    import threading
+
+    from repro.service.shard import ShardCoordinator, make_shard_server
+
+    shards = {}
+    for i, spec in enumerate(args.shard or []):
+        name, sep, url = spec.partition("=")
+        if not sep:
+            name, url = f"shard{i}", spec
+        if name in shards:
+            print(f"npb shard-serve: duplicate shard name {name!r}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        shards[name] = url
+
+    # Spawned shards are real `npb serve` child processes on loopback
+    # ports of the OS's choosing; each announces its address on stdout
+    # exactly like a hand-started daemon, and we read it from there.
+    children = []
+    announce = re.compile(r"listening on (http://\S+)")
+
+    def _stop_children(sig=signal.SIGTERM):
+        for child in children:
+            if child.poll() is None:
+                child.send_signal(sig)
+
+    if args.spawn:
+        _warn_tier_fallback(args.kernel_backend)
+    for i in range(args.spawn):
+        name = f"shard{len(shards)}"
+        child = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--host", "127.0.0.1", "--port", "0",
+             "--backend", args.backend, "--workers", str(args.workers),
+             "--pool", str(args.pool),
+             "--queue-depth", str(args.queue_depth),
+             "--cache-dir", os.path.join(args.cache_dir, name),
+             "--kernel-backend", args.kernel_backend,
+             "--drain-timeout", str(args.drain_timeout)],
+            stdout=subprocess.PIPE, text=True)
+        children.append(child)
+        url = None
+        for line in child.stdout:
+            match = announce.search(line)
+            if match:
+                url = match.group(1)
+                break
+        if url is None:
+            print(f"npb shard-serve: spawned shard {name} exited before "
+                  f"announcing its address", file=sys.stderr)
+            _stop_children()
+            return EXIT_USAGE
+        shards[name] = url
+    if not shards:
+        print("npb shard-serve: no shards (pass --shard URL and/or "
+              "--spawn N)", file=sys.stderr)
+        return EXIT_USAGE
+
+    coordinator = ShardCoordinator(
+        shards, replicas=args.replicas,
+        health_interval=args.health_interval)
+    coordinator.start()
+    httpd = make_shard_server(coordinator, host=args.host, port=args.port,
+                              verbose=args.verbose)
+    host, port = httpd.server_address[:2]
+    roster = ", ".join(f"{name}={url}" for name, url in shards.items())
+    print(f"npb coordinator listening on http://{host}:{port} "
+          f"(shards: {roster})", flush=True)
+
+    stop = threading.Event()
+
+    def _handle(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _handle)
+    signal.signal(signal.SIGINT, _handle)
+    server_thread = threading.Thread(target=httpd.serve_forever,
+                                     kwargs={"poll_interval": 0.2},
+                                     daemon=True)
+    server_thread.start()
+    stop.wait()
+    # Drain: stop routing first, then SIGTERM the spawned shards so they
+    # run their own graceful drain (external --shard daemons are not
+    # ours to stop and stay up).
+    print("npb coordinator draining (stopping routing, signaling "
+          "spawned shards)...", flush=True)
+    httpd.shutdown()
+    server_thread.join(5.0)
+    httpd.server_close()
+    coordinator.close()
+    _stop_children()
+    clean = True
+    deadline = args.drain_timeout
+    for child in children:
+        try:
+            child.wait(timeout=max(deadline, 1.0))
+        except subprocess.TimeoutExpired:
+            child.kill()
+            child.wait()
+            clean = False
+        if child.stdout is not None:
+            child.stdout.close()
+    print(f"npb coordinator drained "
+          f"{'cleanly' if clean else 'with killed shards'}", flush=True)
+    return EXIT_OK if clean else EXIT_FAILURE
+
+
 def _job_summary(job: dict) -> str:
     lines = [f"job {job['job_id']}  state={job['state']}  "
              f"spec={job['spec']['benchmark']}."
@@ -320,13 +447,14 @@ def _cmd_submit(args) -> int:
     if args.max_retries is not None:
         payload["max_retries"] = args.max_retries
     try:
-        code, body = client.submit(payload)
+        code, body = client.submit(payload, retries=args.retries)
     except ServiceUnavailable as exc:
         print(f"npb submit: {exc}", file=sys.stderr)
         return EXIT_USAGE
     if code == 429:
-        print(f"npb submit: admission rejected: {body.get('error')}",
-              file=sys.stderr)
+        print(f"npb submit: admission rejected after {args.retries} "
+              f"retr{'y' if args.retries == 1 else 'ies'}: "
+              f"{body.get('error')}", file=sys.stderr)
         return EXIT_REJECTED
     if code not in (200, 202):
         print(f"npb submit: HTTP {code}: {body.get('error')}",
@@ -366,6 +494,27 @@ def _cmd_jobs(args) -> int:
     if args.json:
         print(json.dumps({"status": status, **listing}, indent=2))
         return EXIT_OK
+    if status.get("service") == "npb-shard-coordinator":
+        totals = status["totals"]
+        routing = status["routing"]
+        health = "degraded" if status["degraded"] else "healthy"
+        print(f"coordinator up {status['uptime_seconds']:.1f}s  "
+              f"{status['healthy_shards']}/{status['shard_count']} shards "
+              f"({health})")
+        print(f"queue   depth {totals['queue_depth']}"
+              f"/{totals['queue_capacity']}")
+        print(f"pool    {totals['pool_in_use']}/{totals['pool_size']} in use")
+        print(f"cache   {totals['cache_entries']} entries "
+              f"({totals['cache_hits']} hits / "
+              f"{totals['cache_misses']} misses)")
+        print(f"sched   {totals['executed']} executed, "
+              f"{totals['cached']} cached, {totals['failed']} failed")
+        print(f"routing {routing['submitted']} submitted, "
+              f"{routing['failovers']} failovers, "
+              f"{routing['unroutable']} unroutable")
+        for job in listing.get("jobs", []):
+            print(_job_summary(job))
+        return EXIT_OK
     queue = status["queue"]
     pool = status["pool"]
     cache = status["cache"]
@@ -385,6 +534,121 @@ def _cmd_jobs(args) -> int:
     for job in listing.get("jobs", []):
         print(_job_summary(job))
     return EXIT_OK
+
+
+def _loadgen_step_line(step: dict) -> str:
+    counts = step["requests"]
+    latency = step["latency_seconds"] or {}
+    verdict = "pass" if step["slo"]["pass"] else "FAIL"
+    line = (f"[{verdict}] {step['mode']}@{step['level']:g}  "
+            f"{counts['ok']}/{counts['total']} ok "
+            f"({counts['cached']} cached, {counts['rejected_429']} shed, "
+            f"{counts['failed'] + counts['unreachable']} errors)  "
+            f"{step['throughput_rps']:.2f} req/s")
+    if latency:
+        line += (f"  p50 {latency['p50'] * 1000:.1f}ms"
+                 f"  p95 {latency['p95'] * 1000:.1f}ms"
+                 f"  p99 {latency['p99'] * 1000:.1f}ms")
+    if counts["degraded"]:
+        line += f"  [{counts['degraded']} degraded-route]"
+    return line
+
+
+def _print_loadgen_compare(comparison: dict) -> None:
+    for step in comparison["steps"]:
+        flag = "ok  " if not step["regressions"] else "FAIL"
+        print(f"[{flag}] {step['mode']}@{step['level']:g}  "
+              f"threshold {step['threshold']:.0%}  "
+              f"slo={'pass' if step['slo_pass'] else 'FAIL'}")
+        for metric in step["metrics"]:
+            marker = {"regression": "REGRESSION", "improved": "improved",
+                      "ok": "ok"}[metric["verdict"]]
+            print(f"    {metric['metric']:<16} "
+                  f"{metric['base']:.4f} -> {metric['candidate']:.4f} "
+                  f"(x{metric['ratio']:.2f})  {marker}")
+    for key in comparison["missing"]:
+        print(f"[FAIL] step {key} missing from candidate")
+    print(f"verdict: {comparison['verdict']} "
+          f"({comparison['regressions']} regression(s))")
+
+
+def _cmd_loadgen(args) -> int:
+    import dataclasses as dc
+
+    from repro.service import loadgen
+    from repro.service.api import ServiceUnavailable
+
+    if args.compare:
+        baseline = loadgen.load_record(args.compare)
+        candidate_path = args.candidate or loadgen.latest_record_path(
+            args.dir)
+        if candidate_path is None:
+            print(f"no LOADGEN_*.json candidate found in {args.dir!r}; "
+                  f"run 'npb loadgen' first or pass a candidate path",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        candidate = loadgen.load_record(candidate_path)
+        comparison = loadgen.compare_records(
+            baseline, candidate, tolerance=args.tolerance,
+            mad_multiplier=args.mad_multiplier, abs_slack=args.abs_slack)
+        if comparison["missing"]:
+            comparison["regressions"] += len(comparison["missing"])
+            comparison["verdict"] = "regression"
+        if args.json:
+            print(json.dumps(comparison, indent=2))
+        else:
+            _print_loadgen_compare(comparison)
+        return EXIT_FAILURE if comparison["regressions"] else EXIT_OK
+
+    if args.mix:
+        profile = loadgen.parse_mix(
+            args.mix,
+            duplicate_fraction=(0.5 if args.duplicate_fraction is None
+                                else args.duplicate_fraction))
+    else:
+        profile = loadgen.PROFILES[args.profile]
+        if args.duplicate_fraction is not None:
+            profile = dc.replace(
+                profile, duplicate_fraction=args.duplicate_fraction)
+
+    try:
+        levels = tuple(
+            float(part)
+            for part in (args.rate if args.mode == "open"
+                         else args.concurrency).split(",") if part.strip())
+    except ValueError:
+        levels = ()
+    if not levels:
+        print("npb loadgen: --concurrency/--rate must be a comma-"
+              "separated list of numbers", file=sys.stderr)
+        return EXIT_USAGE
+
+    policy = loadgen.SLOPolicy(
+        max_error_rate=args.slo_max_error_rate,
+        max_429_rate=args.slo_max_429_rate,
+        max_p95_seconds=args.slo_max_p95,
+        min_cache_hit_ratio=args.slo_min_cache_ratio,
+        min_ok=args.slo_min_ok)
+    config = loadgen.LoadgenConfig(
+        profile=profile, mode=args.mode, levels=levels,
+        requests_per_step=args.requests,
+        duration_seconds=args.duration, seed=args.seed,
+        retries=args.retries, slo=policy)
+    try:
+        record = loadgen.run_loadgen(
+            args.url, config, timeout=args.timeout,
+            progress=None if args.json else print)
+    except ServiceUnavailable as exc:
+        print(f"npb loadgen: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    path = loadgen.write_record(record, directory=args.dir, path=args.out)
+    if args.json:
+        print(json.dumps(loadgen.load_record(path), indent=2))
+    else:
+        for step in record["curve"]:
+            print(_loadgen_step_line(step))
+        print(f"wrote {path}")
+    return EXIT_OK if record["slo_pass"] else EXIT_FAILURE
 
 
 def _cmd_table(args) -> int:
@@ -641,12 +905,63 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--no-wait", action="store_true",
                         help="return immediately with the queued job id "
                              "instead of waiting for the result")
+    submit.add_argument("--retries", type=int, default=3,
+                        help="resubmissions after HTTP 429, honoring the "
+                             "server's Retry-After backoff hint "
+                             "(default 3; 0 fails fast with exit 4)")
     submit.add_argument("--timeout", type=float, default=600.0,
                         help="client-side HTTP timeout in seconds "
                              "(default 600)")
     submit.add_argument("--json", action="store_true",
                         help="print the job record as JSON")
     submit.set_defaults(fn=_cmd_submit)
+
+    shard_serve = sub.add_parser(
+        "shard-serve", help="run a consistent-hash coordinator over N "
+                            "worker daemons (--shard URL and/or --spawn "
+                            "N children); same HTTP API as serve")
+    shard_serve.add_argument("--shard", action="append", metavar="[NAME=]URL",
+                             help="an already-running worker daemon to "
+                                  "front (repeatable; default names are "
+                                  "shard0, shard1, ...)")
+    shard_serve.add_argument("--spawn", type=int, default=0, metavar="N",
+                             help="spawn N 'npb serve' child daemons on "
+                                  "free loopback ports and front them "
+                                  "(default 0)")
+    shard_serve.add_argument("--host", default="127.0.0.1")
+    shard_serve.add_argument("--port", type=int,
+                             default=DEFAULT_COORDINATOR_PORT,
+                             help=f"coordinator listen port (default "
+                                  f"{DEFAULT_COORDINATOR_PORT}; 0 picks a "
+                                  f"free one)")
+    shard_serve.add_argument("--replicas", type=int, default=128,
+                             help="virtual points per shard on the hash "
+                                  "ring (default 128)")
+    shard_serve.add_argument("--health-interval", type=float, default=2.0,
+                             help="seconds between background shard "
+                                  "health probes (default 2)")
+    shard_serve.add_argument("--backend", default="serial",
+                             choices=["serial", "threads", "process"],
+                             help="backend of spawned shards (default "
+                                  "serial)")
+    shard_serve.add_argument("--workers", type=int, default=1,
+                             help="workers per spawned-shard team")
+    shard_serve.add_argument("--pool", type=int, default=2,
+                             help="warm teams per spawned shard")
+    shard_serve.add_argument("--queue-depth", type=int, default=64,
+                             help="admission queue depth per spawned shard")
+    shard_serve.add_argument("--cache-dir", default=".npb-service-cache",
+                             help="base cache directory; spawned shards "
+                                  "use <dir>/shardN subdirectories")
+    shard_serve.add_argument("--kernel-backend", default=DEFAULT_TIER,
+                             choices=list(TIERS),
+                             help="kernel tier of spawned shards")
+    shard_serve.add_argument("--drain-timeout", type=float, default=60.0,
+                             help="seconds to wait for spawned shards to "
+                                  "drain on SIGTERM/SIGINT (default 60)")
+    shard_serve.add_argument("-v", "--verbose", action="store_true",
+                             help="log every HTTP request to stderr")
+    shard_serve.set_defaults(fn=_cmd_shard_serve)
 
     jobs = sub.add_parser(
         "jobs", help="service status and job listing (or one job by id)")
@@ -656,6 +971,98 @@ def build_parser() -> argparse.ArgumentParser:
     jobs.add_argument("--timeout", type=float, default=30.0)
     jobs.add_argument("--json", action="store_true")
     jobs.set_defaults(fn=_cmd_jobs)
+
+    loadgen = sub.add_parser(
+        "loadgen", help="generate service traffic (closed-loop "
+                        "concurrency sweep or open-loop Poisson "
+                        "arrivals), append a LOADGEN_<seq>.json record, "
+                        "and verdict it against an SLO; or gate a "
+                        "candidate record against a baseline (--compare)")
+    loadgen.add_argument("candidate", nargs="?", default=None,
+                         help="candidate record for --compare (default: "
+                              "the latest LOADGEN_*.json in --dir)")
+    loadgen.add_argument("--url", default=DEFAULT_SERVICE_URL,
+                         help=f"service or coordinator address (default "
+                              f"{DEFAULT_SERVICE_URL})")
+    loadgen.add_argument("--mode", default="closed",
+                         choices=["closed", "open"],
+                         help="closed: fixed concurrent clients issuing "
+                              "back-to-back; open: Poisson arrivals at a "
+                              "fixed rate (default closed)")
+    loadgen.add_argument("--profile", default="smoke",
+                         choices=list(LOADGEN_PROFILES),
+                         help="built-in traffic mix (default smoke)")
+    loadgen.add_argument("--mix", default=None,
+                         metavar="SPEC[@W],...",
+                         help="custom weighted mix overriding --profile, "
+                              "e.g. CG:S:serial:1@2,MG:S "
+                              "(BENCH[:CLASS[:BACKEND[:WORKERS"
+                              "[:TIER]]]][@WEIGHT])")
+    loadgen.add_argument("--duplicate-fraction", type=float, default=None,
+                         help="fraction of requests that are cache-"
+                              "eligible resubmissions (default: the "
+                              "profile's own; 0.5 for --mix)")
+    loadgen.add_argument("-C", "--concurrency", default="2",
+                         help="closed-loop concurrency levels, one curve "
+                              "step each (comma-separated, default 2)")
+    loadgen.add_argument("--rate", default="4",
+                         help="open-loop arrival rates in req/s, one "
+                              "curve step each (comma-separated, "
+                              "default 4)")
+    loadgen.add_argument("-n", "--requests", type=int, default=20,
+                         help="requests per closed-loop step (default 20)")
+    loadgen.add_argument("--duration", type=float, default=None,
+                         help="seconds per step: the open-loop window "
+                              "(required for --mode open), or an optional "
+                              "closed-loop cap")
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="RNG seed for the traffic mix and arrival "
+                              "process (default 0; same seed, same "
+                              "request stream)")
+    loadgen.add_argument("--retries", type=int, default=3,
+                         help="429 retries per request, honoring "
+                              "Retry-After (default 3)")
+    loadgen.add_argument("--timeout", type=float, default=600.0,
+                         help="client-side HTTP timeout per request "
+                              "(default 600)")
+    loadgen.add_argument("--dir", default=".",
+                         help="trajectory directory for LOADGEN_<seq>"
+                              ".json numbering (default .)")
+    loadgen.add_argument("--out", default=None,
+                         help="explicit output path (skips sequence "
+                              "numbering; useful in CI)")
+    loadgen.add_argument("--slo-max-error-rate", type=float, default=0.0,
+                         help="failed+unreachable fraction tolerated "
+                              "(default 0)")
+    loadgen.add_argument("--slo-max-429-rate", type=float, default=0.5,
+                         help="fraction of requests allowed to stay shed "
+                              "after retries (default 0.5)")
+    loadgen.add_argument("--slo-max-p95", type=float, default=None,
+                         metavar="SECONDS",
+                         help="p95 latency bound (default: not checked)")
+    loadgen.add_argument("--slo-min-cache-ratio", type=float, default=None,
+                         help="minimum cache-hit ratio over ok requests "
+                              "(default: not checked)")
+    loadgen.add_argument("--slo-min-ok", type=int, default=1,
+                         help="minimum completed-ok requests per step "
+                              "(default 1)")
+    loadgen.add_argument("--compare", metavar="BASELINE.json", default=None,
+                         help="compare a candidate record against this "
+                              "baseline instead of generating traffic; "
+                              "exits 1 on regression")
+    loadgen.add_argument("--tolerance", type=float, default=0.25,
+                         help="relative latency/throughput change "
+                              "tolerated before the noise term "
+                              "(default 0.25)")
+    loadgen.add_argument("--mad-multiplier", type=float, default=3.0,
+                         help="k in the max(tolerance, k*MAD/p50) noise "
+                              "band (default 3.0)")
+    loadgen.add_argument("--abs-slack", type=float, default=0.010,
+                         help="absolute seconds of latency change always "
+                              "tolerated (default 0.010)")
+    loadgen.add_argument("--json", action="store_true",
+                         help="print the record (or comparison) as JSON")
+    loadgen.set_defaults(fn=_cmd_loadgen)
 
     table = sub.add_parser("table", help="regenerate one paper table")
     table.add_argument("number", type=int, choices=TABLES)

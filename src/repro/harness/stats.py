@@ -39,6 +39,28 @@ def mad(values: Sequence[float], center: float | None = None) -> float:
     return median([abs(v - center) for v in values])
 
 
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) with linear interpolation.
+
+    Matches numpy's default (``linear``) interpolation so latency
+    percentiles reported by the load generator agree with any offline
+    numpy analysis of the same trace -- without pulling numpy onto this
+    dependency-free path.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(float(v) for v in values)
+    if not ordered:
+        raise ValueError("percentile of an empty sequence")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = rank - lower
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
+
 @dataclass(frozen=True)
 class TimingSummary:
     """Min-of-k timing of one measured cell, with a robust noise bar."""

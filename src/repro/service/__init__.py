@@ -21,15 +21,35 @@ state across them:
 :mod:`~repro.service.api`
     the in-process :class:`BenchService` facade, the ``npb serve`` HTTP
     daemon, and the ``npb submit``/``npb jobs`` client.
+:mod:`~repro.service.shard`
+    consistent-hash :class:`ShardCoordinator` scaling the service *out*
+    across N worker daemons (``npb shard-serve``), with health probes,
+    route-around failover, and aggregated status.
+:mod:`~repro.service.loadgen`
+    closed/open-loop traffic harness (``npb loadgen``) appending
+    schema-versioned ``LOADGEN_<seq>.json`` records with an SLO verdict
+    and a noise-aware baseline comparator.
 """
 
-from repro.service.api import (BenchService, ServiceClient,
-                               ServiceUnavailable, make_server)
+from repro.service.api import (
+    BenchService,
+    ServiceClient,
+    ServiceUnavailable,
+    make_server,
+)
 from repro.service.cache import ResultCache
-from repro.service.jobs import (JOB_STATES, PRIORITIES, AdmissionRejected,
-                                Job, JobQueue, JobSpec)
+from repro.service.jobs import (
+    JOB_STATES,
+    PRIORITIES,
+    AdmissionRejected,
+    Job,
+    JobQueue,
+    JobSpec,
+    routing_key,
+)
 from repro.service.pool import PoolClosed, TeamPool
 from repro.service.scheduler import Scheduler
+from repro.service.shard import HashRing, ShardCoordinator, make_shard_server
 
 __all__ = [
     "BenchService",
@@ -41,9 +61,13 @@ __all__ = [
     "Job",
     "JobQueue",
     "JobSpec",
+    "routing_key",
     "JOB_STATES",
     "PRIORITIES",
     "PoolClosed",
     "TeamPool",
     "Scheduler",
+    "HashRing",
+    "ShardCoordinator",
+    "make_shard_server",
 ]

@@ -10,9 +10,12 @@ shim over it on a stdlib ``ThreadingHTTPServer``:
     Submit a job.  Body: ``{"benchmark": "CG", "problem_class": "S",
     "backend": "serial", "workers": 1, "priority": "normal",
     "no_cache": false, "dispatch_timeout": null, "max_retries": null,
-    "kernel_backend": "fused", "wait": false}``.  Returns 202 with the job dict (or 200 with the
-    terminal job when ``wait`` is true); 429 when admission is rejected
-    (queue full or draining); 400 on a malformed spec.
+    "kernel_backend": "fused", "job_key": null, "wait": false}``.
+    Returns 202 with the job dict (or 200 with the terminal job when
+    ``wait`` is true); 429 when admission is rejected (queue full or
+    draining); 400 on a malformed spec.  A repeated ``job_key``
+    (idempotency key) returns the already-admitted job instead of a
+    duplicate.
 ``GET /jobs`` / ``GET /jobs/<id>``
     Job listing / one job (404 when unknown).
 ``GET /status``
@@ -20,7 +23,10 @@ shim over it on a stdlib ``ThreadingHTTPServer``:
     (including aggregated fault counts), and jobs by state.
 
 :class:`ServiceClient` is the stdlib-``urllib`` client used by
-``npb submit`` / ``npb jobs``.
+``npb submit`` / ``npb jobs`` and the load generator
+(:mod:`repro.service.loadgen`).  ``submit(..., retries=N)`` honors the
+``Retry-After`` header on 429 with bounded retries, so a briefly-full
+queue reads as backpressure instead of a hard failure.
 """
 
 from __future__ import annotations
@@ -41,25 +47,39 @@ from repro.service.scheduler import Scheduler
 #: Default on-disk location of the content-addressed result cache.
 DEFAULT_CACHE_DIR = ".npb-service-cache"
 
+#: Seconds a 429 tells the client to wait before resubmitting.
+RETRY_AFTER_SECONDS = 1.0
+
+#: Longest single backoff ``ServiceClient.submit`` will sleep, however
+#: large a Retry-After the server (or a proxy) sends.
+MAX_RETRY_AFTER_SECONDS = 10.0
+
 
 class BenchService:
     """The benchmark job service as one in-process object."""
 
-    def __init__(self, backend: str = "serial", workers: int = 1,
-                 pool_size: int = 2, queue_depth: int = 64,
-                 cache_dir: str = DEFAULT_CACHE_DIR,
-                 cache_entries: int = 256,
-                 policy: FaultPolicy | None = None,
-                 kernel_backend: str = "fused",
-                 autostart: bool = True):
+    def __init__(
+        self,
+        backend: str = "serial",
+        workers: int = 1,
+        pool_size: int = 2,
+        queue_depth: int = 64,
+        cache_dir: str = DEFAULT_CACHE_DIR,
+        cache_entries: int = 256,
+        policy: FaultPolicy | None = None,
+        kernel_backend: str = "fused",
+        autostart: bool = True,
+    ):
         #: default kernel tier for submissions that don't name one
         self.default_kernel_backend = kernel_backend
         self.queue = JobQueue(maxdepth=queue_depth)
         self.pool = TeamPool(backend, workers, size=pool_size, policy=policy)
         self.cache = ResultCache(cache_dir, max_entries=cache_entries)
-        self.scheduler = Scheduler(self.queue, self.pool, self.cache,
-                                   on_update=self._on_update)
+        self.scheduler = Scheduler(
+            self.queue, self.pool, self.cache, on_update=self._on_update
+        )
         self._jobs: dict[str, Job] = {}
+        self._by_key: dict[str, Job] = {}
         self._cond = threading.Condition()
         self._counter = 0
         self._draining = False
@@ -73,12 +93,19 @@ class BenchService:
         with self._cond:
             self._cond.notify_all()
 
-    def submit(self, benchmark: str, problem_class: str = "S",
-               backend: str | None = None, workers: int | None = None,
-               priority: str = "normal", no_cache: bool = False,
-               dispatch_timeout: float | None = None,
-               max_retries: int | None = None,
-               kernel_backend: str | None = None) -> Job:
+    def submit(
+        self,
+        benchmark: str,
+        problem_class: str = "S",
+        backend: str | None = None,
+        workers: int | None = None,
+        priority: str = "normal",
+        no_cache: bool = False,
+        dispatch_timeout: float | None = None,
+        max_retries: int | None = None,
+        kernel_backend: str | None = None,
+        job_key: str | None = None,
+    ) -> Job:
         """Admit one job (raises :class:`AdmissionRejected` when full).
 
         ``backend``/``workers`` default to the pool configuration, which
@@ -86,19 +113,56 @@ class BenchService:
         one-shot team.  ``kernel_backend`` selects the kernel tier for
         the run; the scheduler swaps it onto the leased team per job, so
         pooled teams stay warm across tiers.
+
+        ``job_key`` makes the submission idempotent: a repeated key
+        returns the job already admitted under it (whatever state it has
+        reached) instead of queueing a duplicate.  This is what lets the
+        shard coordinator resubmit after an ambiguous transport failure
+        without double-running the work.
         """
+        if job_key is not None:
+            job_key = str(job_key)
+            with self._cond:
+                existing = self._by_key.get(job_key)
+            if existing is not None:
+                return existing
         spec = JobSpec.create(
-            benchmark, problem_class,
+            benchmark,
+            problem_class,
             backend=self.pool.backend if backend is None else backend,
             workers=self.pool.workers if workers is None else workers,
-            dispatch_timeout=dispatch_timeout, max_retries=max_retries,
-            kernel_backend=(self.default_kernel_backend
-                            if kernel_backend is None else kernel_backend))
+            dispatch_timeout=dispatch_timeout,
+            max_retries=max_retries,
+            kernel_backend=(
+                self.default_kernel_backend
+                if kernel_backend is None
+                else kernel_backend
+            ),
+        )
         with self._cond:
+            if job_key is not None:
+                # Re-check under the lock: a concurrent duplicate may
+                # have registered the key while the spec was validated.
+                existing = self._by_key.get(job_key)
+                if existing is not None:
+                    return existing
             self._counter += 1
-            job = Job(job_id=f"job-{self._counter:06d}", spec=spec,
-                      priority=priority, no_cache=bool(no_cache))
-        self.queue.put(job)  # may raise AdmissionRejected
+            job = Job(
+                job_id=f"job-{self._counter:06d}",
+                spec=spec,
+                priority=priority,
+                no_cache=bool(no_cache),
+                job_key=job_key,
+            )
+            if job_key is not None:
+                self._by_key[job_key] = job
+        try:
+            self.queue.put(job)  # may raise AdmissionRejected
+        except AdmissionRejected:
+            with self._cond:
+                if job_key is not None and self._by_key.get(job_key) is job:
+                    del self._by_key[job_key]
+            raise
         with self._cond:
             self._jobs[job.job_id] = job
         return job
@@ -113,8 +177,7 @@ class BenchService:
 
     def wait(self, job_id: str, timeout: float | None = None) -> Job:
         """Block until the job reaches a terminal state."""
-        deadline = (None if timeout is None
-                    else time.monotonic() + timeout)
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while True:
                 job = self._jobs.get(job_id)
@@ -122,12 +185,14 @@ class BenchService:
                     raise KeyError(f"unknown job {job_id!r}")
                 if job.terminal:
                     return job
-                remaining = (None if deadline is None
-                             else deadline - time.monotonic())
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
                 if remaining is not None and remaining <= 0:
                     raise TimeoutError(
                         f"job {job_id} not terminal within {timeout}s "
-                        f"(state {job.state})")
+                        f"(state {job.state})"
+                    )
                 self._cond.wait(remaining)
 
     # ------------------------------------------------------------------ #
@@ -185,8 +250,9 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _send(self, code: int, payload: dict,
-              headers: dict | None = None) -> None:
+    def _send(
+        self, code: int, payload: dict, headers: dict | None = None
+    ) -> None:
         body = (json.dumps(payload, indent=2) + "\n").encode()
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
@@ -204,7 +270,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         elif path == "/jobs":
             self._send(200, {"jobs": [j.as_dict() for j in service.jobs()]})
         elif path.startswith("/jobs/"):
-            job = service.job(path[len("/jobs/"):])
+            job = service.job(path[len("/jobs/") :])
             if job is None:
                 self._send(404, {"error": "unknown job"})
             else:
@@ -226,9 +292,11 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             wait_timeout = payload.pop("wait_timeout", None)
             job = service.submit(**payload)
         except AdmissionRejected as exc:
-            self._send(429, {"error": str(exc), "depth": exc.depth,
-                             "capacity": exc.capacity},
-                       headers={"Retry-After": "1"})
+            self._send(
+                429,
+                {"error": str(exc), "depth": exc.depth, "capacity": exc.capacity},
+                headers={"Retry-After": f"{RETRY_AFTER_SECONDS:g}"},
+            )
             return
         except (TypeError, ValueError, json.JSONDecodeError) as exc:
             self._send(400, {"error": f"bad job spec: {exc}"})
@@ -237,8 +305,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             try:
                 job = service.wait(job.job_id, timeout=wait_timeout)
             except TimeoutError as exc:
-                self._send(504, {"error": str(exc),
-                                 "job": job.as_dict()})
+                self._send(504, {"error": str(exc), "job": job.as_dict()})
                 return
             self._send(200, job.as_dict())
         else:
@@ -250,26 +317,44 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], service: BenchService,
-                 verbose: bool = False):
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: BenchService,
+        verbose: bool = False,
+    ):
         super().__init__(address, _ServiceHandler)
         self.service = service
         self.verbose = verbose
 
 
-def make_server(service: BenchService, host: str = "127.0.0.1",
-                port: int = 0, verbose: bool = False) -> ServiceHTTPServer:
+def make_server(
+    service: BenchService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> ServiceHTTPServer:
     """Bind the service to a socket (``port=0`` picks a free one)."""
     return ServiceHTTPServer((host, port), service, verbose=verbose)
 
 
 # ===================================================================== #
-# client (used by ``npb submit`` / ``npb jobs``)
+# client (used by ``npb submit`` / ``npb jobs`` / ``npb loadgen``)
 # ===================================================================== #
 
 
 class ServiceUnavailable(RuntimeError):
     """The daemon could not be reached at the given URL."""
+
+
+def _retry_after_seconds(headers) -> float:
+    """Parse a Retry-After header (seconds form) with a safe default."""
+    value = headers.get("Retry-After") if headers is not None else None
+    try:
+        seconds = float(value)
+    except (TypeError, ValueError):
+        return RETRY_AFTER_SECONDS
+    return min(max(seconds, 0.0), MAX_RETRY_AFTER_SECONDS)
 
 
 class ServiceClient:
@@ -279,28 +364,57 @@ class ServiceClient:
         self.url = url.rstrip("/")
         self.timeout = timeout
 
-    def _request(self, method: str, path: str,
-                 payload: dict | None = None) -> tuple[int, dict]:
+    def _request_full(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, dict, dict]:
+        """One request: ``(status, body, headers)``."""
         data = None if payload is None else json.dumps(payload).encode()
         request = urllib.request.Request(
-            f"{self.url}{path}", data=data, method=method,
-            headers={"Content-Type": "application/json"})
+            f"{self.url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
         try:
-            with urllib.request.urlopen(request,
-                                        timeout=self.timeout) as response:
-                return response.status, json.loads(response.read() or b"{}")
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                body = json.loads(response.read() or b"{}")
+                return response.status, body, dict(response.headers)
         except urllib.error.HTTPError as exc:
             try:
                 body = json.loads(exc.read() or b"{}")
             except json.JSONDecodeError:
                 body = {"error": str(exc)}
-            return exc.code, body
+            return exc.code, body, dict(exc.headers or {})
         except (urllib.error.URLError, OSError, TimeoutError) as exc:
             raise ServiceUnavailable(
-                f"cannot reach {self.url}: {exc}") from exc
+                f"cannot reach {self.url}: {exc}"
+            ) from exc
 
-    def submit(self, payload: dict) -> tuple[int, dict]:
-        return self._request("POST", "/jobs", payload)
+    def _request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, dict]:
+        code, body, _ = self._request_full(method, path, payload)
+        return code, body
+
+    def submit(self, payload: dict, retries: int = 0) -> tuple[int, dict]:
+        """POST the job, honoring Retry-After on 429 up to ``retries``
+        resubmissions.
+
+        A 429 is backpressure, not failure: the server names its own
+        backoff in the Retry-After header, and a client that sleeps it
+        off usually gets admitted on the next attempt.  With the default
+        ``retries=0`` the first response is returned as-is.
+        """
+        attempts = max(0, int(retries)) + 1
+        code, body, headers = 429, {}, {}
+        for attempt in range(attempts):
+            code, body, headers = self._request_full("POST", "/jobs", payload)
+            if code != 429 or attempt == attempts - 1:
+                return code, body
+            time.sleep(_retry_after_seconds(headers))
+        return code, body
 
     def job(self, job_id: str) -> tuple[int, dict]:
         return self._request("GET", f"/jobs/{job_id}")

@@ -114,7 +114,8 @@ class ResultCache:
                 continue
             try:
                 entries.append(
-                    (name, os.stat(os.path.join(self.directory, name)).st_mtime))
+                    (name, os.stat(os.path.join(self.directory, name)).st_mtime)
+                )
             except OSError:
                 continue
         return entries

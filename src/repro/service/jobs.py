@@ -20,6 +20,23 @@ wall-clock time::
 rejects *explicitly* (:class:`AdmissionRejected`, surfaced as HTTP 429 /
 CLI exit code 4) instead of buffering unboundedly -- backpressure is the
 contract that keeps a saturated service honest with its clients.
+
+Two identity notions coexist on a spec:
+
+* :meth:`JobSpec.fingerprint` -- the *cache* key: every run-affecting
+  field plus the environment pin (git SHA, python/numpy versions).
+* :func:`routing_key` / :meth:`JobSpec.routing_key` -- the *placement*
+  key used by the shard coordinator (:mod:`repro.service.shard`): the
+  run-affecting fields only, computable from a raw submission payload
+  without stamping the environment (no ``git rev-parse`` per request).
+  Shards of one coordinator share an environment, so routing on this
+  subset preserves cache locality across the fleet.
+
+A :class:`Job` may additionally carry a client-supplied ``job_key``
+(idempotency key).  Resubmitting the same key returns the already-admitted
+job instead of a duplicate -- that is what lets the coordinator safely
+resubmit after an ambiguous transport failure (the request may or may not
+have been admitted before the connection died).
 """
 
 from __future__ import annotations
@@ -31,6 +48,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Mapping
 
 import numpy as np
 
@@ -45,6 +63,21 @@ PRIORITIES = ("high", "normal")
 JOB_STATES = ("submitted", "queued", "running", "done", "failed", "cached")
 
 _TERMINAL = frozenset({"done", "failed", "cached"})
+
+#: The JobSpec fields a shard coordinator routes on: everything that
+#: affects *what runs*, nothing that pins *where it was built* (the
+#: environment fields are identical across the shards of one
+#: coordinator, so hashing them would add nothing but a git subprocess
+#: per request).
+ROUTING_FIELDS = (
+    "benchmark",
+    "problem_class",
+    "backend",
+    "workers",
+    "dispatch_timeout",
+    "max_retries",
+    "kernel_backend",
+)
 
 
 class AdmissionRejected(RuntimeError):
@@ -64,7 +97,32 @@ def _git_sha() -> str:
     # Reuse the bench fingerprint helper; import here so the service can
     # be used without the harness package fully importable.
     from repro.harness.bench import _git_sha as sha
+
     return sha()
+
+
+def routing_key(payload: Mapping, default_kernel_backend: str = "fused") -> str:
+    """Placement key of a raw submission payload (sha256 hex digest).
+
+    Normalizes exactly the defaults :meth:`JobSpec.create` would apply,
+    so a payload routes to the same shard its resulting spec would --
+    without validating the payload or touching the environment.  Unknown
+    payload keys (``wait``, ``priority``, ``no_cache``, ``job_key``) are
+    ignored: they do not change what runs.
+    """
+    normalized = {
+        "benchmark": str(payload.get("benchmark", "")).upper(),
+        "problem_class": str(payload.get("problem_class") or "S").upper(),
+        "backend": str(payload.get("backend") or "serial"),
+        "workers": int(payload.get("workers") or 1),
+        "dispatch_timeout": payload.get("dispatch_timeout"),
+        "max_retries": payload.get("max_retries"),
+        "kernel_backend": str(
+            payload.get("kernel_backend") or default_kernel_backend
+        ),
+    }
+    canonical = json.dumps(normalized, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -97,11 +155,16 @@ class JobSpec:
     numpy_version: str = ""
 
     @classmethod
-    def create(cls, benchmark: str, problem_class: str = "S",
-               backend: str = "serial", workers: int = 1,
-               dispatch_timeout: float | None = None,
-               max_retries: int | None = None,
-               kernel_backend: str = "fused") -> "JobSpec":
+    def create(
+        cls,
+        benchmark: str,
+        problem_class: str = "S",
+        backend: str = "serial",
+        workers: int = 1,
+        dispatch_timeout: float | None = None,
+        max_retries: int | None = None,
+        kernel_backend: str = "fused",
+    ) -> "JobSpec":
         """Validated spec with the environment pin stamped in."""
         from repro import available_benchmarks
         from repro.kernels.registry import validate_tier
@@ -109,8 +172,10 @@ class JobSpec:
         benchmark = str(benchmark).upper()
         problem_class = str(problem_class).upper()
         if benchmark not in available_benchmarks():
-            raise ValueError(f"unknown benchmark {benchmark!r}; choose "
-                             f"from {available_benchmarks()}")
+            raise ValueError(
+                f"unknown benchmark {benchmark!r}; choose "
+                f"from {available_benchmarks()}"
+            )
         if backend not in ("serial", "threads", "process"):
             raise ValueError(f"unknown backend {backend!r}")
         workers = int(workers)
@@ -145,14 +210,20 @@ class JobSpec:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "JobSpec":
-        return cls(**{k: payload[k] for k in cls.__dataclass_fields__
-                      if k in payload})
+        return cls(
+            **{k: payload[k] for k in cls.__dataclass_fields__ if k in payload}
+        )
 
     def fingerprint(self) -> str:
         """Content address: sha256 over the canonical JSON of the spec."""
-        canonical = json.dumps(self.as_dict(), sort_keys=True,
-                               separators=(",", ":"))
+        canonical = json.dumps(
+            self.as_dict(), sort_keys=True, separators=(",", ":")
+        )
         return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def routing_key(self) -> str:
+        """Placement key (see module-level :func:`routing_key`)."""
+        return routing_key({f: getattr(self, f) for f in ROUTING_FIELDS})
 
     def fault_policy(self) -> FaultPolicy | None:
         """The FaultPolicy this spec asks for (None = team default)."""
@@ -176,6 +247,9 @@ class Job:
     #: bypass the result cache for this submission (the result is still
     #: stored, so a later submission can hit it)
     no_cache: bool = False
+    #: client-supplied idempotency key: resubmitting the same key gives
+    #: back this job instead of admitting a duplicate
+    job_key: str | None = None
     state: str = "submitted"
     submitted_at: float = field(default_factory=time.time)
     queued_at: float | None = None
@@ -203,8 +277,12 @@ class Job:
         """
         if self.queued_at is None:
             return 0.0
-        end = self.started_at if self.started_at is not None else (
-            self.finished_at if self.finished_at is not None else time.time())
+        if self.started_at is not None:
+            end = self.started_at
+        elif self.finished_at is not None:
+            end = self.finished_at
+        else:
+            end = time.time()
         return max(0.0, end - self.queued_at)
 
     def as_dict(self) -> dict:
@@ -214,6 +292,7 @@ class Job:
             "spec": self.spec.as_dict(),
             "priority": self.priority,
             "no_cache": self.no_cache,
+            "job_key": self.job_key,
             "state": self.state,
             "submitted_at": self.submitted_at,
             "queued_at": self.queued_at,
@@ -259,19 +338,24 @@ class JobQueue:
     def put(self, job: Job) -> None:
         """Admit one job (stamps ``queued``) or raise AdmissionRejected."""
         if job.priority not in self._lanes:
-            raise ValueError(f"unknown priority {job.priority!r}; "
-                             f"choose from {PRIORITIES}")
+            raise ValueError(
+                f"unknown priority {job.priority!r}; choose from {PRIORITIES}"
+            )
         with self._cond:
             depth = sum(len(lane) for lane in self._lanes.values())
             if self._closed:
                 raise AdmissionRejected(
                     "service is draining; not accepting new jobs",
-                    depth=depth, capacity=self.maxdepth)
+                    depth=depth,
+                    capacity=self.maxdepth,
+                )
             if depth >= self.maxdepth:
                 raise AdmissionRejected(
                     f"queue full ({depth}/{self.maxdepth}); "
                     f"back off and resubmit",
-                    depth=depth, capacity=self.maxdepth)
+                    depth=depth,
+                    capacity=self.maxdepth,
+                )
             job.state = "queued"
             job.queued_at = time.time()
             self._lanes[job.priority].append(job)
@@ -279,8 +363,7 @@ class JobQueue:
 
     def get(self, timeout: float | None = None) -> Job | None:
         """Next job in priority order; None on timeout or drained-empty."""
-        deadline = (None if timeout is None
-                    else time.monotonic() + timeout)
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while True:
                 for priority in PRIORITIES:

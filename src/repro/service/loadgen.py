@@ -1,0 +1,817 @@
+"""``npb loadgen``: traffic harness for the (sharded) job service.
+
+The paper's core result is a curve -- performance as load grows -- and
+the service layer deserves the same discipline as the kernels: not one
+number but a reproducible load-vs-latency trajectory.  This module
+generates service traffic in the two canonical shapes:
+
+* **closed-loop** -- a fixed number of concurrent clients, each issuing
+  its next request the moment the previous one completes.  Sweeping the
+  concurrency (``--concurrency 1,2,4``) traces the scaling curve the
+  gpaw benchmark methodology treats as *the* result.
+* **open-loop** -- Poisson arrivals at a fixed rate, independent of
+  completions, which is how production traffic actually behaves: the
+  service cannot slow its clients down, only queue or shed (429).
+
+Requests are drawn from a weighted :class:`TrafficProfile` mix of
+benchmark specs.  Each profile names a ``duplicate_fraction``: that
+share of requests is cache-eligible (an identical spec resubmitted, the
+millions-of-users hot path), while the rest carries ``no_cache`` and
+always executes -- so the cache-hit ratio of a run is a measured result
+with a known target, not an accident.
+
+Every run appends a schema-versioned ``LOADGEN_<seq>.json`` record next
+to the ``BENCH_<seq>.json`` trajectory: per-step p50/p95/p99 latency,
+throughput, cache-hit ratio, 429 rate, per-spec and per-shard
+breakdowns, and an SLO verdict.  ``npb loadgen --compare`` gates a
+candidate record against a baseline with the same noise-aware verdict
+philosophy as the bench comparator, reusing
+:mod:`repro.harness.stats` for the robust statistics.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import re
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.harness.stats import mad, median, percentile
+from repro.service.api import ServiceClient, ServiceUnavailable
+
+#: Version of the LOADGEN_*.json record layout.
+SCHEMA_VERSION = 1
+
+#: The ``kind`` tag every record carries (guards against foreign JSON).
+RECORD_KIND = "npb-loadgen-record"
+
+#: Trajectory file naming: LOADGEN_0001.json, LOADGEN_0002.json, ...
+RECORD_PATTERN = re.compile(r"^LOADGEN_(\d{4})\.json$")
+
+#: Relative change tolerated before the noise term kicks in.  Service
+#: latency is far noisier than best-of-k kernel timing (queueing, GC,
+#: socket accept jitter), so the band starts wider than the bench one.
+DEFAULT_TOLERANCE = 0.25
+
+#: ``k`` in the ``k * MAD / p50`` noise band of the comparator.
+DEFAULT_MAD_MULTIPLIER = 3.0
+
+#: Absolute seconds of latency change always tolerated.
+DEFAULT_ABS_SLACK = 0.010
+
+
+# ===================================================================== #
+# traffic mixes
+# ===================================================================== #
+
+
+@dataclass(frozen=True)
+class MixEntry:
+    """One weighted spec in a traffic mix."""
+
+    benchmark: str
+    problem_class: str = "S"
+    backend: str = "serial"
+    workers: int = 1
+    kernel_backend: str | None = None
+    weight: float = 1.0
+
+    @property
+    def cell_id(self) -> str:
+        base = (
+            f"{self.benchmark}.{self.problem_class}."
+            f"{self.backend}.x{self.workers}"
+        )
+        if self.kernel_backend and self.kernel_backend != "fused":
+            return f"{base}.{self.kernel_backend}"
+        return base
+
+    def payload(self) -> dict:
+        payload = {
+            "benchmark": self.benchmark,
+            "problem_class": self.problem_class,
+            "backend": self.backend,
+            "workers": self.workers,
+        }
+        if self.kernel_backend is not None:
+            payload["kernel_backend"] = self.kernel_backend
+        return payload
+
+    @classmethod
+    def parse(cls, spec: str) -> "MixEntry":
+        """Parse ``BENCH[:CLASS[:BACKEND[:WORKERS[:TIER]]]][@WEIGHT]``.
+
+        ``CG`` alone is CG class S serial x1 at weight 1;
+        ``CG:S:threads:2@3`` weights a threaded cell 3x.
+        """
+        body, _, weight_text = spec.partition("@")
+        weight = float(weight_text) if weight_text else 1.0
+        if weight <= 0:
+            raise ValueError(f"mix weight must be > 0 in {spec!r}")
+        parts = body.split(":")
+        if not parts[0] or len(parts) > 5:
+            raise ValueError(
+                f"mix spec {spec!r} is not "
+                f"BENCH[:CLASS[:BACKEND[:WORKERS[:TIER]]]][@WEIGHT]"
+            )
+        return cls(
+            benchmark=parts[0].upper(),
+            problem_class=(parts[1].upper() if len(parts) > 1 else "S"),
+            backend=(parts[2] if len(parts) > 2 else "serial"),
+            workers=(int(parts[3]) if len(parts) > 3 else 1),
+            kernel_backend=(parts[4] if len(parts) > 4 else None),
+            weight=weight,
+        )
+
+
+@dataclass(frozen=True)
+class TrafficProfile:
+    """A named weighted mix plus its duplicate-traffic share."""
+
+    name: str
+    entries: tuple[MixEntry, ...]
+    #: fraction of requests that are cache-eligible resubmissions of a
+    #: mix spec; the remaining requests carry ``no_cache`` and always
+    #: execute, modeling unique work
+    duplicate_fraction: float
+    description: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "duplicate_fraction": self.duplicate_fraction,
+            "entries": [
+                {"cell": entry.cell_id, "weight": entry.weight}
+                for entry in self.entries
+            ],
+        }
+
+
+#: Built-in traffic profiles (``npb loadgen --profile``).
+PROFILES: dict[str, TrafficProfile] = {
+    "smoke": TrafficProfile(
+        name="smoke",
+        entries=(MixEntry("CG"), MixEntry("MG")),
+        duplicate_fraction=0.75,
+        description="duplicate-heavy CG/MG class-S mix for CI smoke runs",
+    ),
+    "cache-heavy": TrafficProfile(
+        name="cache-heavy",
+        entries=(MixEntry("CG"), MixEntry("MG"), MixEntry("FT")),
+        duplicate_fraction=0.9,
+        description="the millions-of-users shape: almost all repeat work",
+    ),
+    "mixed": TrafficProfile(
+        name="mixed",
+        entries=(
+            MixEntry("CG"),
+            MixEntry("MG"),
+            MixEntry("FT"),
+            MixEntry("IS"),
+            MixEntry("EP", weight=0.5),
+        ),
+        duplicate_fraction=0.3,
+        description="broad benchmark blend, mostly unique work",
+    ),
+}
+
+
+def parse_mix(text: str, duplicate_fraction: float = 0.5) -> TrafficProfile:
+    """Build a custom profile from comma-separated :meth:`MixEntry.parse`
+    specs (``CG:S:serial:1@2,MG``)."""
+    entries = tuple(
+        MixEntry.parse(part) for part in text.split(",") if part.strip()
+    )
+    if not entries:
+        raise ValueError(f"empty traffic mix {text!r}")
+    if not 0.0 <= duplicate_fraction <= 1.0:
+        raise ValueError("duplicate_fraction must be in [0, 1]")
+    return TrafficProfile(
+        name="custom",
+        entries=entries,
+        duplicate_fraction=duplicate_fraction,
+        description=f"custom mix {text}",
+    )
+
+
+class RequestSampler:
+    """Deterministic, thread-safe stream of submission payloads."""
+
+    def __init__(self, profile: TrafficProfile, seed: int = 0):
+        self.profile = profile
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._weights = [entry.weight for entry in profile.entries]
+
+    def next_request(self) -> tuple[str, dict]:
+        """``(cell_id, payload)`` for the next request."""
+        with self._lock:
+            (entry,) = self._rng.choices(
+                self.profile.entries, weights=self._weights
+            )
+            duplicate = self._rng.random() < self.profile.duplicate_fraction
+        payload = entry.payload()
+        payload["wait"] = True
+        # Cache-eligible duplicates model repeat traffic; the rest is
+        # forced-unique work so the hit ratio has a known target.
+        payload["no_cache"] = not duplicate
+        return entry.cell_id, payload
+
+    def arrival_gap(self, rate: float) -> float:
+        """Exponential inter-arrival gap for open-loop Poisson traffic."""
+        with self._lock:
+            return self._rng.expovariate(rate)
+
+
+# ===================================================================== #
+# request execution and accounting
+# ===================================================================== #
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """One completed (or failed) request, as the accounting sees it."""
+
+    cell_id: str
+    #: "ok" | "rejected" (429 after retries) | "failed" | "unreachable"
+    status: str
+    code: int
+    cache_hit: bool
+    latency_seconds: float
+    #: shard that served it (None when not behind a coordinator)
+    shard: str | None = None
+    #: True when the coordinator routed around a dead shard
+    degraded: bool = False
+
+
+def classify_response(code: int, body: dict) -> tuple[str, bool]:
+    """Map an HTTP response onto an outcome status + cache-hit flag."""
+    if code in (200, 202):
+        if body.get("state") == "failed":
+            return "failed", False
+        return "ok", bool(body.get("cache_hit"))
+    if code == 429:
+        return "rejected", False
+    return "failed", False
+
+
+def issue_request(submit, cell_id: str, payload: dict) -> RequestOutcome:
+    """Time one request through ``submit(payload) -> (code, body)``."""
+    start = time.perf_counter()
+    try:
+        code, body = submit(payload)
+    except ServiceUnavailable:
+        return RequestOutcome(
+            cell_id=cell_id,
+            status="unreachable",
+            code=0,
+            cache_hit=False,
+            latency_seconds=time.perf_counter() - start,
+        )
+    latency = time.perf_counter() - start
+    status, cache_hit = classify_response(code, body)
+    routing = body.get("routing") or {}
+    return RequestOutcome(
+        cell_id=cell_id,
+        status=status,
+        code=code,
+        cache_hit=cache_hit,
+        latency_seconds=latency,
+        shard=routing.get("served_by"),
+        degraded=bool(routing.get("degraded")),
+    )
+
+
+def run_closed_loop(
+    submit,
+    sampler: RequestSampler,
+    concurrency: int,
+    total_requests: int,
+    duration_seconds: float | None = None,
+) -> tuple[list[RequestOutcome], float]:
+    """Fixed-concurrency traffic: each worker issues back-to-back.
+
+    Stops after ``total_requests`` (or the optional duration cap,
+    whichever comes first) and returns the outcomes plus wall time.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    outcomes: list[RequestOutcome] = []
+    lock = threading.Lock()
+    remaining = [total_requests]
+    started = time.perf_counter()
+    deadline = None if duration_seconds is None else started + duration_seconds
+
+    def worker() -> None:
+        while True:
+            with lock:
+                if remaining[0] <= 0:
+                    return
+                if deadline is not None and time.perf_counter() >= deadline:
+                    return
+                remaining[0] -= 1
+            cell_id, payload = sampler.next_request()
+            outcome = issue_request(submit, cell_id, payload)
+            with lock:
+                outcomes.append(outcome)
+
+    threads = [
+        threading.Thread(target=worker, daemon=True, name=f"npb-loadgen-{i}")
+        for i in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return outcomes, time.perf_counter() - started
+
+
+def run_open_loop(
+    submit,
+    sampler: RequestSampler,
+    rate_rps: float,
+    duration_seconds: float,
+) -> tuple[list[RequestOutcome], float]:
+    """Open-loop Poisson traffic: arrivals never wait for completions.
+
+    One thread per in-flight request; the arrival clock keeps ticking
+    however slow the service gets, which is what makes queue growth and
+    shedding (429) visible instead of silently throttling the offered
+    load.
+    """
+    if rate_rps <= 0:
+        raise ValueError("rate must be > 0 requests/second")
+    outcomes: list[RequestOutcome] = []
+    lock = threading.Lock()
+    threads: list[threading.Thread] = []
+    started = time.perf_counter()
+    offset = sampler.arrival_gap(rate_rps)
+    while offset <= duration_seconds:
+        gap = started + offset - time.perf_counter()
+        if gap > 0:
+            time.sleep(gap)
+        cell_id, payload = sampler.next_request()
+
+        def one(cell_id=cell_id, payload=payload) -> None:
+            outcome = issue_request(submit, cell_id, payload)
+            with lock:
+                outcomes.append(outcome)
+
+        thread = threading.Thread(target=one, daemon=True)
+        thread.start()
+        threads.append(thread)
+        offset += sampler.arrival_gap(rate_rps)
+    for thread in threads:
+        thread.join()
+    return outcomes, time.perf_counter() - started
+
+
+def summarize_outcomes(
+    outcomes: list[RequestOutcome], elapsed_seconds: float
+) -> dict:
+    """Aggregate one step's outcomes into the recorded metrics."""
+    counts = {
+        "total": len(outcomes),
+        "ok": 0,
+        "executed": 0,
+        "cached": 0,
+        "rejected_429": 0,
+        "failed": 0,
+        "unreachable": 0,
+        "degraded": 0,
+    }
+    ok_latencies: list[float] = []
+    by_cell: dict[str, dict] = {}
+    by_shard: dict[str, int] = {}
+    for outcome in outcomes:
+        cell = by_cell.setdefault(
+            outcome.cell_id,
+            {"requests": 0, "ok": 0, "cached": 0, "latencies": []},
+        )
+        cell["requests"] += 1
+        if outcome.degraded:
+            counts["degraded"] += 1
+        if outcome.shard is not None:
+            by_shard[outcome.shard] = by_shard.get(outcome.shard, 0) + 1
+        if outcome.status == "ok":
+            counts["ok"] += 1
+            cell["ok"] += 1
+            ok_latencies.append(outcome.latency_seconds)
+            cell["latencies"].append(outcome.latency_seconds)
+            if outcome.cache_hit:
+                counts["cached"] += 1
+                cell["cached"] += 1
+            else:
+                counts["executed"] += 1
+        elif outcome.status == "rejected":
+            counts["rejected_429"] += 1
+        elif outcome.status == "unreachable":
+            counts["unreachable"] += 1
+        else:
+            counts["failed"] += 1
+    for cell in by_cell.values():
+        latencies = cell.pop("latencies")
+        cell["p50_seconds"] = median(latencies) if latencies else None
+    total = max(counts["total"], 1)
+    latency = None
+    if ok_latencies:
+        latency = {
+            "samples": len(ok_latencies),
+            "p50": percentile(ok_latencies, 50),
+            "p95": percentile(ok_latencies, 95),
+            "p99": percentile(ok_latencies, 99),
+            "mean": sum(ok_latencies) / len(ok_latencies),
+            "min": min(ok_latencies),
+            "max": max(ok_latencies),
+            "mad": mad(ok_latencies),
+        }
+    return {
+        "elapsed_seconds": elapsed_seconds,
+        "requests": counts,
+        "latency_seconds": latency,
+        "throughput_rps": counts["ok"] / max(elapsed_seconds, 1e-9),
+        "cache_hit_ratio": counts["cached"] / max(counts["ok"], 1),
+        "rate_429": counts["rejected_429"] / total,
+        "error_rate": (counts["failed"] + counts["unreachable"]) / total,
+        "by_cell": by_cell,
+        "by_shard": by_shard,
+    }
+
+
+# ===================================================================== #
+# SLO verdict
+# ===================================================================== #
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """Bounds a step's metrics must satisfy for the verdict to pass."""
+
+    #: fraction of requests allowed to fail or find no service
+    max_error_rate: float = 0.0
+    #: fraction of requests allowed to stay rejected after retries --
+    #: shedding is legitimate backpressure, but a mostly-shedding run
+    #: is not serving its load
+    max_429_rate: float = 0.5
+    #: p95 latency bound in seconds (None: not checked)
+    max_p95_seconds: float | None = None
+    #: minimum cache-hit ratio (None: not checked)
+    min_cache_hit_ratio: float | None = None
+    #: at least this many requests must complete ok
+    min_ok: int = 1
+
+    def as_dict(self) -> dict:
+        return {
+            "max_error_rate": self.max_error_rate,
+            "max_429_rate": self.max_429_rate,
+            "max_p95_seconds": self.max_p95_seconds,
+            "min_cache_hit_ratio": self.min_cache_hit_ratio,
+            "min_ok": self.min_ok,
+        }
+
+
+def evaluate_slo(metrics: dict, policy: SLOPolicy) -> dict:
+    """Check one step's metrics against the policy bounds."""
+    checks = [
+        {
+            "name": "error_rate",
+            "value": metrics["error_rate"],
+            "bound": policy.max_error_rate,
+            "pass": metrics["error_rate"] <= policy.max_error_rate,
+        },
+        {
+            "name": "rate_429",
+            "value": metrics["rate_429"],
+            "bound": policy.max_429_rate,
+            "pass": metrics["rate_429"] <= policy.max_429_rate,
+        },
+        {
+            "name": "min_ok",
+            "value": metrics["requests"]["ok"],
+            "bound": policy.min_ok,
+            "pass": metrics["requests"]["ok"] >= policy.min_ok,
+        },
+    ]
+    if policy.max_p95_seconds is not None:
+        p95 = (metrics["latency_seconds"] or {}).get("p95")
+        checks.append(
+            {
+                "name": "p95_seconds",
+                "value": p95,
+                "bound": policy.max_p95_seconds,
+                "pass": p95 is not None and p95 <= policy.max_p95_seconds,
+            }
+        )
+    if policy.min_cache_hit_ratio is not None:
+        checks.append(
+            {
+                "name": "cache_hit_ratio",
+                "value": metrics["cache_hit_ratio"],
+                "bound": policy.min_cache_hit_ratio,
+                "pass": (
+                    metrics["cache_hit_ratio"] >= policy.min_cache_hit_ratio
+                ),
+            }
+        )
+    return {"pass": all(check["pass"] for check in checks), "checks": checks}
+
+
+# ===================================================================== #
+# full runs and the LOADGEN_<seq>.json trajectory
+# ===================================================================== #
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """Everything a run needs beyond the target URL."""
+
+    profile: TrafficProfile
+    mode: str = "closed"  # "closed" | "open"
+    #: concurrency levels (closed) or arrival rates in rps (open); one
+    #: record step -- one point on the scaling curve -- per level
+    levels: tuple[float, ...] = (2,)
+    requests_per_step: int = 20
+    duration_seconds: float | None = None
+    seed: int = 0
+    #: 429 retries per request (Retry-After honored by ServiceClient)
+    retries: int = 3
+    slo: SLOPolicy = field(default_factory=SLOPolicy)
+
+    def as_dict(self) -> dict:
+        return {
+            "profile": self.profile.as_dict(),
+            "mode": self.mode,
+            "levels": list(self.levels),
+            "requests_per_step": self.requests_per_step,
+            "duration_seconds": self.duration_seconds,
+            "seed": self.seed,
+            "retries": self.retries,
+            "slo": self.slo.as_dict(),
+        }
+
+
+def run_step(submit, config: LoadgenConfig, index: int) -> dict:
+    """Run one curve step (one level) and summarize it."""
+    level = config.levels[index]
+    sampler = RequestSampler(config.profile, seed=config.seed + index)
+    if config.mode == "closed":
+        outcomes, elapsed = run_closed_loop(
+            submit,
+            sampler,
+            concurrency=int(level),
+            total_requests=config.requests_per_step,
+            duration_seconds=config.duration_seconds,
+        )
+    elif config.mode == "open":
+        if config.duration_seconds is None:
+            raise ValueError("open-loop mode needs duration_seconds")
+        outcomes, elapsed = run_open_loop(
+            submit,
+            sampler,
+            rate_rps=float(level),
+            duration_seconds=config.duration_seconds,
+        )
+    else:
+        raise ValueError(f"unknown loadgen mode {config.mode!r}")
+    metrics = summarize_outcomes(outcomes, elapsed)
+    metrics["mode"] = config.mode
+    metrics["level"] = level
+    metrics["slo"] = evaluate_slo(metrics, config.slo)
+    return metrics
+
+
+def run_loadgen(
+    url: str,
+    config: LoadgenConfig,
+    timeout: float = 600.0,
+    progress=None,
+) -> dict:
+    """Run the whole curve against ``url`` and build the record.
+
+    Raises :class:`ServiceUnavailable` if the service cannot even answer
+    /status before the run starts (so an absent daemon is a usage error,
+    not a 100%-unreachable 'result').
+    """
+    from repro.harness.bench import environment_fingerprint
+
+    client = ServiceClient(url, timeout=timeout)
+    client.status()  # reachability gate; raises ServiceUnavailable
+
+    def submit(payload: dict) -> tuple[int, dict]:
+        return client.submit(payload, retries=config.retries)
+
+    steps = []
+    for index, level in enumerate(config.levels):
+        if progress is not None:
+            progress(
+                f"  loadgen {config.mode} level={level:g} "
+                f"({config.profile.name}, step {index + 1}/"
+                f"{len(config.levels)})"
+            )
+        steps.append(run_step(submit, config, index))
+    return {
+        "kind": RECORD_KIND,
+        "schema_version": SCHEMA_VERSION,
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "environment": environment_fingerprint(),
+        "url": url,
+        "config": config.as_dict(),
+        "curve": steps,
+        "slo_pass": all(step["slo"]["pass"] for step in steps),
+    }
+
+
+def next_sequence(directory: str = ".") -> int:
+    """1 + the highest LOADGEN_<seq>.json already in ``directory``."""
+    highest = 0
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        names = []
+    for name in names:
+        match = RECORD_PATTERN.match(name)
+        if match:
+            highest = max(highest, int(match.group(1)))
+    return highest + 1
+
+
+def write_record(
+    record: dict, directory: str = ".", path: str | None = None
+) -> str:
+    """Write ``record``; default name continues the trajectory sequence."""
+    if path is None:
+        sequence = next_sequence(directory)
+        path = os.path.join(directory, f"LOADGEN_{sequence:04d}.json")
+        record = dict(record, sequence=sequence)
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def latest_record_path(directory: str = ".") -> str | None:
+    """Path of the highest-sequence LOADGEN_<seq>.json, if any."""
+    best = None
+    best_seq = 0
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return None
+    for name in names:
+        match = RECORD_PATTERN.match(name)
+        if match and int(match.group(1)) >= best_seq:
+            best_seq = int(match.group(1))
+            best = os.path.join(directory, name)
+    return best
+
+
+def load_record(path: str) -> dict:
+    """Load and sanity-check one loadgen record."""
+    with open(path) as fh:
+        record = json.load(fh)
+    if not isinstance(record, dict) or record.get("kind") != RECORD_KIND:
+        raise ValueError(f"{path}: not an {RECORD_KIND} file")
+    version = record.get("schema_version")
+    if not isinstance(version, int) or version > SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {version!r} (this tool reads "
+            f"<= {SCHEMA_VERSION}); refresh the record with 'npb loadgen'"
+        )
+    return record
+
+
+# ===================================================================== #
+# comparator (the noise-aware SLO gate)
+# ===================================================================== #
+
+
+def _step_threshold(
+    base: dict,
+    cand: dict,
+    tolerance: float,
+    mad_multiplier: float,
+    abs_slack: float,
+) -> float:
+    """Relative change a step may show before it counts as a regression.
+
+    Same philosophy as the bench comparator
+    (:func:`repro.harness.bench.cell_threshold`): the static tolerance,
+    widened by the measured latency scatter (MAD over the per-request
+    samples) of whichever record is noisier, widened again for steps so
+    fast that scheduler jitter dwarfs them.
+    """
+    base_p50 = max(float((base.get("latency_seconds") or {}).get("p50", 0.0)), 1e-9)
+    noise = max(
+        float((base.get("latency_seconds") or {}).get("mad", 0.0)),
+        float((cand.get("latency_seconds") or {}).get("mad", 0.0)),
+    )
+    return max(
+        tolerance,
+        mad_multiplier * noise / base_p50,
+        abs_slack / base_p50,
+    )
+
+
+def compare_records(
+    baseline: dict,
+    candidate: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    mad_multiplier: float = DEFAULT_MAD_MULTIPLIER,
+    abs_slack: float = DEFAULT_ABS_SLACK,
+) -> dict:
+    """Match curve steps by (mode, level) and verdict each metric.
+
+    Latency percentiles regress upward, throughput regresses downward;
+    both share one noise-aware threshold per step.  The overall verdict
+    also fails when the candidate's own SLO failed -- a faster run that
+    drops requests is not an improvement.
+    """
+    base_steps = {
+        (step["mode"], step["level"]): step for step in baseline["curve"]
+    }
+    cand_steps = {
+        (step["mode"], step["level"]): step for step in candidate["curve"]
+    }
+    steps = []
+    regressions = 0
+    for key, base in base_steps.items():
+        cand = cand_steps.get(key)
+        if cand is None:
+            continue
+        threshold = _step_threshold(
+            base, cand, tolerance, mad_multiplier, abs_slack
+        )
+        metrics = []
+        for name in ("p50", "p95", "p99"):
+            base_value = (base.get("latency_seconds") or {}).get(name)
+            cand_value = (cand.get("latency_seconds") or {}).get(name)
+            if base_value is None or cand_value is None:
+                continue
+            ratio = cand_value / max(base_value, 1e-9)
+            if ratio > 1.0 + threshold:
+                verdict = "regression"
+            elif ratio < 1.0 - threshold:
+                verdict = "improved"
+            else:
+                verdict = "ok"
+            metrics.append(
+                {
+                    "metric": f"latency_{name}",
+                    "base": base_value,
+                    "candidate": cand_value,
+                    "ratio": ratio,
+                    "verdict": verdict,
+                }
+            )
+        base_rps = float(base["throughput_rps"])
+        cand_rps = float(cand["throughput_rps"])
+        ratio = cand_rps / max(base_rps, 1e-9)
+        if ratio < 1.0 / (1.0 + threshold):
+            verdict = "regression"
+        elif ratio > 1.0 + threshold:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        metrics.append(
+            {
+                "metric": "throughput_rps",
+                "base": base_rps,
+                "candidate": cand_rps,
+                "ratio": ratio,
+                "verdict": verdict,
+            }
+        )
+        step_regressions = sum(
+            1 for metric in metrics if metric["verdict"] == "regression"
+        )
+        if not cand["slo"]["pass"]:
+            step_regressions += 1
+        regressions += step_regressions
+        steps.append(
+            {
+                "mode": key[0],
+                "level": key[1],
+                "threshold": threshold,
+                "slo_pass": cand["slo"]["pass"],
+                "metrics": metrics,
+                "regressions": step_regressions,
+            }
+        )
+    return {
+        "steps": steps,
+        "missing": sorted(
+            f"{mode}@{level:g}"
+            for mode, level in base_steps
+            if (mode, level) not in cand_steps
+        ),
+        "added": sorted(
+            f"{mode}@{level:g}"
+            for mode, level in cand_steps
+            if (mode, level) not in base_steps
+        ),
+        "regressions": regressions,
+        "verdict": "regression" if regressions else "pass",
+    }

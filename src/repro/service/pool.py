@@ -39,8 +39,13 @@ class PoolClosed(RuntimeError):
 class TeamPool:
     """Fixed-size pool of warm teams of one (backend, workers) shape."""
 
-    def __init__(self, backend: str = "serial", workers: int = 1,
-                 size: int = 2, policy: FaultPolicy | None = None):
+    def __init__(
+        self,
+        backend: str = "serial",
+        workers: int = 1,
+        size: int = 2,
+        policy: FaultPolicy | None = None,
+    ):
         if size < 1:
             raise ValueError("pool size must be >= 1")
         self.backend = backend
@@ -67,8 +72,12 @@ class TeamPool:
 
     # ------------------------------------------------------------------ #
 
-    def lease(self, backend: str | None = None, workers: int | None = None,
-              timeout: float | None = None) -> tuple[Team, bool]:
+    def lease(
+        self,
+        backend: str | None = None,
+        workers: int | None = None,
+        timeout: float | None = None,
+    ) -> tuple[Team, bool]:
         """Borrow a team for one job: ``(team, pooled)``.
 
         A spec matching the pool configuration blocks until a warm team
@@ -89,7 +98,8 @@ class TeamPool:
             while not self._idle and not self._closed:
                 if not self._cond.wait(timeout):
                     raise TimeoutError(
-                        f"no pooled team became idle within {timeout}s")
+                        f"no pooled team became idle within {timeout}s"
+                    )
             if self._closed:
                 raise PoolClosed("pool is closed")
             team = self._idle.pop()
@@ -148,11 +158,9 @@ class TeamPool:
                 return
             self._closed = True
             self._cond.notify_all()
-            deadline = (None if timeout is None
-                        else time.monotonic() + timeout)
+            deadline = None if timeout is None else time.monotonic() + timeout
             while self._in_use > 0:
-                remaining = (None if deadline is None
-                             else deadline - time.monotonic())
+                remaining = None if deadline is None else deadline - time.monotonic()
                 if remaining is not None and remaining <= 0:
                     break
                 self._cond.wait(remaining)

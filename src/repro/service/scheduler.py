@@ -42,8 +42,13 @@ def _no_update(job: Job) -> None:
 class Scheduler:
     """Runs queued jobs on pooled teams; one dispatcher per pool slot."""
 
-    def __init__(self, queue: JobQueue, pool: TeamPool, cache: ResultCache,
-                 on_update=None):
+    def __init__(
+        self,
+        queue: JobQueue,
+        pool: TeamPool,
+        cache: ResultCache,
+        on_update=None,
+    ):
         self._queue = queue
         self._pool = pool
         self._cache = cache
@@ -64,8 +69,9 @@ class Scheduler:
         if self._threads:
             return
         for i in range(self._pool.size):
-            thread = threading.Thread(target=self._loop, daemon=True,
-                                      name=f"npb-dispatcher-{i}")
+            thread = threading.Thread(
+                target=self._loop, daemon=True, name=f"npb-dispatcher-{i}"
+            )
             self._threads.append(thread)
             thread.start()
 
@@ -77,13 +83,17 @@ class Scheduler:
             try:
                 self._execute(job)
             except Exception as exc:  # defensive: a dispatcher must survive
-                self._finish(job, "failed",
-                             error=f"{type(exc).__name__}: {exc}")
+                self._finish(job, "failed", error=f"{type(exc).__name__}: {exc}")
 
     # ------------------------------------------------------------------ #
 
-    def _finish(self, job: Job, state: str, result: dict | None = None,
-                error: str | None = None) -> None:
+    def _finish(
+        self,
+        job: Job,
+        state: str,
+        result: dict | None = None,
+        error: str | None = None,
+    ) -> None:
         job.result = result
         job.error = error
         job.state = state
@@ -119,6 +129,7 @@ class Scheduler:
         job_policy = job.spec.fault_policy()
         try:
             from repro.core.registry import get_benchmark
+
             if job_policy is not None:
                 team.policy = job_policy
             # Pooled teams outlive one job: select the job's kernel tier
@@ -127,7 +138,8 @@ class Scheduler:
             if job.spec.kernel_backend != saved_tier:
                 team.set_kernel_backend(job.spec.kernel_backend)
             benchmark = get_benchmark(job.spec.benchmark)(
-                job.spec.problem_class, team)
+                job.spec.problem_class, team
+            )
             result = benchmark.run()
         except Exception:
             self._finish(job, "failed", error=traceback.format_exc())
@@ -147,8 +159,7 @@ class Scheduler:
         with self._lock:
             self.executed += 1
             for kind, count in result.fault_counts.items():
-                self.fault_counts[kind] = (
-                    self.fault_counts.get(kind, 0) + count)
+                self.fault_counts[kind] = self.fault_counts.get(kind, 0) + count
         self._finish(job, "done", result=record)
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,567 @@
+"""Shard coordinator: consistent-hash routing across worker daemons.
+
+One ``npb serve`` daemon is one warm pool on one host -- the scaling
+ceiling of PR 5.  This module scales the service *out*: a
+:class:`ShardCoordinator` fronts N independent worker daemons (shards)
+and routes every submission by consistent hashing on the job's
+:func:`~repro.service.jobs.routing_key`:
+
+* **Cache locality.**  Identical specs always land on the same shard,
+  so each shard's content-addressed result cache keeps working exactly
+  as in the single-daemon case -- a resubmission through the coordinator
+  is a cache hit on whichever shard owns the key.
+* **Minimal resharding.**  The ring hashes each shard to
+  ``DEFAULT_REPLICAS`` virtual points; adding a shard (N -> N+1) moves
+  only the keys that fall into the new shard's arcs, ~1/(N+1) of the
+  key space, so almost every cached fingerprint stays where it is.
+  ``tests/service/test_shard.py`` asserts both properties as bounds:
+  balance within :data:`BALANCE_BOUND` of the mean and migration at
+  most ``2/N`` of the keys.
+* **Health and route-around.**  A background prober marks shards
+  unreachable; submissions to a dead shard fail over along the ring's
+  preference order and come back with a structured *degraded* routing
+  verdict (``routing.degraded``, with the attempt trail) instead of an
+  error -- admitted work completes even while a shard is down.
+  Failover resubmission is idempotent: the coordinator stamps a
+  ``job_key`` on every forwarded submission, so a retry after an
+  ambiguous transport failure attaches to the already-admitted job
+  rather than double-running it.
+
+The coordinator's own HTTP front end (:func:`make_shard_server`, served
+by ``npb shard-serve``) mirrors the single-daemon API -- ``POST /jobs``,
+``GET /jobs[/<id>]``, ``GET /status`` -- so every existing client
+(``npb submit``, ``npb loadgen``) points at a coordinator unchanged.
+Job ids are namespaced ``<shard>:<job_id>`` on the way out and parsed
+back on lookup, which is the only thing a client can observe.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.service.api import (
+    RETRY_AFTER_SECONDS,
+    ServiceClient,
+    ServiceUnavailable,
+)
+from repro.service.jobs import routing_key
+
+#: Virtual points per shard on the hash ring.  More replicas smooth the
+#: arc lengths: at 128 the per-shard load over random keys stays within
+#: :data:`BALANCE_BOUND` of the mean (asserted by the property tests).
+DEFAULT_REPLICAS = 128
+
+#: Declared balance bound: with DEFAULT_REPLICAS virtual points, every
+#: shard's share of uniformly random keys is within +/- this fraction of
+#: the perfectly even share.
+BALANCE_BOUND = 0.40
+
+#: Seconds between background health probes of each shard.
+DEFAULT_HEALTH_INTERVAL = 2.0
+
+#: Per-probe HTTP timeout -- a hung shard must not wedge the prober.
+DEFAULT_PROBE_TIMEOUT = 5.0
+
+
+def _hash_point(key: str) -> int:
+    """Position of ``key`` on the ring (first 8 bytes of sha256)."""
+    return int.from_bytes(hashlib.sha256(key.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping keys to named nodes.
+
+    Each node owns ``replicas`` pseudo-random points; a key routes to
+    the first point clockwise from its own hash.  Removing or adding a
+    node therefore only remaps the arcs adjacent to that node's points
+    -- the property that keeps per-shard result caches warm across
+    resharding.
+    """
+
+    def __init__(self, nodes, replicas: int = DEFAULT_REPLICAS):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._nodes: list[str] = []
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        for node in nodes:
+            self.add(str(node))
+        if not self._nodes:
+            raise ValueError("a HashRing needs at least one node")
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return tuple(self._nodes)
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already on the ring")
+        self._nodes.append(node)
+        for replica in range(self.replicas):
+            point = _hash_point(f"{node}#{replica}")
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, node)
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            raise ValueError(f"node {node!r} not on the ring")
+        self._nodes.remove(node)
+        kept = [
+            (point, owner)
+            for point, owner in zip(self._points, self._owners)
+            if owner != node
+        ]
+        self._points = [point for point, _ in kept]
+        self._owners = [owner for _, owner in kept]
+
+    def route(self, key: str, exclude=frozenset()) -> str:
+        """First node clockwise from ``key`` not in ``exclude``."""
+        for node in self.preference(key):
+            if node not in exclude:
+                return node
+        raise LookupError(f"every node excluded for key {key!r}")
+
+    def preference(self, key: str) -> list[str]:
+        """All nodes in ring walk order from ``key`` (each once).
+
+        Index 0 is the owner; the rest is the failover order, which is
+        deterministic per key -- two coordinators (or one coordinator
+        before and after a crash) fail the same key over to the same
+        replacement shard.
+        """
+        start = bisect.bisect(self._points, _hash_point(key))
+        order: list[str] = []
+        seen: set[str] = set()
+        for offset in range(len(self._points)):
+            owner = self._owners[(start + offset) % len(self._points)]
+            if owner not in seen:
+                seen.add(owner)
+                order.append(owner)
+                if len(order) == len(self._nodes):
+                    break
+        return order
+
+
+@dataclass
+class ShardState:
+    """Live view of one worker daemon behind the coordinator."""
+
+    name: str
+    url: str
+    healthy: bool = True
+    consecutive_failures: int = 0
+    last_error: str | None = None
+    last_checked: float | None = None
+    #: most recent GET /status body (None until the first probe lands)
+    last_status: dict | None = None
+    submissions: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "url": self.url,
+            "healthy": self.healthy,
+            "consecutive_failures": self.consecutive_failures,
+            "last_error": self.last_error,
+            "last_checked": self.last_checked,
+            "submissions": self.submissions,
+            "status": self.last_status,
+        }
+
+
+class ShardCoordinator:
+    """Routes jobs across worker daemons; aggregates their status.
+
+    ``shards`` maps shard name to base URL.  The coordinator holds no
+    job state of its own -- every job lives on exactly one shard, and
+    the namespaced job id (``<shard>:<job_id>``) is all a client needs
+    to find it again.
+    """
+
+    def __init__(
+        self,
+        shards: dict[str, str],
+        replicas: int = DEFAULT_REPLICAS,
+        health_interval: float = DEFAULT_HEALTH_INTERVAL,
+        probe_timeout: float = DEFAULT_PROBE_TIMEOUT,
+        client_timeout: float = 600.0,
+        default_kernel_backend: str = "fused",
+    ):
+        if not shards:
+            raise ValueError("a coordinator needs at least one shard")
+        self.default_kernel_backend = default_kernel_backend
+        self.health_interval = health_interval
+        self._ring = HashRing(shards, replicas=replicas)
+        self._states = {
+            name: ShardState(name=name, url=url.rstrip("/"))
+            for name, url in shards.items()
+        }
+        self._clients = {
+            name: ServiceClient(url, timeout=client_timeout)
+            for name, url in shards.items()
+        }
+        self._probers = {
+            name: ServiceClient(url, timeout=probe_timeout)
+            for name, url in shards.items()
+        }
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._health_thread: threading.Thread | None = None
+        self._seq = 0
+        self.routed = 0
+        self.failovers = 0
+        self.unroutable = 0
+        self.started_at = time.time()
+
+    # ------------------------------------------------------------------ #
+    # health
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Probe once synchronously, then keep probing in the background."""
+        self.check_all()
+        if self._health_thread is not None:
+            return
+        self._health_thread = threading.Thread(
+            target=self._health_loop, daemon=True, name="npb-shard-health"
+        )
+        self._health_thread.start()
+
+    def _health_loop(self) -> None:
+        while not self._stop.wait(self.health_interval):
+            self.check_all()
+
+    def check_all(self) -> None:
+        for name in self._states:
+            self.check_shard(name)
+
+    def check_shard(self, name: str) -> bool:
+        """Probe one shard's /status; update its health state."""
+        state = self._states[name]
+        try:
+            code, status = self._probers[name].status()
+        except ServiceUnavailable as exc:
+            with self._lock:
+                state.healthy = False
+                state.consecutive_failures += 1
+                state.last_error = str(exc)
+                state.last_checked = time.time()
+            return False
+        with self._lock:
+            state.healthy = code == 200
+            if state.healthy:
+                state.consecutive_failures = 0
+                state.last_error = None
+                state.last_status = status
+            else:
+                state.consecutive_failures += 1
+                state.last_error = f"HTTP {code} from /status"
+            state.last_checked = time.time()
+        return state.healthy
+
+    def _mark_unreachable(self, name: str, error: str) -> None:
+        with self._lock:
+            state = self._states[name]
+            state.healthy = False
+            state.consecutive_failures += 1
+            state.last_error = error
+            state.last_checked = time.time()
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+
+    def route(self, payload: dict) -> str:
+        """Owning shard of a submission payload (ignoring health)."""
+        return self._ring.route(
+            routing_key(payload, self.default_kernel_backend)
+        )
+
+    def _attempt_order(self, key: str) -> list[str]:
+        """Preference order with unhealthy shards demoted, not dropped.
+
+        A shard the prober last saw dead is still tried *last*: probes
+        race with recoveries, and a wrongly-condemned shard serving its
+        own keys is strictly better than a failover.
+        """
+        order = self._ring.preference(key)
+        with self._lock:
+            healthy = [n for n in order if self._states[n].healthy]
+            unhealthy = [n for n in order if not self._states[n].healthy]
+        return healthy + unhealthy
+
+    def submit(self, payload: dict) -> tuple[int, dict]:
+        """Route one submission; fail over around unreachable shards.
+
+        Returns the shard's response with the job id namespaced and a
+        ``routing`` block appended.  When the owning shard could not
+        serve, ``routing.degraded`` is true and ``routing.attempts``
+        lists every shard tried with the error that moved us on -- a
+        structured verdict, not a guess, so callers (and the loadgen
+        SLO) can tell a clean run from a survived outage.
+        """
+        payload = dict(payload)
+        key = routing_key(payload, self.default_kernel_backend)
+        with self._lock:
+            self._seq += 1
+            sequence = self._seq
+        # One idempotency key for every attempt of this submission: if
+        # shard A admitted the job but the connection died before the
+        # response, a retry (on A after recovery) attaches to that job
+        # instead of admitting a duplicate.
+        payload.setdefault("job_key", f"{key[:16]}-{sequence:08d}")
+        intended = self._ring.route(key)
+        attempts: list[dict] = []
+        for name in self._attempt_order(key):
+            try:
+                code, body = self._clients[name].submit(payload)
+            except ServiceUnavailable as exc:
+                self._mark_unreachable(name, str(exc))
+                attempts.append({"shard": name, "error": str(exc)})
+                continue
+            with self._lock:
+                self.routed += 1
+                self._states[name].submissions += 1
+                if attempts:
+                    self.failovers += 1
+            degraded = name != intended
+            body = self._namespace_job(name, body)
+            body["routing"] = {
+                "key": key,
+                "intended": intended,
+                "served_by": name,
+                "degraded": degraded,
+                "reason": (
+                    f"shard {intended!r} unreachable; "
+                    f"routed around to {name!r}"
+                    if degraded
+                    else None
+                ),
+                "attempts": attempts,
+            }
+            return code, body
+        with self._lock:
+            self.unroutable += 1
+        return 503, {
+            "error": "no shard reachable",
+            "routing": {
+                "key": key,
+                "intended": intended,
+                "served_by": None,
+                "degraded": True,
+                "reason": "every shard unreachable",
+                "attempts": attempts,
+            },
+        }
+
+    @staticmethod
+    def _namespace_job(shard: str, body: dict) -> dict:
+        body = dict(body)
+        if isinstance(body.get("job_id"), str):
+            body["shard"] = shard
+            body["job_id"] = f"{shard}:{body['job_id']}"
+        return body
+
+    def job(self, namespaced_id: str) -> tuple[int, dict]:
+        """Look one job up by its ``<shard>:<job_id>`` id."""
+        shard, _, job_id = namespaced_id.partition(":")
+        if not job_id or shard not in self._clients:
+            return 404, {
+                "error": f"malformed or unknown shard job id {namespaced_id!r}"
+            }
+        try:
+            code, body = self._clients[shard].job(job_id)
+        except ServiceUnavailable as exc:
+            self._mark_unreachable(shard, str(exc))
+            return 503, {"error": f"shard {shard!r} unreachable: {exc}"}
+        if code == 200:
+            body = self._namespace_job(shard, body)
+        return code, body
+
+    def jobs(self) -> tuple[int, dict]:
+        """Aggregated job listing across every reachable shard."""
+        listing: list[dict] = []
+        unreachable: list[str] = []
+        for name, client in self._clients.items():
+            try:
+                code, body = client.jobs()
+            except ServiceUnavailable as exc:
+                self._mark_unreachable(name, str(exc))
+                unreachable.append(name)
+                continue
+            if code == 200:
+                listing.extend(
+                    self._namespace_job(name, job)
+                    for job in body.get("jobs", [])
+                )
+        return 200, {"jobs": listing, "unreachable_shards": unreachable}
+
+    # ------------------------------------------------------------------ #
+    # status
+    # ------------------------------------------------------------------ #
+
+    def status(self) -> dict:
+        """Aggregated view: per-shard detail plus fleet-wide rollups."""
+        self.check_all()
+        with self._lock:
+            shards = {
+                name: state.as_dict() for name, state in self._states.items()
+            }
+            routed = self.routed
+            failovers = self.failovers
+            unroutable = self.unroutable
+        totals = {
+            "queue_depth": 0,
+            "queue_capacity": 0,
+            "pool_size": 0,
+            "pool_in_use": 0,
+            "cache_entries": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "executed": 0,
+            "cached": 0,
+            "failed": 0,
+        }
+        for shard in shards.values():
+            status = shard["status"]
+            if not shard["healthy"] or not status:
+                continue
+            totals["queue_depth"] += status["queue"]["depth"]
+            totals["queue_capacity"] += status["queue"]["capacity"]
+            totals["pool_size"] += status["pool"]["size"]
+            totals["pool_in_use"] += status["pool"]["in_use"]
+            totals["cache_entries"] += status["cache"]["entries"]
+            totals["cache_hits"] += status["cache"]["hits"]
+            totals["cache_misses"] += status["cache"]["misses"]
+            totals["executed"] += status["scheduler"]["executed"]
+            totals["cached"] += status["scheduler"]["cached"]
+            totals["failed"] += status["scheduler"]["failed"]
+        healthy = sum(1 for shard in shards.values() if shard["healthy"])
+        return {
+            "service": "npb-shard-coordinator",
+            "uptime_seconds": time.time() - self.started_at,
+            "shard_count": len(shards),
+            "healthy_shards": healthy,
+            "degraded": healthy < len(shards),
+            "ring": {
+                "replicas": self._ring.replicas,
+                "shards": list(self._ring.nodes),
+            },
+            "routing": {
+                "submitted": routed,
+                "failovers": failovers,
+                "unroutable": unroutable,
+            },
+            "totals": totals,
+            "shards": shards,
+        }
+
+    def close(self) -> None:
+        """Stop the health prober (shards are not owned and stay up)."""
+        self._stop.set()
+        if self._health_thread is not None:
+            self._health_thread.join(self.health_interval + 5.0)
+            self._health_thread = None
+
+    def __enter__(self) -> "ShardCoordinator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ===================================================================== #
+# HTTP front end (``npb shard-serve``)
+# ===================================================================== #
+
+
+class _CoordinatorHandler(BaseHTTPRequestHandler):
+    """JSON shim mirroring the single-daemon API onto the coordinator."""
+
+    server: "CoordinatorHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send(
+        self, code: int, payload: dict, headers: dict | None = None
+    ) -> None:
+        body = (json.dumps(payload, indent=2) + "\n").encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        coordinator = self.server.coordinator
+        path = self.path.rstrip("/") or "/"
+        if path == "/status":
+            self._send(200, coordinator.status())
+        elif path == "/jobs":
+            code, body = coordinator.jobs()
+            self._send(code, body)
+        elif path.startswith("/jobs/"):
+            code, body = coordinator.job(path[len("/jobs/") :])
+            self._send(code, body)
+        else:
+            self._send(404, {"error": f"no such resource {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        coordinator = self.server.coordinator
+        if self.path.rstrip("/") != "/jobs":
+            self._send(404, {"error": f"no such resource {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            if not isinstance(payload, dict):
+                raise ValueError("body must be a JSON object")
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send(400, {"error": f"bad job payload: {exc}"})
+            return
+        code, body = coordinator.submit(payload)
+        headers = None
+        if code == 429:
+            # The shard's Retry-After does not survive the client hop;
+            # re-issue the standard backoff hint at the coordinator edge.
+            headers = {"Retry-After": f"{RETRY_AFTER_SECONDS:g}"}
+        self._send(code, body, headers=headers)
+
+
+class CoordinatorHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the coordinator for its handlers."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        coordinator: ShardCoordinator,
+        verbose: bool = False,
+    ):
+        super().__init__(address, _CoordinatorHandler)
+        self.coordinator = coordinator
+        self.verbose = verbose
+
+
+def make_shard_server(
+    coordinator: ShardCoordinator,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> CoordinatorHTTPServer:
+    """Bind the coordinator to a socket (``port=0`` picks a free one)."""
+    return CoordinatorHTTPServer((host, port), coordinator, verbose=verbose)

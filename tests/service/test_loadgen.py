@@ -1,0 +1,362 @@
+"""Loadgen harness tests: mixes, samplers, percentile accounting, SLO
+verdicts, record round-trips, the noise-aware comparator, and a small
+end-to-end run against an in-process service."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.harness.stats import percentile
+from repro.service import BenchService, make_server
+from repro.service.loadgen import (LoadgenConfig, MixEntry, PROFILES,
+                                   RequestOutcome, RequestSampler, SLOPolicy,
+                                   TrafficProfile, compare_records,
+                                   evaluate_slo, latest_record_path,
+                                   load_record, next_sequence, parse_mix,
+                                   run_closed_loop, run_loadgen, run_open_loop,
+                                   summarize_outcomes, write_record)
+
+
+class TestPercentile:
+    def test_matches_numpy_linear_interpolation(self):
+        numpy = pytest.importorskip("numpy")
+        values = [0.5, 0.1, 0.9, 0.2, 0.4, 0.8, 0.3]
+        for q in (0, 25, 50, 75, 90, 95, 99, 100):
+            assert percentile(values, q) == pytest.approx(
+                float(numpy.percentile(values, q)))
+
+    def test_edges_and_errors(self):
+        assert percentile([3.0], 95) == 3.0
+        assert percentile([1.0, 2.0], 50) == 1.5
+        assert percentile([1.0, 2.0], 0) == 1.0
+        assert percentile([1.0, 2.0], 100) == 2.0
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestMixes:
+    def test_parse_shorthand_and_full_spec(self):
+        assert MixEntry.parse("CG") == MixEntry("CG")
+        entry = MixEntry.parse("mg:s:threads:2:compiled@3")
+        assert entry == MixEntry("MG", "S", "threads", 2, "compiled", 3.0)
+        assert entry.cell_id == "MG.S.threads.x2.compiled"
+        assert MixEntry.parse("CG").cell_id == "CG.S.serial.x1"
+
+    def test_parse_rejects_malformed_specs(self):
+        with pytest.raises(ValueError):
+            MixEntry.parse("CG:S:serial:1:fused:extra")
+        with pytest.raises(ValueError):
+            MixEntry.parse("@2")
+        with pytest.raises(ValueError):
+            MixEntry.parse("CG@0")
+        with pytest.raises(ValueError):
+            parse_mix("")
+        with pytest.raises(ValueError):
+            parse_mix("CG", duplicate_fraction=1.5)
+
+    def test_profiles_match_cli_choices(self):
+        from repro.harness.cli import LOADGEN_PROFILES
+
+        assert tuple(sorted(PROFILES)) == LOADGEN_PROFILES
+        for profile in PROFILES.values():
+            assert 0.0 <= profile.duplicate_fraction <= 1.0
+            assert profile.entries
+
+    def test_sampler_is_deterministic_and_marks_duplicates(self):
+        profile = TrafficProfile(
+            name="t", entries=(MixEntry("CG"), MixEntry("MG")),
+            duplicate_fraction=0.5)
+        a = RequestSampler(profile, seed=42)
+        b = RequestSampler(profile, seed=42)
+        stream_a = [a.next_request() for _ in range(50)]
+        stream_b = [b.next_request() for _ in range(50)]
+        assert stream_a == stream_b
+        # duplicate-class requests are cache-eligible, fresh ones are not
+        flags = [payload["no_cache"] for _, payload in stream_a]
+        assert any(flags) and not all(flags)
+        assert all(payload["wait"] for _, payload in stream_a)
+
+    def test_duplicate_fraction_extremes(self):
+        always = TrafficProfile("a", (MixEntry("CG"),), 1.0)
+        never = TrafficProfile("n", (MixEntry("CG"),), 0.0)
+        dup = RequestSampler(always, seed=0)
+        fresh = RequestSampler(never, seed=0)
+        assert not any(dup.next_request()[1]["no_cache"] for _ in range(20))
+        assert all(fresh.next_request()[1]["no_cache"] for _ in range(20))
+
+
+def _outcome(cell="CG.S.serial.x1", status="ok", latency=0.1,
+             cache_hit=False, shard=None, degraded=False, code=200):
+    return RequestOutcome(cell_id=cell, status=status, code=code,
+                          cache_hit=cache_hit, latency_seconds=latency,
+                          shard=shard, degraded=degraded)
+
+
+class TestSummarize:
+    def test_counts_percentiles_and_ratios_on_a_synthetic_trace(self):
+        latencies = [0.010 * (i + 1) for i in range(10)]  # 10ms..100ms
+        outcomes = [_outcome(latency=lat, cache_hit=(i % 2 == 0),
+                             shard="s0" if i < 7 else "s1")
+                    for i, lat in enumerate(latencies)]
+        outcomes.append(_outcome(status="rejected", code=429))
+        outcomes.append(_outcome(status="failed", code=500))
+        outcomes.append(_outcome(status="unreachable", code=0,
+                                 degraded=True))
+        metrics = summarize_outcomes(outcomes, elapsed_seconds=2.0)
+        counts = metrics["requests"]
+        assert counts["total"] == 13
+        assert counts["ok"] == 10
+        assert counts["cached"] == 5
+        assert counts["executed"] == 5
+        assert counts["rejected_429"] == 1
+        assert counts["failed"] == 1
+        assert counts["unreachable"] == 1
+        assert counts["degraded"] == 1
+        latency = metrics["latency_seconds"]
+        assert latency["samples"] == 10
+        assert latency["p50"] == pytest.approx(percentile(latencies, 50))
+        assert latency["p95"] == pytest.approx(percentile(latencies, 95))
+        assert latency["min"] == pytest.approx(0.010)
+        assert latency["max"] == pytest.approx(0.100)
+        assert metrics["throughput_rps"] == pytest.approx(5.0)  # 10 ok / 2s
+        assert metrics["cache_hit_ratio"] == pytest.approx(0.5)
+        assert metrics["rate_429"] == pytest.approx(1 / 13)
+        assert metrics["error_rate"] == pytest.approx(2 / 13)
+        assert metrics["by_shard"] == {"s0": 7, "s1": 3}
+        cell = metrics["by_cell"]["CG.S.serial.x1"]
+        assert cell["requests"] == 13
+        assert cell["ok"] == 10
+        assert cell["p50_seconds"] is not None
+
+    def test_no_ok_requests_yields_null_latency(self):
+        metrics = summarize_outcomes(
+            [_outcome(status="rejected", code=429)], elapsed_seconds=1.0)
+        assert metrics["latency_seconds"] is None
+        assert metrics["throughput_rps"] == 0.0
+        assert metrics["cache_hit_ratio"] == 0.0
+
+
+class TestSLO:
+    def _metrics(self, **overrides):
+        metrics = {
+            "requests": {"ok": 10},
+            "error_rate": 0.0,
+            "rate_429": 0.0,
+            "cache_hit_ratio": 0.5,
+            "latency_seconds": {"p95": 0.2},
+        }
+        metrics.update(overrides)
+        return metrics
+
+    def test_default_policy_passes_a_clean_run(self):
+        verdict = evaluate_slo(self._metrics(), SLOPolicy())
+        assert verdict["pass"] is True
+
+    def test_any_error_fails_the_default_policy(self):
+        verdict = evaluate_slo(self._metrics(error_rate=0.1), SLOPolicy())
+        assert verdict["pass"] is False
+        failed = [c for c in verdict["checks"] if not c["pass"]]
+        assert [c["name"] for c in failed] == ["error_rate"]
+
+    def test_optional_bounds_are_checked_when_set(self):
+        policy = SLOPolicy(max_p95_seconds=0.1, min_cache_hit_ratio=0.6)
+        verdict = evaluate_slo(self._metrics(), policy)
+        names = {c["name"]: c["pass"] for c in verdict["checks"]}
+        assert names["p95_seconds"] is False  # 0.2 > 0.1
+        assert names["cache_hit_ratio"] is False  # 0.5 < 0.6
+
+    def test_min_ok_guards_empty_runs(self):
+        metrics = self._metrics(latency_seconds=None)
+        metrics["requests"] = {"ok": 0}
+        verdict = evaluate_slo(metrics, SLOPolicy())
+        assert verdict["pass"] is False
+
+
+class TestClosedLoop:
+    def test_issues_exactly_n_requests_via_fake_submit(self):
+        profile = TrafficProfile("t", (MixEntry("CG"),), 1.0)
+        sampler = RequestSampler(profile, seed=0)
+        lock = threading.Lock()
+        seen = []
+
+        def submit(payload):
+            with lock:
+                seen.append(payload)
+            return 200, {"state": "done", "cache_hit": True}
+
+        outcomes, elapsed = run_closed_loop(
+            submit, sampler, concurrency=4, total_requests=25)
+        assert len(outcomes) == 25
+        assert len(seen) == 25
+        assert elapsed > 0
+        assert all(o.status == "ok" and o.cache_hit for o in outcomes)
+
+    def test_classifies_failures_and_shard_routing(self):
+        profile = TrafficProfile("t", (MixEntry("CG"),), 1.0)
+        sampler = RequestSampler(profile, seed=0)
+        responses = iter([
+            (200, {"state": "done", "routing": {"served_by": "s1",
+                                                "degraded": True}}),
+            (429, {"error": "full"}),
+            (200, {"state": "failed"}),
+        ])
+
+        outcomes, _ = run_closed_loop(
+            lambda payload: next(responses), sampler,
+            concurrency=1, total_requests=3)
+        assert [o.status for o in outcomes] == ["ok", "rejected", "failed"]
+        assert outcomes[0].shard == "s1"
+        assert outcomes[0].degraded is True
+
+    def test_open_loop_offers_poisson_arrivals(self):
+        profile = TrafficProfile("t", (MixEntry("CG"),), 1.0)
+        sampler = RequestSampler(profile, seed=3)
+        outcomes, elapsed = run_open_loop(
+            lambda payload: (200, {"state": "done"}), sampler,
+            rate_rps=200.0, duration_seconds=0.25)
+        # ~50 expected; Poisson scatter stays well inside [10, 150]
+        assert 10 <= len(outcomes) <= 150
+        assert elapsed >= 0.2
+
+
+class TestRecords:
+    def _record(self, directory):
+        profile = PROFILES["smoke"]
+        return {
+            "kind": "npb-loadgen-record",
+            "schema_version": 1,
+            "created_at": "2026-01-01T00:00:00Z",
+            "environment": {},
+            "url": "http://x",
+            "config": LoadgenConfig(profile=profile).as_dict(),
+            "curve": [],
+            "slo_pass": True,
+        }
+
+    def test_sequence_numbering_and_round_trip(self, tmp_path):
+        directory = str(tmp_path)
+        assert next_sequence(directory) == 1
+        path1 = write_record(self._record(directory), directory)
+        path2 = write_record(self._record(directory), directory)
+        assert path1.endswith("LOADGEN_0001.json")
+        assert path2.endswith("LOADGEN_0002.json")
+        assert latest_record_path(directory) == path2
+        loaded = load_record(path2)
+        assert loaded["sequence"] == 2
+        assert loaded["kind"] == "npb-loadgen-record"
+
+    def test_load_rejects_foreign_and_future_records(self, tmp_path):
+        foreign = tmp_path / "LOADGEN_0001.json"
+        foreign.write_text(json.dumps({"kind": "other"}))
+        with pytest.raises(ValueError):
+            load_record(str(foreign))
+        future = self._record(str(tmp_path))
+        future["schema_version"] = 99
+        path = tmp_path / "LOADGEN_0002.json"
+        path.write_text(json.dumps(future))
+        with pytest.raises(ValueError, match="schema_version"):
+            load_record(str(path))
+
+
+def _step(mode="closed", level=2, p50=0.1, p95=0.15, p99=0.18, mad=0.001,
+          rps=20.0, slo_pass=True):
+    return {
+        "mode": mode,
+        "level": level,
+        "latency_seconds": {"p50": p50, "p95": p95, "p99": p99,
+                            "mad": mad, "samples": 20},
+        "throughput_rps": rps,
+        "slo": {"pass": slo_pass, "checks": []},
+        "requests": {"ok": 20, "total": 20},
+    }
+
+
+def _curve_record(steps):
+    return {"kind": "npb-loadgen-record", "schema_version": 1,
+            "curve": steps}
+
+
+class TestCompare:
+    def test_identical_records_pass(self):
+        base = _curve_record([_step(level=1), _step(level=4)])
+        comparison = compare_records(base, _curve_record(
+            [_step(level=1), _step(level=4)]))
+        assert comparison["verdict"] == "pass"
+        assert comparison["regressions"] == 0
+        assert len(comparison["steps"]) == 2
+
+    def test_latency_blowup_is_a_regression(self):
+        base = _curve_record([_step()])
+        cand = _curve_record([_step(p50=0.3, p95=0.45, p99=0.54)])
+        comparison = compare_records(base, cand)
+        assert comparison["verdict"] == "regression"
+        verdicts = {m["metric"]: m["verdict"]
+                    for m in comparison["steps"][0]["metrics"]}
+        assert verdicts["latency_p50"] == "regression"
+        assert verdicts["latency_p95"] == "regression"
+
+    def test_throughput_drop_is_a_regression(self):
+        base = _curve_record([_step()])
+        cand = _curve_record([_step(rps=5.0)])
+        comparison = compare_records(base, cand)
+        verdicts = {m["metric"]: m["verdict"]
+                    for m in comparison["steps"][0]["metrics"]}
+        assert verdicts["throughput_rps"] == "regression"
+
+    def test_noise_widens_the_band(self):
+        # 40% slower, but the baseline's own MAD says that's noise
+        base = _curve_record([_step(mad=0.02)])  # 3*0.02/0.1 = 60% band
+        cand = _curve_record([_step(p50=0.14, p95=0.21, p99=0.25)])
+        comparison = compare_records(base, cand)
+        assert comparison["verdict"] == "pass"
+        assert comparison["steps"][0]["threshold"] >= 0.6
+
+    def test_candidate_slo_failure_counts_as_regression(self):
+        base = _curve_record([_step()])
+        cand = _curve_record([_step(slo_pass=False)])
+        comparison = compare_records(base, cand)
+        assert comparison["verdict"] == "regression"
+
+    def test_missing_and_added_steps_are_reported(self):
+        base = _curve_record([_step(level=1), _step(level=4)])
+        cand = _curve_record([_step(level=1), _step(level=8)])
+        comparison = compare_records(base, cand)
+        assert comparison["missing"] == ["closed@4"]
+        assert comparison["added"] == ["closed@8"]
+
+
+class TestEndToEnd:
+    def test_closed_loop_run_against_a_real_service(self, tmp_path):
+        """Small full-path smoke: HTTP service, duplicate-heavy traffic,
+        record with a passing SLO and at least one cache hit."""
+        service = BenchService(backend="serial", pool_size=2,
+                               cache_dir=str(tmp_path / "cache"))
+        httpd = make_server(service, port=0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        host, port = httpd.server_address[:2]
+        try:
+            config = LoadgenConfig(
+                profile=PROFILES["cache-heavy"], mode="closed",
+                levels=(2,), requests_per_step=8, seed=5,
+                slo=SLOPolicy(min_cache_hit_ratio=0.1))
+            record = run_loadgen(f"http://{host}:{port}", config)
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.drain(timeout=60.0)
+        assert record["slo_pass"] is True
+        step = record["curve"][0]
+        assert step["requests"]["total"] == 8
+        assert step["requests"]["ok"] == 8
+        assert step["requests"]["cached"] >= 1
+        assert step["latency_seconds"]["samples"] == 8
+        assert record["config"]["profile"]["name"] == "cache-heavy"
+        assert record["environment"]  # fingerprint present
+        path = write_record(record, directory=str(tmp_path))
+        assert load_record(path)["slo_pass"] is True
