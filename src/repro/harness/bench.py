@@ -33,6 +33,7 @@ import numpy as np
 
 from repro import run_benchmark
 from repro.core import basic_ops
+from repro.harness import records
 from repro.harness.stats import summarize, time_callable
 
 #: Version of the BENCH_*.json record layout.
@@ -341,28 +342,19 @@ def run_suite(
 
 def next_sequence(directory: str = ".") -> int:
     """1 + the highest BENCH_<seq>.json already in ``directory``."""
-    highest = 0
-    try:
-        names = os.listdir(directory)
-    except OSError:
-        names = []
-    for name in names:
-        match = RECORD_PATTERN.match(name)
-        if match:
-            highest = max(highest, int(match.group(1)))
-    return highest + 1
+    return records.next_sequence(directory, "BENCH")
 
 
 def write_record(record: dict, directory: str = ".", path: str | None = None) -> str:
-    """Write ``record``; default name continues the trajectory sequence."""
+    """Write ``record``; default name continues the trajectory sequence.
+
+    Sequence numbers are claimed atomically (``O_EXCL`` create-and-retry
+    in :mod:`repro.harness.records`), so two runs appending to the same
+    directory concurrently never overwrite each other's record.
+    """
     if path is None:
-        sequence = next_sequence(directory)
-        path = os.path.join(directory, f"BENCH_{sequence:04d}.json")
-        record = dict(record, sequence=sequence)
-    with open(path, "w") as fh:
-        json.dump(record, fh, indent=2, sort_keys=False)
-        fh.write("\n")
-    return path
+        return records.append_record(record, directory, "BENCH")
+    return records.write_json_record(record, path)
 
 
 def _migrate_record(record: dict, version: int) -> dict:

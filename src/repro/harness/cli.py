@@ -21,6 +21,12 @@ Subcommands::
     npb loadgen --url URL -C 1,2,4     closed/open-loop traffic harness;
                                        appends LOADGEN_<seq>.json records
     npb loadgen --compare BASE.json    noise-aware SLO/latency gate
+    npb chaos --seed 7 --shards 2      deterministic fault-injection run:
+                                       loadgen mix against a spawned
+                                       sharded service under a seeded
+                                       fault schedule; checks the
+                                       admitted-jobs invariant and
+                                       appends a CHAOS_<seq>.json record
     npb backends [--json]              list kernel tiers, per-kernel
                                        coverage, and availability
     npb list                           list benchmarks and classes
@@ -85,6 +91,11 @@ DEFAULT_COORDINATOR_PORT = 8640
 #: stays cheap; tests/service/test_loadgen.py asserts the two stay in
 #: sync with repro.service.loadgen.PROFILES.
 LOADGEN_PROFILES = ("cache-heavy", "mixed", "smoke")
+
+#: Built-in chaos preset names.  Mirrored from repro.service.chaos.PRESETS
+#: for the same parser-build-time reason; tests/service/test_chaos.py
+#: asserts the two stay in sync.
+CHAOS_PRESETS = ("coordinator", "service")
 
 
 def _fault_policy(args) -> FaultPolicy | None:
@@ -260,12 +271,20 @@ def _cmd_serve(args) -> int:
     from repro.service import BenchService, make_server
 
     _warn_tier_fallback(args.kernel_backend)
+    chaos = None
+    if getattr(args, "chaos_seed", None) is not None:
+        from repro.service.chaos import PRESETS, ChaosInjector, ChaosPlan
+
+        plan = ChaosPlan.compile(
+            PRESETS[args.chaos_preset](), args.chaos_seed)
+        chaos = ChaosInjector(plan)
     service = BenchService(
         backend=args.backend, workers=args.workers,
         pool_size=args.pool, queue_depth=args.queue_depth,
         cache_dir=args.cache_dir, cache_entries=args.cache_entries,
         policy=_fault_policy(args),
-        kernel_backend=args.kernel_backend)
+        kernel_backend=args.kernel_backend,
+        chaos=chaos)
     httpd = make_server(service, host=args.host, port=args.port,
                         verbose=args.verbose)
     host, port = httpd.server_address[:2]
@@ -273,6 +292,10 @@ def _cmd_serve(args) -> int:
           f"(pool {args.pool}x {args.backend} x{args.workers}, "
           f"queue depth {args.queue_depth}, cache {args.cache_dir})",
           flush=True)
+    if chaos is not None:
+        print(f"npb service chaos enabled (seed {args.chaos_seed}, "
+              f"preset {args.chaos_preset}, "
+              f"{len(chaos.plan.faults())} planned faults)", flush=True)
 
     stop = threading.Event()
 
@@ -299,9 +322,43 @@ def _cmd_serve(args) -> int:
     return EXIT_OK if clean else EXIT_FAILURE
 
 
-def _cmd_shard_serve(args) -> int:
+def _spawn_shard(name: str, args, chaos_seed: int | None = None,
+                 chaos_preset: str = "service"):
+    """Spawn one ``npb serve`` child daemon; returns ``(child, url)``.
+
+    Spawned shards are real ``npb serve`` child processes on loopback
+    ports of the OS's choosing; each announces its address on stdout
+    exactly like a hand-started daemon, and we read it from there
+    (``url`` is None if the child exited before announcing).  Shared by
+    ``npb shard-serve`` and ``npb chaos``.
+    """
     import os
     import re
+    import subprocess
+
+    cmd = [sys.executable, "-m", "repro", "serve",
+           "--host", "127.0.0.1", "--port", "0",
+           "--backend", args.backend, "--workers", str(args.workers),
+           "--pool", str(args.pool),
+           "--queue-depth", str(args.queue_depth),
+           "--cache-dir", os.path.join(args.cache_dir, name),
+           "--kernel-backend", args.kernel_backend,
+           "--drain-timeout", str(args.drain_timeout)]
+    if chaos_seed is not None:
+        cmd += ["--chaos-seed", str(chaos_seed),
+                "--chaos-preset", chaos_preset]
+    child = subprocess.Popen(cmd, stdout=subprocess.PIPE, text=True)
+    announce = re.compile(r"listening on (http://\S+)")
+    url = None
+    for line in child.stdout:
+        match = announce.search(line)
+        if match:
+            url = match.group(1)
+            break
+    return child, url
+
+
+def _cmd_shard_serve(args) -> int:
     import signal
     import subprocess
     import threading
@@ -319,11 +376,7 @@ def _cmd_shard_serve(args) -> int:
             return EXIT_USAGE
         shards[name] = url
 
-    # Spawned shards are real `npb serve` child processes on loopback
-    # ports of the OS's choosing; each announces its address on stdout
-    # exactly like a hand-started daemon, and we read it from there.
     children = []
-    announce = re.compile(r"listening on (http://\S+)")
 
     def _stop_children(sig=signal.SIGTERM):
         for child in children:
@@ -334,23 +387,8 @@ def _cmd_shard_serve(args) -> int:
         _warn_tier_fallback(args.kernel_backend)
     for i in range(args.spawn):
         name = f"shard{len(shards)}"
-        child = subprocess.Popen(
-            [sys.executable, "-m", "repro", "serve",
-             "--host", "127.0.0.1", "--port", "0",
-             "--backend", args.backend, "--workers", str(args.workers),
-             "--pool", str(args.pool),
-             "--queue-depth", str(args.queue_depth),
-             "--cache-dir", os.path.join(args.cache_dir, name),
-             "--kernel-backend", args.kernel_backend,
-             "--drain-timeout", str(args.drain_timeout)],
-            stdout=subprocess.PIPE, text=True)
+        child, url = _spawn_shard(name, args)
         children.append(child)
-        url = None
-        for line in child.stdout:
-            match = announce.search(line)
-            if match:
-                url = match.group(1)
-                break
         if url is None:
             print(f"npb shard-serve: spawned shard {name} exited before "
                   f"announcing its address", file=sys.stderr)
@@ -409,6 +447,184 @@ def _cmd_shard_serve(args) -> int:
     print(f"npb coordinator drained "
           f"{'cleanly' if clean else 'with killed shards'}", flush=True)
     return EXIT_OK if clean else EXIT_FAILURE
+
+
+def _cmd_chaos(args) -> int:
+    import signal
+    import threading
+    import time
+
+    from repro.service import loadgen
+    from repro.service import chaos as chaos_mod
+    from repro.service.api import ServiceClient, ServiceUnavailable
+    from repro.service.shard import ShardCoordinator
+
+    _warn_tier_fallback(args.kernel_backend)
+    say = (lambda *a, **k: None) if args.json else print
+
+    # 1. Spawn the shard daemons, each running in-daemon chaos under a
+    #    sub-seed derived from the run seed (pure function, so the plan
+    #    recorded here matches what the daemon actually compiled).
+    children: list = []
+    shards: dict[str, str] = {}
+    shard_plans: dict[str, chaos_mod.ChaosPlan] = {}
+    service_spec = chaos_mod.PRESETS["service"]()
+
+    def _stop_children(sig=signal.SIGTERM):
+        for child in children:
+            if child.poll() is None:
+                child.send_signal(sig)
+
+    for i in range(args.shards):
+        name = f"shard{i}"
+        sub_seed = chaos_mod.derive_seed(args.seed, name)
+        shard_plans[name] = chaos_mod.ChaosPlan.compile(
+            service_spec, sub_seed)
+        child, url = _spawn_shard(name, args, chaos_seed=sub_seed,
+                                  chaos_preset="service")
+        children.append(child)
+        if url is None:
+            print(f"npb chaos: spawned shard {name} exited before "
+                  f"announcing its address", file=sys.stderr)
+            _stop_children()
+            return EXIT_USAGE
+        shards[name] = url
+        say(f"npb chaos: {name} at {url} (seed {sub_seed}, "
+            f"{len(shard_plans[name].faults())} planned faults)")
+
+    # 2. Coordinator (in-process) with the coordinator-level injector.
+    ordinal = 1 % args.shards
+    plan = chaos_mod.ChaosPlan.compile(
+        chaos_mod.coordinator_preset(kill_shard_after=args.kill_at,
+                                     kill_shard_ordinal=ordinal),
+        args.seed)
+    injector = chaos_mod.ChaosInjector(plan)
+    coordinator = ShardCoordinator(shards, health_interval=0.5)
+    injector.install_coordinator(coordinator)
+    coordinator.start()
+    say(f"npb chaos: coordinator up over {args.shards} shards "
+        f"(seed {args.seed}, {len(plan.faults())} planned faults, "
+        f"kill {'shard%d' % ordinal} at submission {args.kill_at})")
+
+    # 3. Drive the loadgen mix; every submission first consumes one
+    #    chaos.submit index, which is where the planned SIGKILL of a
+    #    whole shard daemon lands mid-traffic.
+    kills: list[dict] = []
+    kill_lock = threading.Lock()
+
+    def submit(payload):
+        fault = injector.on_chaos_submit()
+        if fault is not None and fault.kind == "kill_shard":
+            victim = int(fault.param or 0) % len(children)
+            with kill_lock:
+                pid = chaos_mod.kill_process(children[victim])
+            if pid is not None:
+                kills.append({"kind": "kill_shard", "index": fault.index,
+                              "shard": f"shard{victim}", "pid": pid,
+                              "at": time.time()})
+                say(f"npb chaos: SIGKILLed shard{victim} (pid {pid}) "
+                    f"at submission {fault.index}")
+        return coordinator.submit(payload)
+
+    profile = loadgen.PROFILES[args.profile]
+    sampler = loadgen.RequestSampler(profile, seed=args.seed)
+    ledger, elapsed = chaos_mod.drive_traffic(
+        submit, sampler, total_requests=args.requests,
+        concurrency=args.concurrency, retries=args.retries)
+    say(f"npb chaos: {len(ledger)} requests in {elapsed:.1f}s, "
+        f"{len(injector.events)} coordinator faults injected")
+
+    # 4. Settle: surviving shards must reach all-terminal job listings
+    #    (anything stuck is an invariant violation, not a race).
+    deadline = time.monotonic() + args.settle_timeout
+    shard_jobs: dict[str, list[dict]] = {}
+    while True:
+        pending = 0
+        shard_jobs = {}
+        for name, url in shards.items():
+            try:
+                _, body = ServiceClient(url, timeout=10.0).jobs()
+            except ServiceUnavailable:
+                continue  # the killed shard: its jobs died with it
+            listing = body.get("jobs", [])
+            shard_jobs[name] = listing
+            pending += sum(1 for job in listing
+                           if job.get("state")
+                           not in ("done", "cached", "failed"))
+        if pending == 0 or time.monotonic() > deadline:
+            break
+        time.sleep(0.2)
+
+    shard_chaos: dict[str, dict | None] = {}
+    for name, url in shards.items():
+        try:
+            _, status = ServiceClient(url, timeout=10.0).status()
+            shard_chaos[name] = status.get("chaos")
+        except ServiceUnavailable:
+            shard_chaos[name] = None
+
+    # 5. The invariant, the record, teardown.
+    verdict = chaos_mod.InvariantChecker(ledger, shard_jobs).check()
+    record = chaos_mod.build_record(
+        seed=args.seed,
+        config={
+            "shards": args.shards, "requests": args.requests,
+            "concurrency": args.concurrency, "profile": args.profile,
+            "backend": args.backend, "workers": args.workers,
+            "pool": args.pool, "queue_depth": args.queue_depth,
+            "kernel_backend": args.kernel_backend,
+            "kill_at": args.kill_at, "retries": args.retries,
+        },
+        coordinator_plan=plan,
+        shard_plans=shard_plans,
+        injected={
+            "coordinator": injector.summary()["events"],
+            "runner": kills,
+            "shards": shard_chaos,
+        },
+        traffic=chaos_mod.summarize_ledger(ledger, elapsed),
+        invariant=verdict,
+    )
+    record["ledger"] = [entry.as_dict() for entry in ledger]
+    path = chaos_mod.write_record(record, directory=args.dir, path=args.out)
+
+    coordinator.close()
+    _stop_children()
+    for child in children:
+        try:
+            child.wait(timeout=max(args.drain_timeout, 1.0))
+        except Exception:
+            child.kill()
+            child.wait()
+        if child.stdout is not None:
+            child.stdout.close()
+
+    if args.json:
+        print(json.dumps(chaos_mod.load_record(path), indent=2))
+    else:
+        for check in verdict["checks"]:
+            flag = "ok  " if check["pass"] else "FAIL"
+            print(f"[{flag}] {check['name']}: {check['detail']}")
+        counts = verdict["counts"]
+        print(f"jobs: {counts['done']} done, {counts['cached']} cached, "
+              f"{counts['failed']} failed, "
+              f"{counts['rejected_429']} rejected, "
+              f"{counts['unroutable_503']} unroutable, "
+              f"{counts['lost']} lost "
+              f"({counts['degraded']} degraded routes)")
+        print(f"fault kinds injected: "
+              f"{', '.join(record['fault_kinds']) or 'none'}")
+        print(f"wrote {path}")
+    if len(record["fault_kinds"]) < args.min_fault_kinds:
+        print(f"npb chaos: only {len(record['fault_kinds'])} distinct "
+              f"fault kinds injected (need {args.min_fault_kinds}); "
+              f"raise --requests or change --seed", file=sys.stderr)
+        return EXIT_FAILURE
+    if not verdict["pass"]:
+        print("npb chaos: admitted-jobs invariant VIOLATED",
+              file=sys.stderr)
+        return EXIT_FAILURE
+    return EXIT_OK
 
 
 def _job_summary(job: dict) -> str:
@@ -882,6 +1098,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drain-timeout", type=float, default=60.0,
                        help="seconds to wait for running jobs on "
                             "SIGTERM/SIGINT before giving up (default 60)")
+    serve.add_argument("--chaos-seed", type=int, default=None,
+                       metavar="SEED",
+                       help="enable deterministic fault injection inside "
+                            "this daemon: compile the --chaos-preset "
+                            "fault schedule from SEED and hook it into "
+                            "pool/cache/scheduler (testing only)")
+    serve.add_argument("--chaos-preset", default="service",
+                       choices=list(CHAOS_PRESETS),
+                       help="fault-rule preset for --chaos-seed "
+                            "(default service)")
     serve.add_argument("-v", "--verbose", action="store_true",
                        help="log every HTTP request to stderr")
     serve.set_defaults(fn=_cmd_serve)
@@ -962,6 +1188,68 @@ def build_parser() -> argparse.ArgumentParser:
     shard_serve.add_argument("-v", "--verbose", action="store_true",
                              help="log every HTTP request to stderr")
     shard_serve.set_defaults(fn=_cmd_shard_serve)
+
+    chaos = sub.add_parser(
+        "chaos", help="deterministic fault-injection run: spawn a "
+                      "sharded service with in-daemon chaos, drive a "
+                      "loadgen mix through a fault-injecting "
+                      "coordinator (including a SIGKILLed shard), "
+                      "check the admitted-jobs invariant, and append a "
+                      "CHAOS_<seq>.json record; same --seed, same "
+                      "fault schedule")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="fault-schedule seed; shards derive "
+                            "sub-seeds from it (default 0)")
+    chaos.add_argument("--shards", type=int, default=2, metavar="N",
+                       help="worker daemons to spawn (default 2)")
+    chaos.add_argument("-n", "--requests", type=int, default=24,
+                       help="total requests to drive (default 24)")
+    chaos.add_argument("-C", "--concurrency", type=int, default=3,
+                       help="closed-loop client threads (default 3)")
+    chaos.add_argument("--profile", default="smoke",
+                       choices=list(LOADGEN_PROFILES),
+                       help="loadgen traffic mix (default smoke)")
+    chaos.add_argument("--kill-at", type=int, default=6, metavar="INDEX",
+                       help="submission index at which the planned "
+                            "shard SIGKILL fires (default 6)")
+    chaos.add_argument("--backend", default="serial",
+                       choices=["serial", "threads", "process"],
+                       help="backend of spawned shards (default serial)")
+    chaos.add_argument("--workers", type=int, default=1,
+                       help="workers per spawned-shard team")
+    chaos.add_argument("--pool", type=int, default=2,
+                       help="warm teams per spawned shard")
+    chaos.add_argument("--queue-depth", type=int, default=64,
+                       help="admission queue depth per spawned shard")
+    chaos.add_argument("--cache-dir", default=".npb-chaos-cache",
+                       help="base cache directory; shards use "
+                            "<dir>/shardN subdirectories "
+                            "(default .npb-chaos-cache)")
+    chaos.add_argument("--kernel-backend", default=DEFAULT_TIER,
+                       choices=list(TIERS),
+                       help="kernel tier of spawned shards")
+    chaos.add_argument("--retries", type=int, default=3,
+                       help="429 retries per request (default 3)")
+    chaos.add_argument("--settle-timeout", type=float, default=30.0,
+                       help="seconds to wait for surviving shards to "
+                            "reach all-terminal job listings "
+                            "(default 30)")
+    chaos.add_argument("--drain-timeout", type=float, default=30.0,
+                       help="seconds to wait for shards to drain at "
+                            "teardown (default 30)")
+    chaos.add_argument("--min-fault-kinds", type=int, default=4,
+                       metavar="K",
+                       help="fail unless at least K distinct fault "
+                            "kinds were actually injected (default 4)")
+    chaos.add_argument("--dir", default=".",
+                       help="trajectory directory for CHAOS_<seq>.json "
+                            "numbering (default .)")
+    chaos.add_argument("--out", default=None,
+                       help="explicit output path (skips sequence "
+                            "numbering; useful in CI)")
+    chaos.add_argument("--json", action="store_true",
+                       help="print the chaos record as JSON")
+    chaos.set_defaults(fn=_cmd_chaos)
 
     jobs = sub.add_parser(
         "jobs", help="service status and job listing (or one job by id)")

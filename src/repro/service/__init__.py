@@ -29,6 +29,12 @@ state across them:
     closed/open-loop traffic harness (``npb loadgen``) appending
     schema-versioned ``LOADGEN_<seq>.json`` records with an SLO verdict
     and a noise-aware baseline comparator.
+:mod:`~repro.service.chaos`
+    deterministic fault injection (``npb chaos``): seeded
+    :class:`ChaosPlan` s compiled into per-seam fault schedules, a
+    :class:`ChaosInjector` hooked into pool/cache/scheduler/coordinator,
+    and an :class:`InvariantChecker` gating the admitted-jobs invariant
+    (every admitted job terminal, zero lost, completions bit-identical).
 """
 
 from repro.service.api import (
@@ -38,6 +44,13 @@ from repro.service.api import (
     make_server,
 )
 from repro.service.cache import ResultCache
+from repro.service.chaos import (
+    ChaosInjector,
+    ChaosPlan,
+    ChaosSpec,
+    FaultRule,
+    InvariantChecker,
+)
 from repro.service.jobs import (
     JOB_STATES,
     PRIORITIES,
@@ -57,6 +70,11 @@ __all__ = [
     "ServiceUnavailable",
     "make_server",
     "ResultCache",
+    "ChaosInjector",
+    "ChaosPlan",
+    "ChaosSpec",
+    "FaultRule",
+    "InvariantChecker",
     "AdmissionRejected",
     "Job",
     "JobQueue",

@@ -68,6 +68,7 @@ class BenchService:
         cache_entries: int = 256,
         policy: FaultPolicy | None = None,
         kernel_backend: str = "fused",
+        chaos=None,
         autostart: bool = True,
     ):
         #: default kernel tier for submissions that don't name one
@@ -78,6 +79,11 @@ class BenchService:
         self.scheduler = Scheduler(
             self.queue, self.pool, self.cache, on_update=self._on_update
         )
+        #: optional ChaosInjector wired into every seam (fault-injection
+        #: tests and ``npb serve --chaos-seed``); None = off
+        self.chaos = chaos
+        if chaos is not None:
+            chaos.install(self)
         self._jobs: dict[str, Job] = {}
         self._by_key: dict[str, Job] = {}
         self._cond = threading.Condition()
@@ -203,7 +209,7 @@ class BenchService:
             for job in self._jobs.values():
                 by_state[job.state] = by_state.get(job.state, 0) + 1
             draining = self._draining
-        return {
+        status = {
             "service": "npb-bench-service",
             "uptime_seconds": time.time() - self.started_at,
             "draining": draining,
@@ -217,6 +223,9 @@ class BenchService:
             "scheduler": self.scheduler.stats(),
             "jobs": by_state,
         }
+        if self.chaos is not None:
+            status["chaos"] = self.chaos.summary()
+        return status
 
     def drain(self, timeout: float | None = 30.0) -> bool:
         """Graceful shutdown: finish admitted jobs, reject new ones,

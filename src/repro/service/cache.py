@@ -13,7 +13,9 @@ The cache is an LRU bounded by entry count: ``get`` refreshes the
 entry's mtime, ``put`` evicts the stalest entries beyond the bound.
 Everything is JSON on disk so records survive service restarts and can
 be inspected with ordinary tools; a corrupt file is treated as a miss
-and removed rather than poisoning the service.
+and removed rather than poisoning the service -- and every such heal is
+counted (``corruption_healed``) and surfaced through ``/status``, so
+disk damage is visible instead of silently folded into the miss rate.
 """
 
 from __future__ import annotations
@@ -36,6 +38,12 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: corrupt entries healed (unlinked + counted as a miss); surfaced
+        #: in /status so operators see disk damage instead of it being
+        #: silently absorbed into the miss rate
+        self.corruption_healed = 0
+        #: optional ChaosInjector (fault-injection tests); None = off
+        self.chaos = None
         os.makedirs(directory, exist_ok=True)
 
     # ------------------------------------------------------------------ #
@@ -51,6 +59,8 @@ class ResultCache:
         A hit refreshes the entry's mtime (the LRU clock).
         """
         path = self._path(fingerprint)
+        if self.chaos is not None:
+            self.chaos.on_cache("cache.get", path)
         with self._lock:
             try:
                 with open(path) as fh:
@@ -60,9 +70,10 @@ class ResultCache:
                 return None
             except (OSError, json.JSONDecodeError):
                 # A torn or corrupt entry must not poison the service:
-                # drop it and treat the lookup as a miss.
+                # drop it, count the heal, and treat the lookup as a miss.
                 try:
                     os.unlink(path)
+                    self.corruption_healed += 1
                 except OSError:
                     pass
                 self.misses += 1
@@ -88,6 +99,8 @@ class ResultCache:
                 fh.write("\n")
             os.replace(tmp, path)
             self._evict_locked()
+        if self.chaos is not None:
+            self.chaos.on_cache("cache.put", path)
         return path
 
     def _evict_locked(self) -> None:
@@ -141,6 +154,7 @@ class ResultCache:
             "misses": self.misses,
             "hit_rate": self.hit_rate,
             "evictions": self.evictions,
+            "corruption_healed": self.corruption_healed,
         }
 
 

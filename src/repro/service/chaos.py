@@ -1,0 +1,899 @@
+"""Deterministic service-layer fault injection (``npb chaos``).
+
+PR 3 made *dispatch* fault-tolerant and proved it with real SIGKILLs;
+this module points the same discipline at the whole service stack.  The
+north-star invariant it gates: **every admitted job reaches ``done``,
+``cached``, or ``failed`` with a structured verdict -- zero silently
+lost jobs -- and jobs that complete despite injected faults are
+bit-identical to clean runs.**
+
+The subsystem has three parts:
+
+:class:`ChaosPlan`
+    A *compiled* fault schedule: a pure function of a declarative
+    :class:`ChaosSpec` (which faults, where, how often) and a seed.
+    Each injection point gets its own RNG stream
+    (``random.Random(f"{seed}:{point}")``), so the schedule -- which
+    invocation of which point injects which fault -- is bit-identical
+    across runs, machines, and thread interleavings.  Replay
+    determinism is asserted at this level: the same seed always
+    compiles the same schedule, and because injection points consume
+    deterministic invocation indices, the same faults fire at the same
+    logical moments.  (The *wall-clock order* in the runtime trail may
+    vary with thread scheduling; the schedule is the contract.)
+:class:`ChaosInjector`
+    Hooks a plan into the existing seams -- ``TeamPool.lease``
+    (SIGKILL the leased team's workers, or force-degrade in-process
+    backends), ``ResultCache.get``/``put`` (corrupt or truncate the
+    on-disk entry), the scheduler's dispatch loop (delay), and the
+    ``ShardCoordinator`` probe/submit path (drop or delay responses,
+    synthesize 429 storms).  Every seam is a no-op when no injector is
+    installed: chaos off costs one attribute check.
+:class:`InvariantChecker`
+    Consumes the traffic ledger (full response bodies, not just status
+    codes) plus the surviving shards' job listings and asserts the
+    invariant: every entry terminal, every failure structured (an error
+    trail, a routing block, or a 429 rejection), zero lost, and all
+    completions of one fingerprint verification-bit-identical.
+
+``npb chaos`` wires these together: spawn a 2-shard coordinator whose
+shards run in-daemon chaos (``npb serve --chaos-seed``), drive a loadgen
+mix through a coordinator-level injector, SIGKILL one spawned shard at a
+planned submission index, then check the invariant and append a
+schema-versioned ``CHAOS_<seq>.json`` record (plan, injected-fault
+trail, verdict) to the trajectory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+import signal
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.harness import records
+from repro.service.api import ServiceUnavailable
+
+#: Version of the CHAOS_*.json record layout.
+SCHEMA_VERSION = 1
+
+#: The ``kind`` tag every record carries (guards against foreign JSON).
+RECORD_KIND = "npb-chaos-record"
+
+#: Trajectory file naming: CHAOS_0001.json, CHAOS_0002.json, ...
+RECORD_PREFIX = "CHAOS"
+
+#: Injection points and the fault kinds each one can host.  A point
+#: fires once per *invocation* (lease, cache access, probe, ...) and
+#: consumes one index of its schedule stream.
+POINT_KINDS: dict[str, tuple[str, ...]] = {
+    "pool.lease": ("kill_team",),
+    "cache.get": ("cache_corrupt", "cache_truncate"),
+    "cache.put": ("cache_corrupt", "cache_truncate"),
+    "scheduler.dispatch": ("delay_dispatch",),
+    "shard.probe": ("drop_response",),
+    "shard.submit": ("drop_response", "delay_response", "storm_429"),
+    "chaos.submit": ("kill_shard",),
+}
+
+#: Every fault kind any point can host.
+FAULT_KINDS = tuple(
+    sorted({kind for kinds in POINT_KINDS.values() for kind in kinds})
+)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One declarative fault source: *what* fires *where*, how often.
+
+    ``rate`` is the per-invocation probability of planning the fault
+    (1.0 makes it deterministic), ``limit`` caps how many invocations
+    of the point this rule may claim, ``after`` skips the first N
+    invocations, and ``param`` carries a kind-specific knob (sleep
+    seconds for delays, shard ordinal for ``kill_shard``).
+    """
+
+    point: str
+    kind: str
+    rate: float
+    limit: int = 1
+    after: int = 0
+    param: float | int | None = None
+
+    def __post_init__(self):
+        if self.point not in POINT_KINDS:
+            raise ValueError(
+                f"unknown injection point {self.point!r} "
+                f"(one of {sorted(POINT_KINDS)})"
+            )
+        if self.kind not in POINT_KINDS[self.point]:
+            raise ValueError(
+                f"fault kind {self.kind!r} not valid at {self.point!r} "
+                f"(one of {POINT_KINDS[self.point]})"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.limit < 1:
+            raise ValueError(f"limit must be >= 1, got {self.limit}")
+        if self.after < 0:
+            raise ValueError(f"after must be >= 0, got {self.after}")
+
+    def as_dict(self) -> dict:
+        return {
+            "point": self.point,
+            "kind": self.kind,
+            "rate": self.rate,
+            "limit": self.limit,
+            "after": self.after,
+            "param": self.param,
+        }
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """A named set of fault rules plus the planning horizon.
+
+    ``horizon`` bounds how many invocations per point the plan covers;
+    invocations beyond it never inject (the run outlived the plan).
+    """
+
+    name: str
+    rules: tuple[FaultRule, ...]
+    horizon: int = 64
+
+    def __post_init__(self):
+        if self.horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {self.horizon}")
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "horizon": self.horizon,
+            "rules": [rule.as_dict() for rule in self.rules],
+        }
+
+
+def service_preset() -> ChaosSpec:
+    """In-daemon faults for one shard (``npb serve --chaos-seed``).
+
+    Mixes deterministic rules (``rate=1.0`` at staggered ``after``
+    offsets, so every seed injects at least one kill/corrupt/delay once
+    the invocation counts are reached) with probabilistic extras whose
+    placement is what the seed varies.
+    """
+    return ChaosSpec(
+        name="service",
+        rules=(
+            FaultRule("pool.lease", "kill_team", rate=1.0, after=2),
+            FaultRule("pool.lease", "kill_team", rate=0.10, limit=1),
+            FaultRule("cache.get", "cache_corrupt", rate=1.0, after=1),
+            FaultRule("cache.get", "cache_truncate", rate=0.25, limit=1),
+            FaultRule("cache.put", "cache_corrupt", rate=0.20, limit=1),
+            FaultRule(
+                "scheduler.dispatch",
+                "delay_dispatch",
+                rate=1.0,
+                after=0,
+                param=0.02,
+            ),
+            FaultRule(
+                "scheduler.dispatch",
+                "delay_dispatch",
+                rate=0.15,
+                limit=2,
+                param=0.02,
+            ),
+        ),
+    )
+
+
+def coordinator_preset(
+    kill_shard_after: int = 6, kill_shard_ordinal: int = 1
+) -> ChaosSpec:
+    """Coordinator-level faults for the ``npb chaos`` runner.
+
+    ``kill_shard`` fires exactly once, at submission index
+    ``kill_shard_after``, SIGKILLing spawned shard ``kill_shard_ordinal``
+    -- a real process death mid-traffic, recovered by route-around.
+    """
+    return ChaosSpec(
+        name="coordinator",
+        rules=(
+            FaultRule("shard.submit", "drop_response", rate=1.0, after=1),
+            FaultRule("shard.submit", "drop_response", rate=0.10, limit=1),
+            FaultRule(
+                "shard.submit", "delay_response", rate=1.0, after=4, param=0.05
+            ),
+            FaultRule("shard.submit", "storm_429", rate=1.0, after=8),
+            FaultRule("shard.probe", "drop_response", rate=0.50, limit=2),
+            FaultRule(
+                "chaos.submit",
+                "kill_shard",
+                rate=1.0,
+                after=kill_shard_after,
+                param=kill_shard_ordinal,
+            ),
+        ),
+    )
+
+
+#: Named preset factories (``--chaos-preset``).
+PRESETS = {
+    "service": service_preset,
+    "coordinator": coordinator_preset,
+}
+
+
+def derive_seed(seed: int, label: str) -> int:
+    """Stable per-component sub-seed (e.g. one per spawned shard)."""
+    digest = hashlib.sha256(f"{seed}:{label}".encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+@dataclass(frozen=True)
+class PlannedFault:
+    """One scheduled injection: fault ``kind`` at invocation ``index``
+    of ``point``."""
+
+    point: str
+    index: int
+    kind: str
+    param: float | int | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "point": self.point,
+            "index": self.index,
+            "kind": self.kind,
+            "param": self.param,
+        }
+
+
+class ChaosPlan:
+    """A compiled fault schedule: pure function of ``(spec, seed)``.
+
+    ``schedule[point][index]`` is the :class:`PlannedFault` to inject at
+    that invocation of that point (most invocations have none).  Each
+    point draws from its own seeded RNG stream, and every rule draws at
+    every index regardless of selection, so one rule's placement never
+    perturbs another's -- the property that makes the schedule stable
+    under spec evolution and assertable for replay determinism.
+    """
+
+    def __init__(
+        self,
+        spec: ChaosSpec,
+        seed: int,
+        schedule: dict[str, dict[int, PlannedFault]],
+    ):
+        self.spec = spec
+        self.seed = seed
+        self.schedule = schedule
+
+    @classmethod
+    def compile(cls, spec: ChaosSpec, seed: int) -> "ChaosPlan":
+        schedule: dict[str, dict[int, PlannedFault]] = {}
+        for point in sorted(POINT_KINDS):
+            rules = [rule for rule in spec.rules if rule.point == point]
+            if not rules:
+                continue
+            rng = random.Random(f"{seed}:{point}")
+            fired = [0] * len(rules)
+            planned: dict[int, PlannedFault] = {}
+            for index in range(spec.horizon):
+                for slot, rule in enumerate(rules):
+                    draw = rng.random()  # always drawn: streams stay aligned
+                    if (
+                        index in planned
+                        or fired[slot] >= rule.limit
+                        or index < rule.after
+                        or draw >= rule.rate
+                    ):
+                        continue
+                    planned[index] = PlannedFault(
+                        point=point,
+                        index=index,
+                        kind=rule.kind,
+                        param=rule.param,
+                    )
+                    fired[slot] += 1
+            if planned:
+                schedule[point] = planned
+        return cls(spec, seed, schedule)
+
+    def get(self, point: str, index: int) -> PlannedFault | None:
+        return self.schedule.get(point, {}).get(index)
+
+    def faults(self) -> list[PlannedFault]:
+        """Every planned fault, in (point, index) order."""
+        return [
+            self.schedule[point][index]
+            for point in sorted(self.schedule)
+            for index in sorted(self.schedule[point])
+        ]
+
+    def kinds(self) -> set[str]:
+        return {fault.kind for fault in self.faults()}
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "spec": self.spec.as_dict(),
+            "schedule": [fault.as_dict() for fault in self.faults()],
+        }
+
+
+# ===================================================================== #
+# fault mechanics
+# ===================================================================== #
+
+
+def _kill_team(team) -> str:
+    """Kill a leased team's workers the way the kind demands.
+
+    Process teams get a real ``SIGKILL`` per worker -- the in-flight job
+    then exercises the full WorkerDeath -> respawn -> (or degrade)
+    recovery path.  Thread/serial workers cannot be killed from outside
+    the interpreter, so forcing the degraded flag exercises the same
+    observable contract: the job still completes bit-identically (inline
+    serial) and the pool replaces the team instead of recycling it.
+    """
+    procs = list(getattr(team, "_procs", None) or [])
+    if procs:
+        killed = []
+        for proc in procs:
+            if proc.is_alive():
+                try:
+                    os.kill(proc.pid, signal.SIGKILL)
+                    killed.append(proc.pid)
+                except (OSError, TypeError):
+                    continue
+        return f"SIGKILL worker pids {killed}"
+    team._degraded = True
+    return "forced degraded (no worker processes to kill)"
+
+
+def _corrupt_file(path: str) -> bool:
+    """Overwrite the head of ``path`` with garbage (torn-write model)."""
+    try:
+        with open(path, "r+b") as fh:
+            fh.write(b"\x00chaos{corrupt")
+        return True
+    except OSError:
+        return False
+
+
+def _truncate_file(path: str) -> bool:
+    """Truncate ``path`` to half its size (partial-write model)."""
+    try:
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(max(1, size // 2))
+        return True
+    except OSError:
+        return False
+
+
+def kill_process(process) -> int | None:
+    """SIGKILL a child process (Popen-like); returns the pid killed."""
+    if process.poll() is not None:
+        return None
+    try:
+        os.kill(process.pid, signal.SIGKILL)
+    except OSError:
+        return None
+    return process.pid
+
+
+class ChaosInjector:
+    """Executes a :class:`ChaosPlan` at the service seams.
+
+    One injector per component (each shard daemon runs its own, the
+    coordinator another).  ``fire`` is the only stateful operation: it
+    consumes the point's next invocation index under a lock and records
+    an event when the schedule plans a fault there.  The seam methods
+    (``on_lease``/``on_cache``/...) translate planned kinds into the
+    actual mutation -- and are only ever called when an injector is
+    installed, so chaos-off costs one ``is None`` check per seam.
+    """
+
+    def __init__(self, plan: ChaosPlan):
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._invocations: dict[str, int] = {}
+        #: runtime injected-fault trail (wall-clock order)
+        self.events: list[dict] = []
+
+    def _fire(
+        self, point: str, detail: str = ""
+    ) -> tuple[PlannedFault | None, dict | None]:
+        with self._lock:
+            index = self._invocations.get(point, 0)
+            self._invocations[point] = index + 1
+            fault = self.plan.get(point, index)
+            if fault is None:
+                return None, None
+            event = {
+                "point": point,
+                "index": index,
+                "kind": fault.kind,
+                "param": fault.param,
+                "detail": detail,
+                "at": time.time(),
+            }
+            self.events.append(event)
+            return fault, event
+
+    def fire(self, point: str, detail: str = "") -> PlannedFault | None:
+        """Consume one invocation of ``point``; the planned fault, if any."""
+        return self._fire(point, detail)[0]
+
+    # ------------------------------------------------------------------ #
+    # seam behaviors
+    # ------------------------------------------------------------------ #
+
+    def on_lease(self, team) -> None:
+        """``TeamPool.lease``: kill the warm team as it is handed out."""
+        fault, event = self._fire("pool.lease", type(team).__name__)
+        if fault is not None and fault.kind == "kill_team":
+            note = _kill_team(team)
+            if event is not None:
+                event["detail"] = f"{event['detail']}: {note}"
+
+    def on_cache(self, point: str, path: str) -> None:
+        """``ResultCache.get``/``put``: damage the entry on disk."""
+        fault, event = self._fire(point, os.path.basename(path))
+        if fault is None:
+            return
+        if fault.kind == "cache_corrupt":
+            damaged = _corrupt_file(path)
+        elif fault.kind == "cache_truncate":
+            damaged = _truncate_file(path)
+        else:
+            return
+        if event is not None:
+            event["detail"] += ": damaged" if damaged else ": no entry on disk"
+
+    def on_dispatch(self, job) -> None:
+        """Scheduler dispatch loop: stall the dispatcher briefly."""
+        fault, _ = self._fire(
+            "scheduler.dispatch", getattr(job, "job_id", "")
+        )
+        if fault is not None and fault.kind == "delay_dispatch":
+            time.sleep(float(fault.param) if fault.param else 0.02)
+
+    def on_probe(self, shard: str) -> None:
+        """Coordinator health probe: drop the /status response."""
+        fault, _ = self._fire("shard.probe", shard)
+        if fault is not None and fault.kind == "drop_response":
+            raise ServiceUnavailable(
+                f"chaos: dropped /status probe of shard {shard!r}"
+            )
+
+    def on_submit(self, shard: str) -> tuple[int, dict] | None:
+        """Coordinator submit path: drop, delay, or synthesize a 429.
+
+        A non-None return is a synthetic response used *instead of* the
+        real shard call; ``drop_response`` raises exactly what a dead
+        socket would, so the coordinator's existing failover handles it.
+        """
+        fault, _ = self._fire("shard.submit", shard)
+        if fault is None:
+            return None
+        if fault.kind == "drop_response":
+            raise ServiceUnavailable(
+                f"chaos: dropped response from shard {shard!r}"
+            )
+        if fault.kind == "delay_response":
+            time.sleep(float(fault.param) if fault.param else 0.05)
+            return None
+        if fault.kind == "storm_429":
+            return 429, {
+                "error": "chaos: synthetic 429 storm",
+                "chaos": True,
+                "shard": shard,
+            }
+        return None
+
+    def on_chaos_submit(self) -> PlannedFault | None:
+        """The runner's own pre-submission point (``kill_shard``)."""
+        return self.fire("chaos.submit")
+
+    # ------------------------------------------------------------------ #
+
+    def install(self, service) -> None:
+        """Hook this injector into a ``BenchService``'s seams."""
+        service.pool.chaos = self
+        service.cache.chaos = self
+        service.scheduler.chaos = self
+        service.chaos = self
+
+    def install_coordinator(self, coordinator) -> None:
+        """Hook this injector into a ``ShardCoordinator``'s seams."""
+        coordinator.chaos = self
+
+    def summary(self) -> dict:
+        """Counters and the injected-fault trail (for /status + records)."""
+        with self._lock:
+            events = [dict(event) for event in self.events]
+            invocations = dict(self._invocations)
+        kinds: dict[str, int] = {}
+        for event in events:
+            kinds[event["kind"]] = kinds.get(event["kind"], 0) + 1
+        return {
+            "seed": self.plan.seed,
+            "spec": self.plan.spec.name,
+            "planned": len(self.plan.faults()),
+            "injected": len(events),
+            "invocations": invocations,
+            "kinds": kinds,
+            "events": events,
+        }
+
+
+# ===================================================================== #
+# traffic ledger
+# ===================================================================== #
+
+
+@dataclass
+class LedgerEntry:
+    """One request as the chaos driver saw it: the *full* response.
+
+    The loadgen accounting keeps only status/latency; the invariant
+    needs the body (state, error, routing block, verification values),
+    so the chaos driver records everything.
+    """
+
+    index: int
+    payload: dict
+    code: int | None
+    body: dict | None
+    error: str | None = None
+    retries: int = 0
+    elapsed_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "payload": self.payload,
+            "code": self.code,
+            "body": self.body,
+            "error": self.error,
+            "retries": self.retries,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+def result_digest(verification) -> str:
+    """Canonical digest of a run record's verification values.
+
+    Timing fields (mops, seconds) legitimately vary run to run; the
+    verification quantities are the deterministic payload the
+    bit-identical guarantee covers (the equivalence suite enforces it
+    across backends), so they are what completions are compared on.
+    """
+    blob = json.dumps(verification, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def drive_traffic(
+    submit,
+    sampler,
+    total_requests: int,
+    concurrency: int = 2,
+    retries: int = 3,
+    retry_sleep: float = 0.1,
+) -> tuple[list[LedgerEntry], float]:
+    """Closed-loop traffic recording full response bodies.
+
+    ``submit(payload) -> (code, body)``; 429s are retried up to
+    ``retries`` times (chaos deliberately provokes them).  A transport
+    exception is recorded on the entry -- the invariant checker decides
+    whether it is structured -- never swallowed.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    if total_requests < 1:
+        raise ValueError("total_requests must be >= 1")
+    ledger: list[LedgerEntry | None] = [None] * total_requests
+    cursor = [0]
+    lock = threading.Lock()
+    started = time.perf_counter()
+
+    def worker() -> None:
+        while True:
+            with lock:
+                index = cursor[0]
+                if index >= total_requests:
+                    return
+                cursor[0] = index + 1
+            _, payload = sampler.next_request()
+            begun = time.perf_counter()
+            code = body = None
+            error = None
+            attempt = 0
+            try:
+                for attempt in range(retries + 1):
+                    code, body = submit(dict(payload))
+                    if code != 429 or attempt == retries:
+                        break
+                    time.sleep(retry_sleep)
+            except Exception as exc:
+                error = f"{type(exc).__name__}: {exc}"
+            ledger[index] = LedgerEntry(
+                index=index,
+                payload=payload,
+                code=code,
+                body=body,
+                error=error,
+                retries=attempt,
+                elapsed_seconds=time.perf_counter() - begun,
+            )
+
+    threads = [
+        threading.Thread(target=worker, daemon=True, name=f"npb-chaos-{i}")
+        for i in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return (
+        [entry for entry in ledger if entry is not None],
+        time.perf_counter() - started,
+    )
+
+
+def summarize_ledger(ledger: list[LedgerEntry], elapsed: float) -> dict:
+    """Small traffic rollup for the CHAOS record."""
+    by_code: dict[str, int] = {}
+    by_state: dict[str, int] = {}
+    degraded = 0
+    errors = 0
+    for entry in ledger:
+        by_code[str(entry.code)] = by_code.get(str(entry.code), 0) + 1
+        body = entry.body or {}
+        state = body.get("state")
+        if state:
+            by_state[state] = by_state.get(state, 0) + 1
+        if (body.get("routing") or {}).get("degraded"):
+            degraded += 1
+        if entry.error:
+            errors += 1
+    return {
+        "requests": len(ledger),
+        "elapsed_seconds": elapsed,
+        "by_code": by_code,
+        "by_state": by_state,
+        "degraded_routes": degraded,
+        "transport_errors": errors,
+    }
+
+
+# ===================================================================== #
+# the invariant
+# ===================================================================== #
+
+
+class InvariantChecker:
+    """Asserts the admitted-jobs invariant over a chaos run.
+
+    An entry is *accounted for* when it is one of:
+
+    * ``done``/``cached`` (HTTP 200) -- completed;
+    * ``failed`` with a non-empty structured ``error`` -- a verdict;
+    * HTTP 429 -- structured backpressure, the job was never admitted;
+    * HTTP 503 with a ``routing`` block -- structured unroutability,
+      the job was never admitted.
+
+    Anything else -- a transport exception, a terminal-less body, a
+    bare 5xx -- is a *lost* job and fails the check.  On top of that,
+    surviving shards' job listings must be all-terminal (nothing stuck
+    behind the scenes), and every completion of one spec fingerprint
+    must carry bit-identical verification values.
+    """
+
+    def __init__(
+        self,
+        ledger: list[LedgerEntry],
+        shard_jobs: dict[str, list[dict]] | None = None,
+    ):
+        self.ledger = list(ledger)
+        self.shard_jobs = dict(shard_jobs or {})
+
+    def check(self) -> dict:
+        counts = {
+            "requests": len(self.ledger),
+            "done": 0,
+            "cached": 0,
+            "failed": 0,
+            "rejected_429": 0,
+            "unroutable_503": 0,
+            "degraded": 0,
+            "completed_with_faults": 0,
+            "lost": 0,
+        }
+        lost: list[dict] = []
+        unstructured: list[int] = []
+        digests: dict[str, dict[str, int]] = {}
+        for entry in self.ledger:
+            body = entry.body or {}
+            state = body.get("state")
+            if (body.get("routing") or {}).get("degraded"):
+                counts["degraded"] += 1
+            if entry.code == 200 and state in ("done", "cached"):
+                counts[state] += 1
+                result = body.get("result") or {}
+                if result.get("faults"):
+                    counts["completed_with_faults"] += 1
+                fingerprint = (result.get("provenance") or {}).get(
+                    "fingerprint"
+                )
+                verification = result.get("verification")
+                if fingerprint and verification is not None:
+                    group = digests.setdefault(fingerprint, {})
+                    digest = result_digest(verification)
+                    group[digest] = group.get(digest, 0) + 1
+            elif entry.code == 200 and state == "failed":
+                counts["failed"] += 1
+                if not body.get("error"):
+                    unstructured.append(entry.index)
+            elif entry.code == 429:
+                counts["rejected_429"] += 1
+            elif entry.code == 503 and isinstance(body.get("routing"), dict):
+                counts["unroutable_503"] += 1
+            else:
+                counts["lost"] += 1
+                lost.append(
+                    {
+                        "index": entry.index,
+                        "code": entry.code,
+                        "state": state,
+                        "error": entry.error,
+                    }
+                )
+
+        stuck: list[dict] = []
+        shard_unstructured: list[str] = []
+        for shard, jobs in self.shard_jobs.items():
+            for job in jobs:
+                state = job.get("state")
+                if state in ("done", "cached"):
+                    continue
+                if state == "failed":
+                    if not job.get("error"):
+                        shard_unstructured.append(
+                            f"{shard}:{job.get('job_id')}"
+                        )
+                    continue
+                stuck.append(
+                    {
+                        "shard": shard,
+                        "job_id": job.get("job_id"),
+                        "state": state,
+                    }
+                )
+
+        divergent = {
+            fingerprint: group
+            for fingerprint, group in digests.items()
+            if len(group) > 1
+        }
+        checks = [
+            {
+                "name": "zero_lost_jobs",
+                "pass": not lost,
+                "detail": lost or f"{counts['requests']} requests accounted",
+            },
+            {
+                "name": "structured_failures",
+                "pass": not unstructured and not shard_unstructured,
+                "detail": (
+                    {
+                        "ledger": unstructured,
+                        "shards": shard_unstructured,
+                    }
+                    if unstructured or shard_unstructured
+                    else f"{counts['failed']} failed, all with verdicts"
+                ),
+            },
+            {
+                "name": "shards_settled",
+                "pass": not stuck,
+                "detail": stuck
+                or f"{sum(len(j) for j in self.shard_jobs.values())} "
+                f"shard jobs all terminal",
+            },
+            {
+                "name": "bit_identical_results",
+                "pass": not divergent,
+                "detail": divergent
+                or f"{len(digests)} fingerprints, one digest each",
+            },
+        ]
+        return {
+            "pass": all(check["pass"] for check in checks),
+            "counts": counts,
+            "checks": checks,
+        }
+
+
+# ===================================================================== #
+# record IO (the CHAOS_<seq>.json trajectory)
+# ===================================================================== #
+
+
+def build_record(
+    seed: int,
+    config: dict,
+    coordinator_plan: ChaosPlan,
+    shard_plans: dict[str, ChaosPlan],
+    injected: dict,
+    traffic: dict,
+    invariant: dict,
+) -> dict:
+    """Assemble one schema-versioned chaos record.
+
+    ``plan``/``shard_plans`` carry the *compiled schedules* -- the part
+    that is a pure function of the seed, and what the CI replay gate
+    compares between two same-seed runs.  ``injected`` carries the
+    runtime trails (coordinator + runner events, per-shard summaries
+    from /status).
+    """
+    from repro.harness.bench import environment_fingerprint
+
+    kinds: set[str] = set()
+    for trail in (injected.get("coordinator"), injected.get("runner")):
+        for event in trail or []:
+            kinds.add(event["kind"])
+    for summary in (injected.get("shards") or {}).values():
+        kinds.update((summary or {}).get("kinds", {}))
+    return {
+        "kind": RECORD_KIND,
+        "schema_version": SCHEMA_VERSION,
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "environment": environment_fingerprint(),
+        "seed": seed,
+        "config": config,
+        "plan": coordinator_plan.as_dict(),
+        "shard_plans": {
+            name: plan.as_dict() for name, plan in shard_plans.items()
+        },
+        "injected": injected,
+        "fault_kinds": sorted(kinds),
+        "traffic": traffic,
+        "invariant": invariant,
+    }
+
+
+def write_record(
+    record: dict, directory: str = ".", path: str | None = None
+) -> str:
+    """Append the record to the trajectory (atomic sequence allocation)."""
+    if path is None:
+        return records.append_record(record, directory, RECORD_PREFIX)
+    return records.write_json_record(record, path)
+
+
+def latest_record_path(directory: str = ".") -> str | None:
+    return records.latest_record_path(directory, RECORD_PREFIX)
+
+
+def load_record(path: str) -> dict:
+    """Load and sanity-check one chaos record."""
+    with open(path) as fh:
+        record = json.load(fh)
+    if not isinstance(record, dict) or record.get("kind") != RECORD_KIND:
+        raise ValueError(f"{path}: not an {RECORD_KIND} file")
+    version = record.get("schema_version")
+    if not isinstance(version, int) or version > SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {version!r} (this tool reads "
+            f"<= {SCHEMA_VERSION}); refresh the record with 'npb chaos'"
+        )
+    return record

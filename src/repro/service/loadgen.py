@@ -39,6 +39,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.harness import records
 from repro.harness.stats import mad, median, percentile
 from repro.service.api import ServiceClient, ServiceUnavailable
 
@@ -626,30 +627,21 @@ def run_loadgen(
 
 def next_sequence(directory: str = ".") -> int:
     """1 + the highest LOADGEN_<seq>.json already in ``directory``."""
-    highest = 0
-    try:
-        names = os.listdir(directory)
-    except OSError:
-        names = []
-    for name in names:
-        match = RECORD_PATTERN.match(name)
-        if match:
-            highest = max(highest, int(match.group(1)))
-    return highest + 1
+    return records.next_sequence(directory, "LOADGEN")
 
 
 def write_record(
     record: dict, directory: str = ".", path: str | None = None
 ) -> str:
-    """Write ``record``; default name continues the trajectory sequence."""
+    """Write ``record``; default name continues the trajectory sequence.
+
+    Sequence numbers are claimed atomically (``O_EXCL`` create-and-retry
+    in :mod:`repro.harness.records`), so two runs appending to the same
+    directory concurrently never overwrite each other's record.
+    """
     if path is None:
-        sequence = next_sequence(directory)
-        path = os.path.join(directory, f"LOADGEN_{sequence:04d}.json")
-        record = dict(record, sequence=sequence)
-    with open(path, "w") as fh:
-        json.dump(record, fh, indent=2)
-        fh.write("\n")
-    return path
+        return records.append_record(record, directory, "LOADGEN")
+    return records.write_json_record(record, path)
 
 
 def latest_record_path(directory: str = ".") -> str | None:

@@ -16,7 +16,11 @@ release.  Teams that come back degraded (fault-tolerance retries
 exhausted: their transport is permanently bypassed) or that fail to
 reset are *replaced* with fresh ones rather than recycled -- a pool must
 hand out healthy teams, and a degraded team, while still bit-identical,
-has lost its parallelism.
+has lost its parallelism.  The same rule covers teams that die while
+*idle* (a worker SIGKILLed between jobs): ``lease`` probes
+:meth:`~repro.team.base.Team.alive` before handing a team out and
+back-fills the slot on failure, so a pooled death costs one respawn,
+never a doomed dispatch.
 
 ``close()`` implements the pool's half of graceful drain: wait for
 leased teams to come home, then close everything.
@@ -58,6 +62,8 @@ class TeamPool:
         self.leases = 0
         self.cold_spawns = 0
         self.replacements = 0
+        #: optional ChaosInjector (fault-injection tests); None = off
+        self.chaos = None
         self._idle: list[Team] = [self._spawn() for _ in range(size)]
 
     def _spawn(self) -> Team:
@@ -103,9 +109,21 @@ class TeamPool:
             if self._closed:
                 raise PoolClosed("pool is closed")
             team = self._idle.pop()
+            if not team.alive():
+                # An idle team can die between jobs (a worker SIGKILLed
+                # while pooled) -- dispatch-time fault handling would
+                # only find out mid-job.  Replace it, never recycle.
+                try:
+                    team.close()
+                except Exception:
+                    pass
+                team = self._spawn()
+                self.replacements += 1
             self._in_use += 1
             self.leases += 1
-            return team, True
+        if self.chaos is not None:
+            self.chaos.on_lease(team)
+        return team, True
 
     def release(self, team: Team, pooled: bool) -> None:
         """Return a leased team; reset (or replace) pooled teams."""

@@ -57,6 +57,8 @@ class Scheduler:
         self._on_update = on_update if on_update is not None else _no_update
         self._threads: list[threading.Thread] = []
         self._lock = threading.Lock()
+        #: optional ChaosInjector (fault-injection tests); None = off
+        self.chaos = None
         self.executed = 0
         self.cached = 0
         self.failed = 0
@@ -81,6 +83,8 @@ class Scheduler:
             if job is None:
                 return
             try:
+                if self.chaos is not None:
+                    self.chaos.on_dispatch(job)
                 self._execute(job)
             except Exception as exc:  # defensive: a dispatcher must survive
                 self._finish(job, "failed", error=f"{type(exc).__name__}: {exc}")

@@ -215,6 +215,8 @@ class ShardCoordinator:
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._health_thread: threading.Thread | None = None
+        #: optional ChaosInjector (fault-injection tests); None = off
+        self.chaos = None
         self._seq = 0
         self.routed = 0
         self.failovers = 0
@@ -247,6 +249,8 @@ class ShardCoordinator:
         """Probe one shard's /status; update its health state."""
         state = self._states[name]
         try:
+            if self.chaos is not None:
+                self.chaos.on_probe(name)
             code, status = self._probers[name].status()
         except ServiceUnavailable as exc:
             with self._lock:
@@ -322,7 +326,18 @@ class ShardCoordinator:
         attempts: list[dict] = []
         for name in self._attempt_order(key):
             try:
-                code, body = self._clients[name].submit(payload)
+                # A chaos injector may drop the attempt (raising what a
+                # dead socket would), stall it, or substitute a synthetic
+                # 429 -- all inside the existing failover machinery.
+                synthetic = (
+                    self.chaos.on_submit(name)
+                    if self.chaos is not None
+                    else None
+                )
+                if synthetic is not None:
+                    code, body = synthetic
+                else:
+                    code, body = self._clients[name].submit(payload)
             except ServiceUnavailable as exc:
                 self._mark_unreachable(name, str(exc))
                 attempts.append({"shard": name, "error": str(exc)})
@@ -426,6 +441,7 @@ class ShardCoordinator:
             "cache_entries": 0,
             "cache_hits": 0,
             "cache_misses": 0,
+            "cache_corruption_healed": 0,
             "executed": 0,
             "cached": 0,
             "failed": 0,
@@ -441,6 +457,9 @@ class ShardCoordinator:
             totals["cache_entries"] += status["cache"]["entries"]
             totals["cache_hits"] += status["cache"]["hits"]
             totals["cache_misses"] += status["cache"]["misses"]
+            totals["cache_corruption_healed"] += status["cache"].get(
+                "corruption_healed", 0
+            )
             totals["executed"] += status["scheduler"]["executed"]
             totals["cached"] += status["scheduler"]["cached"]
             totals["failed"] += status["scheduler"]["failed"]

@@ -303,6 +303,18 @@ class Team(ABC):
         self.run_on_all(arena_rewind_task)
         self.recorder.reset()
 
+    def alive(self) -> bool:
+        """Whether this team can still accept work right now.
+
+        Pool owners use this as a pre-lease liveness probe: a pooled
+        team can die while *idle* (a worker SIGKILLed between jobs),
+        which the dispatch-time fault machinery would only discover
+        mid-job.  Backends with real worker processes override this
+        with a process liveness check; for in-process backends
+        not-closed is the whole truth.
+        """
+        return not self._closed
+
     def close(self) -> None:
         """Shut workers down and release shared resources (idempotent).
 

@@ -289,6 +289,11 @@ class ProcessTeam(Team):
             self._respawn(rank, attempt)
         return True
 
+    def alive(self) -> bool:
+        return not self._closed and all(
+            proc.is_alive() for proc in self._procs
+        )
+
     def close(self) -> None:
         if self._closed:
             return

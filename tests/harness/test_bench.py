@@ -1,12 +1,16 @@
 """Tests for the bench trajectory subsystem (records + comparator)."""
 
 import json
+import threading
+from pathlib import Path
 
 import pytest
 
-from repro.harness import bench
+from repro.harness import bench, records
 from repro.harness.cli import main
 from repro.harness.stats import mad, median, summarize, time_callable
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
 
 CELL_TIMING_KEYS = {
     "repeats",
@@ -176,6 +180,182 @@ class TestRecordSchema:
         # the CG run allocates at least something per conj_grad call
         # (reduction partials, python floats) even when kernels are fused
         assert any(stats["alloc_bytes"] >= 0 for stats in regions.values())
+
+
+def make_versioned_record(version):
+    """Synthetic record as ``npb bench`` wrote it at schema ``version``."""
+    cell = make_cell("CG.S.serial.x1", 0.1)
+    cell["regions"] = {
+        "conj_grad": {
+            "calls": 25,
+            "wall_seconds": 0.05,
+            "dispatch_seconds": 0.01,
+            "execute_seconds": 0.03,
+            "barrier_seconds": 0.01,
+        }
+    }
+    if version >= 2:
+        cell["faults"] = 0
+        cell["fault_counts"] = {}
+    if version >= 3:
+        for stats in cell["regions"].values():
+            stats["alloc_bytes"] = 0
+            stats["alloc_blocks"] = 0
+    if version >= 4:
+        cell["job_id"] = None
+        cell["cache_hit"] = False
+        cell["queue_wait_seconds"] = 0.0
+    if version >= 5:
+        cell["kernel_backend"] = "fused"
+    record = make_record([cell])
+    record["schema_version"] = version
+    return record
+
+
+class TestMigrationChain:
+    """Every historical schema version migrates to the current one, and
+    migration is idempotent: migrating twice equals migrating once."""
+
+    VERSIONS = list(range(1, bench.SCHEMA_VERSION + 1))
+
+    @pytest.mark.parametrize("version", VERSIONS)
+    def test_every_version_migrates_to_current(self, tmp_path, version):
+        path = tmp_path / f"v{version}.json"
+        path.write_text(json.dumps(make_versioned_record(version)))
+        loaded = bench.load_record(str(path))
+        assert loaded["schema_version"] == bench.SCHEMA_VERSION
+        cell = loaded["cells"][0]
+        assert cell["faults"] == 0
+        assert cell["fault_counts"] == {}
+        assert cell["job_id"] is None
+        assert cell["cache_hit"] is False
+        assert cell["queue_wait_seconds"] == 0.0
+        assert cell["kernel_backend"] == "fused"
+        stats = cell["regions"]["conj_grad"]
+        assert stats["alloc_bytes"] == 0
+        assert stats["alloc_blocks"] == 0
+        assert stats["calls"] == 25  # pre-existing fields survive
+
+    @pytest.mark.parametrize("version", VERSIONS)
+    def test_migrating_twice_equals_migrating_once(self, tmp_path, version):
+        path = tmp_path / f"v{version}.json"
+        path.write_text(json.dumps(make_versioned_record(version)))
+        once = bench.load_record(str(path))
+        again = bench._migrate_record(
+            json.loads(json.dumps(once)), once["schema_version"]
+        )
+        assert again == once
+
+    @pytest.mark.parametrize("version", VERSIONS)
+    def test_round_trip_through_disk_is_stable(self, tmp_path, version):
+        """Writing a migrated record back out and reloading is a no-op."""
+        path = tmp_path / f"v{version}.json"
+        path.write_text(json.dumps(make_versioned_record(version)))
+        once = bench.load_record(str(path))
+        rewritten = tmp_path / "rewritten.json"
+        rewritten.write_text(json.dumps(once))
+        assert bench.load_record(str(rewritten)) == once
+
+    def test_each_step_adds_only_its_own_fields(self):
+        """Adjacent synthetic fixtures differ exactly by the fields the
+        intervening migration step backfills (no silent schema drift)."""
+        step_fields = {
+            2: {"faults", "fault_counts"},
+            3: set(),  # v3 added *region* fields, not cell fields
+            4: {"job_id", "cache_hit", "queue_wait_seconds"},
+            5: {"kernel_backend"},
+        }
+        for version in self.VERSIONS[:-1]:
+            old = make_versioned_record(version)["cells"][0]
+            new = make_versioned_record(version + 1)["cells"][0]
+            assert set(new) - set(old) == step_fields[version + 1]
+            region_added = set(new["regions"]["conj_grad"]) - set(
+                old["regions"]["conj_grad"]
+            )
+            expected = (
+                {"alloc_bytes", "alloc_blocks"} if version + 1 == 3 else set()
+            )
+            assert region_added == expected
+
+
+class TestCommittedRecord:
+    """The repo's committed seed trajectory record stays loadable."""
+
+    def test_bench_0001_migrates_cleanly(self):
+        path = REPO_ROOT / "BENCH_0001.json"
+        assert path.exists()  # committed at the repo root
+        raw = json.loads(path.read_text())
+        assert raw["schema_version"] == 1  # the vintage stays frozen on disk
+        loaded = bench.load_record(str(path))
+        assert loaded["schema_version"] == bench.SCHEMA_VERSION
+        benchmark_cells = [
+            c for c in loaded["cells"] if c.get("kind") == "benchmark"
+        ]
+        assert benchmark_cells
+        for cell in benchmark_cells:
+            assert cell["faults"] == 0
+            assert cell["fault_counts"] == {}
+            assert cell["job_id"] is None
+            assert cell["cache_hit"] is False
+            assert cell["queue_wait_seconds"] == 0.0
+            assert cell["kernel_backend"] == "fused"
+            for stats in cell["regions"].values():
+                assert stats["alloc_bytes"] == 0
+                assert stats["alloc_blocks"] == 0
+
+    def test_bench_0001_migration_is_idempotent(self, tmp_path):
+        loaded = bench.load_record(str(REPO_ROOT / "BENCH_0001.json"))
+        rewritten = tmp_path / "migrated.json"
+        rewritten.write_text(json.dumps(loaded))
+        assert bench.load_record(str(rewritten)) == loaded
+
+
+class TestSequenceAllocation:
+    """``records.reserve_record_path`` closes the scan-then-write race
+    shared by the BENCH, LOADGEN, and CHAOS trajectory writers."""
+
+    def test_concurrent_appends_never_collide(self, tmp_path):
+        nthreads, per_thread = 8, 4
+        paths = []
+        lock = threading.Lock()
+
+        def writer(worker):
+            for n in range(per_thread):
+                path = records.append_record(
+                    {"kind": "race", "worker": worker, "n": n},
+                    str(tmp_path),
+                    "BENCH",
+                )
+                with lock:
+                    paths.append(path)
+
+        pool = [
+            threading.Thread(target=writer, args=(i,))
+            for i in range(nthreads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert len(paths) == nthreads * per_thread
+        assert len(set(paths)) == len(paths)  # no slot claimed twice
+        sequences = sorted(
+            json.loads(Path(p).read_text())["sequence"] for p in paths
+        )
+        assert sequences == list(range(1, nthreads * per_thread + 1))
+
+    def test_reserve_claims_the_slot_immediately(self, tmp_path):
+        sequence, path = records.reserve_record_path(str(tmp_path), "BENCH")
+        assert sequence == 1
+        assert Path(path).exists()  # placeholder blocks other claimants
+        assert records.next_sequence(str(tmp_path), "BENCH") == 2
+
+    def test_prefixes_sequence_independently(self, tmp_path):
+        for prefix in ("BENCH", "LOADGEN", "CHAOS"):
+            first = records.append_record(
+                {"kind": "x"}, str(tmp_path), prefix
+            )
+            assert first.endswith(f"{prefix}_0001.json")
 
 
 class TestComparator:

@@ -65,6 +65,22 @@ class TestResultCache:
         assert cache.get(FP) is None
         assert not os.path.exists(path)
 
+    def test_corruption_heals_are_counted_not_silent(self, tmp_path):
+        """Every healed corrupt entry increments ``corruption_healed``
+        (surfaced via stats/status); clean misses do not."""
+        cache = ResultCache(str(tmp_path))
+        assert cache.get(FP) is None  # clean miss
+        assert cache.corruption_healed == 0
+        for n, fp in enumerate((FP, FP2), start=1):
+            with open(os.path.join(str(tmp_path), f"{fp}.json"), "w") as fh:
+                fh.write("\x00garbage")
+            assert cache.get(fp) is None
+            assert cache.corruption_healed == n
+        assert cache.stats()["corruption_healed"] == 2
+        # healing is an unlink: the next lookup is a plain miss
+        assert cache.get(FP) is None
+        assert cache.corruption_healed == 2
+
     def test_malformed_fingerprint_rejected(self, tmp_path):
         cache = ResultCache(str(tmp_path))
         with pytest.raises(ValueError):
@@ -82,7 +98,7 @@ class TestResultCache:
         assert stats["entries"] == 0
         assert stats["max_entries"] == 9
         assert set(stats) >= {"directory", "hits", "misses", "hit_rate",
-                              "evictions"}
+                              "evictions", "corruption_healed"}
 
     def test_entries_are_plain_json(self, tmp_path):
         cache = ResultCache(str(tmp_path))

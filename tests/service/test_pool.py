@@ -2,8 +2,14 @@
 
 from __future__ import annotations
 
+import os
+import signal
+import time
+
 import pytest
 
+from repro import run_benchmark
+from repro.core.registry import get_benchmark
 from repro.service.pool import PoolClosed, TeamPool
 
 
@@ -89,6 +95,63 @@ class TestTeamPool:
         pool.close(timeout=0.05)
         pool.release(team, pooled)
         assert team.closed
+
+
+class TestPoolKillRecovery:
+    """A pooled team whose workers die *between* jobs must be replaced
+    at the next lease -- never recycled -- and the job that lands on the
+    replacement must be bit-identical to a direct run."""
+
+    @pytest.mark.parametrize("backend", ["serial", "threads", "process"])
+    def test_idle_death_is_replaced_and_second_job_bit_identical(
+        self, backend
+    ):
+        workers = 1 if backend == "serial" else 2
+        clean = run_benchmark("CG", "S", backend, workers).to_dict()
+        with TeamPool(backend, workers, size=1) as pool:
+            first, pooled = pool.lease()
+            result = get_benchmark("CG")("S", first).run()
+            assert result.to_dict()["verification"] == clean["verification"]
+            pool.release(first, pooled)
+
+            # Kill the idle team the way its backend can die: SIGKILL
+            # real worker processes, force the degraded flag otherwise
+            # (threads cannot be killed from outside the interpreter).
+            procs = list(getattr(first, "_procs", []))
+            if procs:
+                for proc in procs:
+                    os.kill(proc.pid, signal.SIGKILL)
+                deadline = time.time() + 5.0
+                while time.time() < deadline and first.alive():
+                    time.sleep(0.05)
+                assert not first.alive()
+            else:
+                first._degraded = True
+                pool.release(*pool.lease())  # degraded: replaced here
+
+            second, pooled = pool.lease()
+            assert second is not first  # replaced, never recycled
+            assert second.alive() and not second.degraded
+            assert pool.occupancy()["replacements"] == 1
+            result = get_benchmark("CG")("S", second).run()
+            assert result.verified
+            assert result.to_dict()["verification"] == clean["verification"]
+            assert result.to_dict()["faults"] == []  # a fresh team: clean
+            pool.release(second, pooled)
+
+    def test_alive_probe_detects_idle_worker_death(self):
+        from repro.team.procs import ProcessTeam
+
+        team = ProcessTeam(2)
+        try:
+            assert team.alive()
+            os.kill(team._procs[0].pid, signal.SIGKILL)
+            deadline = time.time() + 5.0
+            while time.time() < deadline and team.alive():
+                time.sleep(0.05)
+            assert not team.alive()  # one dead worker is enough
+        finally:
+            team.close()
 
 
 def _identity(lo, hi):
