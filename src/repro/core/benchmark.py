@@ -37,7 +37,13 @@ from repro.team import SerialTeam, Team
 #: :mod:`repro.service`).
 #: v5: added ``kernel_backend`` (the kernel tier the run's team resolved
 #: against; see :mod:`repro.kernels.registry`).
-RUN_RECORD_SCHEMA_VERSION = 5
+#: v6: added the async-front-end fields ``tenant`` (the tenant id the
+#: submitting request carried; null outside the service) and
+#: ``coalesced_with`` (the primary job id this response was coalesced
+#: onto when an in-flight duplicate attached instead of re-executing;
+#: null for the primary and for un-coalesced runs; see
+#: :mod:`repro.service.async_api`).
+RUN_RECORD_SCHEMA_VERSION = 6
 
 
 @dataclass
@@ -71,6 +77,12 @@ class BenchmarkResult:
     #: the *requested* tier -- an unavailable compiled tier still runs
     #: (and reports) ``compiled`` while serving fallbacks per kernel
     kernel_backend: str = "fused"
+    #: async-front-end provenance (schema v6): tenant id the submitting
+    #: request carried, and -- for a response fanned out to a coalesced
+    #: waiter -- the primary job id the waiter attached to; both stay
+    #: ``None`` outside the service and for primary executions
+    tenant: str | None = None
+    coalesced_with: str | None = None
 
     @property
     def verified(self) -> bool:
@@ -113,6 +125,8 @@ class BenchmarkResult:
             "cache_hit": self.cache_hit,
             "queue_wait_seconds": self.queue_wait_seconds,
             "kernel_backend": self.kernel_backend,
+            "tenant": self.tenant,
+            "coalesced_with": self.coalesced_with,
         }
 
     def banner(self) -> str:

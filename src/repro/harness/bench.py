@@ -53,7 +53,12 @@ from repro.harness.stats import summarize, time_callable
 #: with the historical default ``"fused"``, and a cell's ``cell_id``
 #: only grows a ``.{tier}`` suffix for non-default tiers, so committed
 #: baselines keep gating unchanged.
-SCHEMA_VERSION = 5
+#: v6: benchmark cells carry ``tenant`` and ``coalesced_with`` (the
+#: async-front-end provenance; see :mod:`repro.service.async_api`).
+#: Direct ``npb bench`` runs record null for both, and v1-v5 records are
+#: migrated on load the same way (no recorded cell predating the async
+#: front end could have been tenant-tagged or coalesced).
+SCHEMA_VERSION = 6
 
 #: The ``kind`` tag every record carries (guards against loading foreign JSON).
 RECORD_KIND = "npb-bench-record"
@@ -262,6 +267,10 @@ def run_bench_cell(cell: BenchCell, repeat: int) -> dict:
         # kernel tier (schema v5): the *requested* tier; an unavailable
         # compiled tier records "compiled" while serving fallbacks
         "kernel_backend": cell.kernel_backend,
+        # async-front-end provenance (schema v6): bench cells are direct
+        # runs, never tenant-tagged and never coalesced
+        "tenant": best.tenant,
+        "coalesced_with": best.coalesced_with,
     }
     record.update(summary.as_dict())
     return record
@@ -388,6 +397,14 @@ def _migrate_record(record: dict, version: int) -> dict:
         for cell in record.get("cells", []):
             if cell.get("kind") == "benchmark":
                 cell.setdefault("kernel_backend", "fused")
+    if version < 6:
+        # v5 predates the async front end; no recorded cell could have
+        # been tenant-tagged or coalesced, so null is the faithful
+        # migration for both.
+        for cell in record.get("cells", []):
+            if cell.get("kind") == "benchmark":
+                cell.setdefault("tenant", None)
+                cell.setdefault("coalesced_with", None)
     if version < SCHEMA_VERSION:
         record["schema_version"] = SCHEMA_VERSION
     return record

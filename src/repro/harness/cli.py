@@ -285,6 +285,8 @@ def _cmd_serve(args) -> int:
         policy=_fault_policy(args),
         kernel_backend=args.kernel_backend,
         chaos=chaos)
+    if getattr(args, "async_frontend", False):
+        return _serve_async(args, service, chaos)
     httpd = make_server(service, host=args.host, port=args.port,
                         verbose=args.verbose)
     host, port = httpd.server_address[:2]
@@ -322,6 +324,68 @@ def _cmd_serve(args) -> int:
     return EXIT_OK if clean else EXIT_FAILURE
 
 
+def _serve_async(args, service, chaos) -> int:
+    """The ``npb serve --async`` path: one event loop, same service."""
+    import asyncio
+    import signal
+
+    from repro.service.async_api import serve_async
+
+    weights = {}
+    for spec in getattr(args, "tenant_weight", None) or []:
+        name, sep, value = spec.partition("=")
+        if not sep:
+            print(f"npb serve: --tenant-weight {spec!r} is not NAME=WEIGHT",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        try:
+            weights[name] = float(value)
+        except ValueError:
+            print(f"npb serve: --tenant-weight {spec!r} has a non-numeric "
+                  f"weight", file=sys.stderr)
+            return EXIT_USAGE
+
+    def announce(url: str) -> None:
+        print(f"npb service listening on {url} "
+              f"(async front end, pool {args.pool}x {args.backend} "
+              f"x{args.workers}, queue depth {args.queue_depth}, "
+              f"cache {args.cache_dir})", flush=True)
+        if chaos is not None:
+            print(f"npb service chaos enabled (seed {args.chaos_seed}, "
+                  f"preset {args.chaos_preset}, "
+                  f"{len(chaos.plan.faults())} planned faults)", flush=True)
+
+    async def main() -> bool:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+
+        def _handle() -> None:
+            if not stop.is_set():
+                print("npb service draining (finishing admitted jobs, "
+                      "rejecting new submissions)...", flush=True)
+            stop.set()
+
+        loop.add_signal_handler(signal.SIGTERM, _handle)
+        loop.add_signal_handler(signal.SIGINT, _handle)
+        return await serve_async(
+            service,
+            host=args.host,
+            port=args.port,
+            window=args.admission_window,
+            quota=args.tenant_quota,
+            weights=weights or None,
+            verbose=args.verbose,
+            announce=announce,
+            stop_event=stop,
+            drain_timeout=args.drain_timeout,
+        )
+
+    clean = asyncio.run(main())
+    print(f"npb service drained "
+          f"{'cleanly' if clean else 'with stuck dispatchers'}", flush=True)
+    return EXIT_OK if clean else EXIT_FAILURE
+
+
 def _spawn_shard(name: str, args, chaos_seed: int | None = None,
                  chaos_preset: str = "service"):
     """Spawn one ``npb serve`` child daemon; returns ``(child, url)``.
@@ -344,6 +408,8 @@ def _spawn_shard(name: str, args, chaos_seed: int | None = None,
            "--cache-dir", os.path.join(args.cache_dir, name),
            "--kernel-backend", args.kernel_backend,
            "--drain-timeout", str(args.drain_timeout)]
+    if getattr(args, "async_frontend", False):
+        cmd.append("--async")
     if chaos_seed is not None:
         cmd += ["--chaos-seed", str(chaos_seed),
                 "--chaos-preset", chaos_preset]
@@ -662,8 +728,14 @@ def _cmd_submit(args) -> int:
         payload["dispatch_timeout"] = args.dispatch_timeout
     if args.max_retries is not None:
         payload["max_retries"] = args.max_retries
+    headers = {}
+    if args.idempotency_key is not None:
+        headers["Idempotency-Key"] = args.idempotency_key
+    if args.tenant is not None:
+        headers["X-NPB-Tenant"] = args.tenant
     try:
-        code, body = client.submit(payload, retries=args.retries)
+        code, body = client.submit(payload, retries=args.retries,
+                                   headers=headers or None)
     except ServiceUnavailable as exc:
         print(f"npb submit: {exc}", file=sys.stderr)
         return EXIT_USAGE
@@ -844,12 +916,13 @@ def _cmd_loadgen(args) -> int:
         max_429_rate=args.slo_max_429_rate,
         max_p95_seconds=args.slo_max_p95,
         min_cache_hit_ratio=args.slo_min_cache_ratio,
+        min_dedup_ratio=args.slo_min_dedup_ratio,
         min_ok=args.slo_min_ok)
     config = loadgen.LoadgenConfig(
         profile=profile, mode=args.mode, levels=levels,
         requests_per_step=args.requests,
         duration_seconds=args.duration, seed=args.seed,
-        retries=args.retries, slo=policy)
+        retries=args.retries, slo=policy, tenant=args.tenant)
     try:
         record = loadgen.run_loadgen(
             args.url, config, timeout=args.timeout,
@@ -1098,6 +1171,26 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drain-timeout", type=float, default=60.0,
                        help="seconds to wait for running jobs on "
                             "SIGTERM/SIGINT before giving up (default 60)")
+    serve.add_argument("--async", dest="async_frontend",
+                       action="store_true",
+                       help="serve with the asyncio front end: in-flight "
+                            "request coalescing, Idempotency-Key replays, "
+                            "and deficit-round-robin fair admission "
+                            "across tenants (same HTTP API, same "
+                            "execution core)")
+    serve.add_argument("--admission-window", type=int, default=None,
+                       metavar="N",
+                       help="async only: jobs admitted but not yet "
+                            "terminal before fair queueing holds new "
+                            "work back (default: the pool size)")
+    serve.add_argument("--tenant-quota", type=int, default=64,
+                       metavar="Q",
+                       help="async only: per-tenant queued-request bound "
+                            "before structured 429s (default 64)")
+    serve.add_argument("--tenant-weight", action="append",
+                       metavar="NAME=W",
+                       help="async only: DRR weight for one tenant "
+                            "(repeatable; unlisted tenants weigh 1)")
     serve.add_argument("--chaos-seed", type=int, default=None,
                        metavar="SEED",
                        help="enable deterministic fault injection inside "
@@ -1131,6 +1224,15 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--no-wait", action="store_true",
                         help="return immediately with the queued job id "
                              "instead of waiting for the result")
+    submit.add_argument("--idempotency-key", default=None, metavar="KEY",
+                        help="client-chosen idempotency key (sent as the "
+                             "Idempotency-Key header): resubmitting the "
+                             "same key returns the original job instead "
+                             "of admitting a duplicate")
+    submit.add_argument("--tenant", default=None,
+                        help="tenant id (sent as the X-NPB-Tenant "
+                             "header) for fair admission and the v6 "
+                             "run-record provenance")
     submit.add_argument("--retries", type=int, default=3,
                         help="resubmissions after HTTP 429, honoring the "
                              "server's Retry-After backoff hint "
@@ -1182,6 +1284,12 @@ def build_parser() -> argparse.ArgumentParser:
     shard_serve.add_argument("--kernel-backend", default=DEFAULT_TIER,
                              choices=list(TIERS),
                              help="kernel tier of spawned shards")
+    shard_serve.add_argument("--async", dest="async_frontend",
+                             action="store_true",
+                             help="spawn shards with the asyncio front "
+                                  "end (--async on each child): in-flight "
+                                  "coalescing per shard, end-to-end "
+                                  "through the ring")
     shard_serve.add_argument("--drain-timeout", type=float, default=60.0,
                              help="seconds to wait for spawned shards to "
                                   "drain on SIGTERM/SIGINT (default 60)")
@@ -1331,6 +1439,12 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--slo-min-cache-ratio", type=float, default=None,
                          help="minimum cache-hit ratio over ok requests "
                               "(default: not checked)")
+    loadgen.add_argument("--slo-min-dedup-ratio", type=float, default=None,
+                         help="minimum dedup ratio (cached + coalesced "
+                              "over ok; default: not checked)")
+    loadgen.add_argument("--tenant", default=None,
+                         help="tenant id stamped on every request "
+                              "(X-NPB-Tenant header)")
     loadgen.add_argument("--slo-min-ok", type=int, default=1,
                          help="minimum completed-ok requests per step "
                               "(default 1)")

@@ -21,6 +21,11 @@ state across them:
 :mod:`~repro.service.api`
     the in-process :class:`BenchService` facade, the ``npb serve`` HTTP
     daemon, and the ``npb submit``/``npb jobs`` client.
+:mod:`~repro.service.async_api`
+    the asyncio front end (``npb serve --async``): in-flight request
+    coalescing keyed by routing key, idempotency-key replays, and
+    deficit-round-robin fair admission across tenants -- same execution
+    core, event-driven waiting.
 :mod:`~repro.service.shard`
     consistent-hash :class:`ShardCoordinator` scaling the service *out*
     across N worker daemons (``npb shard-serve``), with health probes,
@@ -42,6 +47,13 @@ from repro.service.api import (
     ServiceClient,
     ServiceUnavailable,
     make_server,
+)
+from repro.service.async_api import (
+    AsyncFrontEnd,
+    AsyncServerThread,
+    FairAdmission,
+    TenantQuotaExceeded,
+    serve_async,
 )
 from repro.service.cache import ResultCache
 from repro.service.chaos import (
@@ -69,6 +81,11 @@ __all__ = [
     "ServiceClient",
     "ServiceUnavailable",
     "make_server",
+    "AsyncFrontEnd",
+    "AsyncServerThread",
+    "FairAdmission",
+    "TenantQuotaExceeded",
+    "serve_async",
     "ResultCache",
     "ChaosInjector",
     "ChaosPlan",

@@ -10,32 +10,41 @@ shim over it on a stdlib ``ThreadingHTTPServer``:
     Submit a job.  Body: ``{"benchmark": "CG", "problem_class": "S",
     "backend": "serial", "workers": 1, "priority": "normal",
     "no_cache": false, "dispatch_timeout": null, "max_retries": null,
-    "kernel_backend": "fused", "job_key": null, "wait": false}``.
+    "kernel_backend": "fused", "job_key": null, "tenant": null,
+    "wait": false}``.
     Returns 202 with the job dict (or 200 with the terminal job when
     ``wait`` is true); 429 when admission is rejected (queue full or
     draining); 400 on a malformed spec.  A repeated ``job_key``
     (idempotency key) returns the already-admitted job instead of a
-    duplicate.
+    duplicate.  An ``Idempotency-Key`` request header is shorthand for
+    ``job_key``, and ``X-NPB-Tenant`` for ``tenant``; an explicit body
+    field wins over its header.
 ``GET /jobs`` / ``GET /jobs/<id>``
     Job listing / one job (404 when unknown).
 ``GET /status``
     Queue depth, pool occupancy, cache hit rate, scheduler counters
-    (including aggregated fault counts), and jobs by state.
+    (including aggregated fault counts), jobs by state, and the
+    ``dedup`` counters (``coalesced`` / ``idempotent_replays`` /
+    ``duplicate_executions``).
 
-:class:`ServiceClient` is the stdlib-``urllib`` client used by
-``npb submit`` / ``npb jobs`` and the load generator
-(:mod:`repro.service.loadgen`).  ``submit(..., retries=N)`` honors the
-``Retry-After`` header on 429 with bounded retries, so a briefly-full
-queue reads as backpressure instead of a hard failure.
+:class:`ServiceClient` is the stdlib client used by ``npb submit`` /
+``npb jobs`` and the load generator (:mod:`repro.service.loadgen`).  It
+keeps one ``http.client.HTTPConnection`` alive per thread (both service
+front ends speak HTTP/1.1 keep-alive), so a closed-loop worker pays
+connection setup once, not per request -- reconnecting per call was
+polluting the latency percentiles the loadgen SLO gate reads.
+``submit(..., retries=N)`` honors the ``Retry-After`` header on 429 with
+bounded retries, so a briefly-full queue reads as backpressure instead
+of a hard failure.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import threading
 import time
-import urllib.error
-import urllib.request
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.runtime.dispatch import FaultPolicy
@@ -89,6 +98,15 @@ class BenchService:
         self._cond = threading.Condition()
         self._counter = 0
         self._draining = False
+        #: dedup counters (schema v6 status block): replays of an
+        #: idempotency key, and waiters the async front end attached to
+        #: an in-flight job instead of re-queueing
+        self.idempotent_replays = 0
+        self.coalesced = 0
+        #: external observers of job state changes (the async front end
+        #: registers one to resolve waiter futures); called outside the
+        #: service lock from dispatcher threads, must be cheap
+        self._listeners: list = []
         self.started_at = time.time()
         if autostart:
             self.scheduler.start()
@@ -98,6 +116,28 @@ class BenchService:
     def _on_update(self, job: Job) -> None:
         with self._cond:
             self._cond.notify_all()
+            listeners = list(self._listeners)
+        for listener in listeners:
+            try:
+                listener(job)
+            except Exception:
+                # A broken observer must never take a dispatcher down.
+                pass
+
+    def add_listener(self, listener) -> None:
+        """Register ``listener(job)`` to run after every state change."""
+        with self._cond:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        with self._cond:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+    def note_coalesced(self, count: int = 1) -> None:
+        """Count waiters a front end attached to an in-flight job."""
+        with self._cond:
+            self.coalesced += count
 
     def submit(
         self,
@@ -111,6 +151,7 @@ class BenchService:
         max_retries: int | None = None,
         kernel_backend: str | None = None,
         job_key: str | None = None,
+        tenant: str | None = None,
     ) -> Job:
         """Admit one job (raises :class:`AdmissionRejected` when full).
 
@@ -124,12 +165,15 @@ class BenchService:
         returns the job already admitted under it (whatever state it has
         reached) instead of queueing a duplicate.  This is what lets the
         shard coordinator resubmit after an ambiguous transport failure
-        without double-running the work.
+        without double-running the work.  ``tenant`` is provenance for
+        fair admission (and the v6 record); it does not affect the run.
         """
         if job_key is not None:
             job_key = str(job_key)
             with self._cond:
                 existing = self._by_key.get(job_key)
+                if existing is not None:
+                    self.idempotent_replays += 1
             if existing is not None:
                 return existing
         spec = JobSpec.create(
@@ -151,6 +195,7 @@ class BenchService:
                 # have registered the key while the spec was validated.
                 existing = self._by_key.get(job_key)
                 if existing is not None:
+                    self.idempotent_replays += 1
                     return existing
             self._counter += 1
             job = Job(
@@ -159,6 +204,7 @@ class BenchService:
                 priority=priority,
                 no_cache=bool(no_cache),
                 job_key=job_key,
+                tenant=None if tenant is None else str(tenant),
             )
             if job_key is not None:
                 self._by_key[job_key] = job
@@ -176,6 +222,19 @@ class BenchService:
     def job(self, job_id: str) -> Job | None:
         with self._cond:
             return self._jobs.get(job_id)
+
+    def replay(self, job_key: str) -> Job | None:
+        """The job admitted under ``job_key``, counted as a replay.
+
+        Front ends use this as the admission pre-check: a hit means the
+        request is an idempotent replay and must bypass fair-queueing
+        (replaying a key adds no work, so it must not consume quota).
+        """
+        with self._cond:
+            job = self._by_key.get(str(job_key))
+            if job is not None:
+                self.idempotent_replays += 1
+            return job
 
     def jobs(self) -> list[Job]:
         with self._cond:
@@ -209,6 +268,8 @@ class BenchService:
             for job in self._jobs.values():
                 by_state[job.state] = by_state.get(job.state, 0) + 1
             draining = self._draining
+            coalesced = self.coalesced
+            idempotent_replays = self.idempotent_replays
         status = {
             "service": "npb-bench-service",
             "uptime_seconds": time.time() - self.started_at,
@@ -222,6 +283,15 @@ class BenchService:
             "cache": self.cache.stats(),
             "scheduler": self.scheduler.stats(),
             "jobs": by_state,
+            # duplicate-work ledger: requests absorbed without executing
+            # (coalesced waiters, idempotent replays) vs duplicate work
+            # that actually ran (in-flight twins the threaded front end
+            # cannot deduplicate)
+            "dedup": {
+                "coalesced": coalesced,
+                "idempotent_replays": idempotent_replays,
+                "duplicate_executions": self.scheduler.duplicate_executions,
+            },
         }
         if self.chaos is not None:
             status["chaos"] = self.chaos.summary()
@@ -252,8 +322,11 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     """JSON shim: translates HTTP verbs onto the BenchService facade."""
 
     server: "ServiceHTTPServer"
-    #: keep connection handling simple and stateless
     protocol_version = "HTTP/1.1"
+    #: the handler writes headers and body as separate small segments;
+    #: with Nagle on, a keep-alive client stalls ~40ms per response in
+    #: the delayed-ACK window, which would swamp every latency record
+    disable_nagle_algorithm = True
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         if self.server.verbose:
@@ -299,6 +372,14 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 raise ValueError("body must be a JSON object")
             wait = bool(payload.pop("wait", False))
             wait_timeout = payload.pop("wait_timeout", None)
+            # Header shorthands (body fields win): same contract as the
+            # async front end, so clients can switch front ends freely.
+            idem = self.headers.get("Idempotency-Key")
+            if idem is not None and payload.get("job_key") is None:
+                payload["job_key"] = idem
+            tenant = self.headers.get("X-NPB-Tenant")
+            if tenant is not None and payload.get("tenant") is None:
+                payload["tenant"] = tenant
             job = service.submit(**payload)
         except AdmissionRejected as exc:
             self._send(
@@ -367,39 +448,102 @@ def _retry_after_seconds(headers) -> float:
 
 
 class ServiceClient:
-    """Minimal stdlib HTTP client for the job service."""
+    """Stdlib HTTP client with one keep-alive connection per thread.
 
-    def __init__(self, url: str, timeout: float = 600.0):
+    Both front ends speak HTTP/1.1 with persistent connections, so the
+    client holds one ``http.client.HTTPConnection`` per thread (clients
+    are shared across loadgen workers) and reuses it across requests.
+    A reused connection can go stale -- the server may have closed it
+    between requests -- so exactly one transparent retry on a fresh
+    connection covers that case; a failure on a *fresh* connection is a
+    real :class:`ServiceUnavailable`.
+
+    ``keep_alive=False`` opens a fresh connection per request instead.
+    Health probes need this: a kept-alive connection outlives its
+    server's *listener* (the handler thread keeps serving it), so a
+    probe over one would report a shard healthy when no new client can
+    connect.  Liveness means connectability, not an old socket's luck.
+    """
+
+    def __init__(
+        self, url: str, timeout: float = 600.0, keep_alive: bool = True
+    ):
         self.url = url.rstrip("/")
         self.timeout = timeout
+        self.keep_alive = keep_alive
+        parsed = urllib.parse.urlsplit(self.url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"only http:// URLs are supported, got {url!r}")
+        self._host = parsed.hostname or "127.0.0.1"
+        self._port = parsed.port or 80
+        self._local = threading.local()
+
+    def _connection(self) -> tuple[http.client.HTTPConnection, bool]:
+        """This thread's connection and whether it is being reused."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            return conn, True
+        conn = http.client.HTTPConnection(
+            self._host, self._port, timeout=self.timeout
+        )
+        if self.keep_alive:
+            self._local.conn = conn
+        return conn, False
+
+    def _drop_connection(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            self._local.conn = None
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        """Close this thread's kept-alive connection (if any)."""
+        self._drop_connection()
 
     def _request_full(
-        self, method: str, path: str, payload: dict | None = None
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        headers: dict | None = None,
     ) -> tuple[int, dict, dict]:
         """One request: ``(status, body, headers)``."""
         data = None if payload is None else json.dumps(payload).encode()
-        request = urllib.request.Request(
-            f"{self.url}{path}",
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"},
-        )
-        try:
-            with urllib.request.urlopen(
-                request, timeout=self.timeout
-            ) as response:
-                body = json.loads(response.read() or b"{}")
-                return response.status, body, dict(response.headers)
-        except urllib.error.HTTPError as exc:
+        send_headers = {"Content-Type": "application/json"}
+        send_headers.update(headers or {})
+        for _ in range(2):
+            conn, reused = self._connection()
             try:
-                body = json.loads(exc.read() or b"{}")
+                conn.request(method, path, body=data, headers=send_headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except (
+                http.client.HTTPException,
+                ConnectionError,
+                OSError,
+                TimeoutError,
+            ) as exc:
+                self._drop_connection()
+                conn.close()
+                if reused:
+                    # Stale keep-alive connection; retry once fresh.
+                    continue
+                raise ServiceUnavailable(
+                    f"cannot reach {self.url}: {exc}"
+                ) from exc
+            if not self.keep_alive:
+                conn.close()
+            elif response.will_close:
+                self._drop_connection()
+            try:
+                body = json.loads(raw or b"{}")
             except json.JSONDecodeError:
-                body = {"error": str(exc)}
-            return exc.code, body, dict(exc.headers or {})
-        except (urllib.error.URLError, OSError, TimeoutError) as exc:
-            raise ServiceUnavailable(
-                f"cannot reach {self.url}: {exc}"
-            ) from exc
+                body = {"error": raw.decode(errors="replace")}
+            return response.status, body, dict(response.headers)
+        raise ServiceUnavailable(f"cannot reach {self.url}")  # unreachable
 
     def _request(
         self, method: str, path: str, payload: dict | None = None
@@ -407,7 +551,9 @@ class ServiceClient:
         code, body, _ = self._request_full(method, path, payload)
         return code, body
 
-    def submit(self, payload: dict, retries: int = 0) -> tuple[int, dict]:
+    def submit(
+        self, payload: dict, retries: int = 0, headers: dict | None = None
+    ) -> tuple[int, dict]:
         """POST the job, honoring Retry-After on 429 up to ``retries``
         resubmissions.
 
@@ -417,12 +563,14 @@ class ServiceClient:
         ``retries=0`` the first response is returned as-is.
         """
         attempts = max(0, int(retries)) + 1
-        code, body, headers = 429, {}, {}
+        code, body, response_headers = 429, {}, {}
         for attempt in range(attempts):
-            code, body, headers = self._request_full("POST", "/jobs", payload)
+            code, body, response_headers = self._request_full(
+                "POST", "/jobs", payload, headers=headers
+            )
             if code != 429 or attempt == attempts - 1:
                 return code, body
-            time.sleep(_retry_after_seconds(headers))
+            time.sleep(_retry_after_seconds(response_headers))
         return code, body
 
     def job(self, job_id: str) -> tuple[int, dict]:

@@ -1,0 +1,846 @@
+"""Asyncio front end: in-flight coalescing and weighted-fair admission.
+
+The threaded front end (:mod:`repro.service.api`) holds one OS thread per
+in-flight connection and executes every admitted job, even when an
+identical one is already running.  This module replaces the *front* of
+the service with a single-threaded asyncio server while keeping the
+execution core -- ``BenchService``/``Scheduler``/``TeamPool`` -- exactly
+as it is, bridged through the event loop's default thread pool for the
+few short blocking calls (``submit``, ``status``, ``drain``).  Waiting,
+which is what clients mostly do, is fully event-driven: a dispatcher
+thread finishing a job wakes the loop once
+(``call_soon_threadsafe``), and the loop fans the result out to every
+connection that was parked on an ``asyncio.Future``.
+
+Three capabilities ride on the async front:
+
+**In-flight coalescing.**  A registry keyed by the spec's routing key
+(:func:`repro.service.jobs.routing_key` -- within one daemon the
+environment is pinned, so equal routing keys partition submissions
+exactly like equal fingerprints) tracks every cache-eligible job between
+admission and its terminal state.  A second identical request attaches
+an ``asyncio.Future`` to the registered entry instead of re-queueing;
+when the primary completes, one result fans out to all attached waiters.
+Waiter responses carry ``coalesced_with: <primary job_id>`` (also
+stamped into the run record -- schema v6), and each attachment increments
+the ``dedup.coalesced`` counter in ``/status``.  Requests with
+``no_cache`` asked for a private execution and never coalesce, in either
+direction.  The registry entry dies with the job: a request arriving
+*after* completion is the fingerprint cache's business, not ours --
+coalescing handles the window the cache cannot (identical work in
+flight), and the cache handles everything after.
+
+**Idempotency keys.**  ``Idempotency-Key: <key>`` (shorthand for the
+body's ``job_key``) makes POST /jobs replay-safe: a repeated key returns
+the originally-admitted job, whatever state it has reached.  Replays are
+recognized *before* fair admission -- they add no work, so they must not
+consume quota -- which layers the three identity mechanisms as: job_key
+(client-chosen, survives completion) over in-flight registry (identity
+of running work) over fingerprint cache (identity of finished results).
+
+**Weighted-fair multi-tenant admission.**  Requests carry a tenant id
+(``X-NPB-Tenant`` header or body ``tenant``).  New work passes through
+:class:`FairAdmission` -- deficit round robin over per-tenant FIFO
+queues -- before reaching ``BenchService.submit``, so one hot tenant
+saturates its own queue (structured 429 with the tenant named) instead
+of the fleet.  The admission window (grants outstanding until their jobs
+go terminal) is what creates the backlog DRR needs: without it a burst
+would race straight into the service queue in arrival order.  PR 5's
+bounded-queue/429 backpressure stays the outermost layer underneath.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from collections import deque
+
+from repro.service.api import (
+    RETRY_AFTER_SECONDS,
+    BenchService,
+)
+from repro.service.jobs import AdmissionRejected, Job, routing_key
+
+#: Hard cap on one HTTP request's header section + body (1 MiB): a job
+#: submission is a small JSON object; anything bigger is abuse.
+MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+
+class TenantQuotaExceeded(AdmissionRejected):
+    """One tenant's admission queue is full (structured 429).
+
+    Subclasses :class:`AdmissionRejected` so every path that maps
+    admission failures to 429s (including waiters coalesced onto a
+    quota-bounced primary) treats it as backpressure, not a bad spec.
+    """
+
+    def __init__(self, tenant: str, pending: int, quota: int):
+        super().__init__(
+            f"tenant {tenant!r} admission queue full "
+            f"({pending}/{quota}); back off and resubmit"
+        )
+        self.tenant = tenant
+        self.pending = pending
+        self.quota = quota
+
+
+class FairAdmission:
+    """Deficit-round-robin admission across per-tenant queues.
+
+    ``acquire(tenant)`` parks the caller on a per-tenant FIFO until DRR
+    grants it one of ``window`` outstanding slots; ``release()`` returns
+    a slot (callers do this when the granted job reaches a terminal
+    state).  Each DRR visit tops a tenant's deficit up by its weight and
+    serves while the deficit covers a whole request, so over any
+    contended interval tenant throughput is proportional to weight --
+    with equal weights, a tenant offering 4x the load still completes
+    ~half, which is the fairness contract the tests pin down.  A tenant
+    with more than ``quota`` requests already parked is rejected
+    immediately (:class:`TenantQuotaExceeded`) -- per-tenant
+    backpressure, layered above the service queue's global bound.
+
+    Single-threaded by construction: every method must be called on the
+    event-loop thread.
+    """
+
+    def __init__(
+        self,
+        window: int = 4,
+        quota: int = 64,
+        default_weight: float = 1.0,
+        weights: dict[str, float] | None = None,
+    ):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if quota < 1:
+            raise ValueError("quota must be >= 1")
+        for tenant, weight in (weights or {}).items():
+            if weight <= 0:
+                raise ValueError(
+                    f"tenant {tenant!r} weight must be > 0, got {weight}"
+                )
+        if default_weight <= 0:
+            raise ValueError("default_weight must be > 0")
+        self.window = window
+        self.quota = quota
+        self._default_weight = float(default_weight)
+        self._weights = {t: float(w) for t, w in (weights or {}).items()}
+        self._queues: dict[str, deque[asyncio.Future]] = {}
+        self._deficits: dict[str, float] = {}
+        #: round-robin visiting order of tenants with queued requests
+        self._order: deque[str] = deque()
+        self.in_flight = 0
+        self.granted: dict[str, int] = {}
+        self._closed = False
+        #: tenant whose DRR visit the window cut short (resume it with
+        #: its remaining deficit instead of topping up again)
+        self._visiting: str | None = None
+
+    def weight(self, tenant: str) -> float:
+        return self._weights.get(tenant, self._default_weight)
+
+    async def acquire(self, tenant: str | None) -> None:
+        """Park until granted an admission slot (DRR order).
+
+        Raises :class:`AdmissionRejected` when draining and
+        :class:`TenantQuotaExceeded` when this tenant's queue is full.
+        """
+        key = tenant if tenant is not None else "-"
+        if self._closed:
+            raise AdmissionRejected("service is draining; not accepting new jobs")
+        if self.in_flight < self.window and not self._order:
+            # Uncontended: nobody is parked, so weighted ordering cannot
+            # matter -- grant synchronously instead of parking a future
+            # and paying a loop round-trip on every quiet-path request.
+            self.in_flight += 1
+            self.granted[key] = self.granted.get(key, 0) + 1
+            return
+        queue = self._queues.setdefault(key, deque())
+        pending = sum(1 for fut in queue if not fut.done())
+        if pending >= self.quota:
+            raise TenantQuotaExceeded(key, pending, self.quota)
+        fut = asyncio.get_running_loop().create_future()
+        queue.append(fut)
+        if key not in self._order:
+            self._order.append(key)
+        self._dispatch()
+        try:
+            await fut
+        except asyncio.CancelledError:
+            # A cancelled waiter that was already granted must give its
+            # slot back; an ungranted one just leaves a done future the
+            # dispatcher skips over.
+            if fut.cancelled():
+                raise
+            self.release()
+            raise
+
+    def release(self) -> None:
+        """Return one granted slot and hand it to the next in DRR order."""
+        self.in_flight = max(0, self.in_flight - 1)
+        self._dispatch()
+
+    def close(self) -> AdmissionRejected:
+        """Drain: reject every parked request and all future acquires."""
+        self._closed = True
+        exc = AdmissionRejected("service is draining; not accepting new jobs")
+        for queue in self._queues.values():
+            while queue:
+                fut = queue.popleft()
+                if not fut.done():
+                    fut.set_exception(exc)
+        self._order.clear()
+        self._deficits.clear()
+        self._visiting = None
+        return exc
+
+    def _dispatch(self) -> None:
+        while self.in_flight < self.window and self._order:
+            key = self._order[0]
+            queue = self._queues.get(key)
+            if queue:
+                while queue and queue[0].done():
+                    queue.popleft()
+            if not queue:
+                self._order.popleft()
+                self._deficits.pop(key, None)
+                self._queues.pop(key, None)
+                if self._visiting == key:
+                    self._visiting = None
+                continue
+            # DRR visit: top up by weight once per visit, serve whole
+            # requests only.  A visit the *window* cut short (not the
+            # deficit) resumes here with its remaining credit -- topping
+            # up again would collapse weighted shares into plain round
+            # robin whenever the window is small.
+            if self._visiting != key:
+                self._visiting = key
+                self._deficits[key] = (
+                    self._deficits.get(key, 0.0) + self.weight(key)
+                )
+            while (
+                queue
+                and self._deficits[key] >= 1.0
+                and self.in_flight < self.window
+            ):
+                fut = queue.popleft()
+                if fut.done():
+                    continue
+                self._deficits[key] -= 1.0
+                self.in_flight += 1
+                self.granted[key] = self.granted.get(key, 0) + 1
+                fut.set_result(None)
+            while queue and queue[0].done():
+                queue.popleft()
+            if queue and self._deficits[key] >= 1.0:
+                # Mid-visit, window full: keep this tenant at the front.
+                return
+            self._visiting = None
+            self._order.popleft()
+            if queue:
+                self._order.append(key)
+            else:
+                # Idle tenants forfeit their deficit: credit must not
+                # accumulate while a tenant has nothing queued.
+                self._deficits.pop(key, None)
+                self._queues.pop(key, None)
+
+    def stats(self) -> dict:
+        return {
+            "window": self.window,
+            "quota": self.quota,
+            "in_flight": self.in_flight,
+            "queued": {
+                tenant: sum(1 for f in queue if not f.done())
+                for tenant, queue in self._queues.items()
+                if queue
+            },
+            "granted": dict(self.granted),
+            "weights": dict(self._weights),
+        }
+
+
+class _InflightEntry:
+    """One cache-eligible job between admission and terminal state.
+
+    ``admitted`` resolves to the :class:`Job` once ``service.submit``
+    returns (or to its exception); ``done`` resolves to the same job in
+    its terminal state -- done, failed, or cached alike, so a waiter on
+    a failed primary gets the structured failure, never a hang.
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop):
+        self.admitted: asyncio.Future = loop.create_future()
+        self.done: asyncio.Future = loop.create_future()
+        # Exceptions fan out to waiters, but an entry may have none;
+        # mark them observed so a waiterless failure does not warn.
+        self.admitted.add_done_callback(_observe)
+        self.done.add_done_callback(_observe)
+        self.waiters = 0
+
+    def fail(self, exc: BaseException) -> None:
+        if not self.admitted.done():
+            self.admitted.set_exception(exc)
+        if not self.done.done():
+            self.done.set_exception(exc)
+
+
+def _observe(fut: asyncio.Future) -> None:
+    if not fut.cancelled():
+        fut.exception()
+
+
+class AsyncFrontEnd:
+    """The asyncio HTTP front end over one :class:`BenchService`.
+
+    All mutable state (registry, watches, admission) is touched only on
+    the event-loop thread; dispatcher threads reach it exclusively via
+    ``call_soon_threadsafe`` from the service listener.
+    """
+
+    def __init__(
+        self,
+        service: BenchService,
+        window: int | None = None,
+        quota: int = 64,
+        weights: dict[str, float] | None = None,
+        verbose: bool = False,
+    ):
+        self.service = service
+        self.admission = FairAdmission(
+            window=window if window is not None else service.pool.size,
+            quota=quota,
+            weights=weights,
+        )
+        self.verbose = verbose
+        self.draining = False
+        self._loop: asyncio.AbstractEventLoop | None = None
+        #: routing_key -> in-flight entry (cache-eligible jobs only)
+        self._registry: dict[str, _InflightEntry] = {}
+        #: job_id -> futures parked until that job is terminal
+        self._watches: dict[str, list[asyncio.Future]] = {}
+        self._listener_installed = False
+
+    # ------------------------------------------------------------------ #
+    # service bridge
+    # ------------------------------------------------------------------ #
+
+    def install(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Bind to the loop and start observing job state changes."""
+        self._loop = loop
+        if not self._listener_installed:
+            self.service.add_listener(self._on_job_update)
+            self._listener_installed = True
+
+    def uninstall(self) -> None:
+        if self._listener_installed:
+            self.service.remove_listener(self._on_job_update)
+            self._listener_installed = False
+
+    def _on_job_update(self, job: Job) -> None:
+        """Service listener -- runs on a dispatcher thread."""
+        if job.terminal and self._loop is not None and not self._loop.is_closed():
+            self._loop.call_soon_threadsafe(self._resolve_job, job)
+
+    def _resolve_job(self, job: Job) -> None:
+        """Loop thread: fan a terminal job out to every parked future."""
+        for fut in self._watches.pop(job.job_id, []):
+            if not fut.done():
+                fut.set_result(job)
+
+    def _watch_job(self, job: Job) -> asyncio.Future:
+        """Future resolving to ``job`` once terminal (loop thread only)."""
+        fut = asyncio.get_running_loop().create_future()
+        self._watches.setdefault(job.job_id, []).append(fut)
+        if job.terminal:
+            # The listener may have fired before this watch registered.
+            self._resolve_job(job)
+        return fut
+
+    async def _submit(self, payload: dict) -> Job:
+        """Admit one job on the loop thread.
+
+        ``service.submit`` never blocks: it validates the spec, hashes
+        the fingerprint, and enqueues under a briefly-held lock (a full
+        queue *raises* rather than waiting).  Calling it inline saves
+        two executor handoffs on the hottest path in the server; keep
+        the coroutine shape so call sites read the same either way.
+        """
+        return self.service.submit(**payload)
+
+    # ------------------------------------------------------------------ #
+    # request handling
+    # ------------------------------------------------------------------ #
+
+    async def handle_post_jobs(self, headers: dict, body: bytes) -> tuple:
+        """POST /jobs: replay -> coalesce -> fair-admit -> submit."""
+        try:
+            payload = json.loads(body or b"{}")
+            if not isinstance(payload, dict):
+                raise ValueError("body must be a JSON object")
+        except (ValueError, json.JSONDecodeError) as exc:
+            return 400, {"error": f"bad job spec: {exc}"}, {}
+        wait = bool(payload.pop("wait", False))
+        wait_timeout = payload.pop("wait_timeout", None)
+        idem = headers.get("idempotency-key")
+        if idem is not None and payload.get("job_key") is None:
+            payload["job_key"] = idem
+        header_tenant = headers.get("x-npb-tenant")
+        if header_tenant is not None and payload.get("tenant") is None:
+            payload["tenant"] = header_tenant
+        tenant = payload.get("tenant")
+
+        # Layer 1: idempotency-key replay (no work, no quota).
+        job_key = payload.get("job_key")
+        if job_key is not None:
+            existing = self.service.replay(job_key)
+            if existing is not None:
+                return await self._respond_job(existing, wait, wait_timeout)
+
+        if self.draining:
+            return self._rejected(
+                AdmissionRejected("service is draining; not accepting new jobs")
+            )
+
+        # Layer 2: in-flight coalescing (attach, don't re-queue).  The
+        # lookup and the placeholder insert happen with no await between
+        # them: a twin arriving while this request is still parked at
+        # admission (or inside the executor submit) finds the entry and
+        # attaches instead of racing to a duplicate execution.
+        eligible = not bool(payload.get("no_cache", False))
+        key = routing_key(payload, self.service.default_kernel_backend)
+        entry = None
+        if eligible:
+            existing_entry = self._registry.get(key)
+            if existing_entry is not None:
+                return await self._attach(
+                    existing_entry, wait, wait_timeout, tenant
+                )
+            entry = _InflightEntry(asyncio.get_running_loop())
+            self._registry[key] = entry
+
+        # Layer 3: weighted-fair admission, then real submission.
+        try:
+            await self.admission.acquire(tenant)
+        except TenantQuotaExceeded as exc:
+            self._abort_entry(key, entry, exc)
+            return (
+                429,
+                {
+                    "error": str(exc),
+                    "tenant": exc.tenant,
+                    "pending": exc.pending,
+                    "quota": exc.quota,
+                },
+                {"Retry-After": f"{RETRY_AFTER_SECONDS:g}"},
+            )
+        except AdmissionRejected as exc:
+            self._abort_entry(key, entry, exc)
+            return self._rejected(exc)
+
+        try:
+            job = await self._submit(payload)
+        except AdmissionRejected as exc:
+            self._abort_entry(key, entry, exc)
+            self.admission.release()
+            return self._rejected(exc)
+        except (TypeError, ValueError) as exc:
+            self._abort_entry(key, entry, exc)
+            self.admission.release()
+            return 400, {"error": f"bad job spec: {exc}"}, {}
+        except Exception as exc:
+            self._abort_entry(key, entry, exc)
+            self.admission.release()
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}, {}
+
+        done = self._watch_job(job)
+        done.add_done_callback(lambda _f: self._retire(key, entry))
+        if entry is not None:
+            entry.admitted.set_result(job)
+            if not entry.done.done():
+
+                def _forward(fut: asyncio.Future, entry=entry) -> None:
+                    if not entry.done.done() and not fut.cancelled():
+                        entry.done.set_result(fut.result())
+
+                done.add_done_callback(_forward)
+        if wait:
+            return await self._await_terminal(job, done, wait_timeout)
+        return 202, job.as_dict(), {}
+
+    def _retire(self, key: str, entry: _InflightEntry | None) -> None:
+        """Terminal job: free its admission slot and registry entry."""
+        self.admission.release()
+        if entry is not None and self._registry.get(key) is entry:
+            del self._registry[key]
+
+    def _abort_entry(
+        self, key: str, entry: _InflightEntry | None, exc: BaseException
+    ) -> None:
+        if entry is None:
+            return
+        if self._registry.get(key) is entry:
+            del self._registry[key]
+        entry.fail(exc)
+
+    def _rejected(self, exc: AdmissionRejected) -> tuple:
+        return (
+            429,
+            {
+                "error": str(exc),
+                "depth": getattr(exc, "depth", 0),
+                "capacity": getattr(exc, "capacity", 0),
+            },
+            {"Retry-After": f"{RETRY_AFTER_SECONDS:g}"},
+        )
+
+    async def _attach(
+        self,
+        entry: _InflightEntry,
+        wait: bool,
+        wait_timeout,
+        tenant: str | None = None,
+    ) -> tuple:
+        """Coalesce onto an in-flight entry instead of re-queueing.
+
+        ``asyncio.shield`` is what keeps a waiter's disconnect from
+        cancelling the shared job: cancellation kills this coroutine,
+        never the entry's futures.
+        """
+        entry.waiters += 1
+        self.service.note_coalesced()
+        try:
+            primary: Job = await asyncio.shield(entry.admitted)
+        except AdmissionRejected as exc:
+            return self._rejected(exc)
+        except Exception as exc:
+            return 400, {"error": f"bad job spec: {exc}"}, {}
+        if not wait:
+            body = primary.as_dict()
+            body["coalesced_with"] = primary.job_id
+            return 202, body, {}
+        try:
+            terminal: Job = await self._shielded_wait(entry.done, wait_timeout)
+        except TimeoutError as exc:
+            return 504, {"error": str(exc), "job": primary.as_dict()}, {}
+        except AdmissionRejected as exc:
+            return self._rejected(exc)
+        body = terminal.as_dict()
+        body["coalesced_with"] = primary.job_id
+        if body.get("result") is not None:
+            # The record is per-response provenance: this waiter's
+            # tenant, coalesced onto the primary's computation.
+            record = dict(body["result"])
+            record["coalesced_with"] = primary.job_id
+            record["tenant"] = None if tenant is None else str(tenant)
+            body["result"] = record
+        return 200, body, {}
+
+    async def _shielded_wait(self, fut: asyncio.Future, timeout) -> Job:
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(fut),
+                None if timeout is None else float(timeout),
+            )
+        except asyncio.TimeoutError:
+            raise TimeoutError(
+                f"job not terminal within {timeout}s"
+            ) from None
+
+    async def _await_terminal(
+        self, job: Job, done: asyncio.Future, wait_timeout
+    ) -> tuple:
+        try:
+            terminal = await self._shielded_wait(done, wait_timeout)
+        except TimeoutError as exc:
+            return 504, {"error": str(exc), "job": job.as_dict()}, {}
+        return 200, terminal.as_dict(), {}
+
+    async def _respond_job(self, job: Job, wait: bool, wait_timeout) -> tuple:
+        """Respond with an already-known job (idempotent replay)."""
+        if not wait:
+            code = 200 if job.terminal else 202
+            return code, job.as_dict(), {}
+        done = self._watch_job(job)
+        return await self._await_terminal(job, done, wait_timeout)
+
+    # ------------------------------------------------------------------ #
+    # HTTP plumbing
+    # ------------------------------------------------------------------ #
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, version, headers, body = request
+                keep_alive = self._keep_alive(version, headers)
+                try:
+                    code, payload, extra = await self._route(
+                        method, target, headers, body
+                    )
+                except Exception as exc:  # defensive: never drop silently
+                    code, payload, extra = (
+                        500,
+                        {"error": f"{type(exc).__name__}: {exc}"},
+                        {},
+                    )
+                self._write_response(writer, code, payload, extra, keep_alive)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ConnectionError,
+            ValueError,
+        ):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown cancels idle keep-alive readers; close the
+            # socket quietly rather than logging a phantom error.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise ValueError(f"malformed request line: {line!r}")
+        method, target, version = parts
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = raw.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+            if len(headers) > 256:
+                raise ValueError("too many headers")
+        length = int(headers.get("content-length") or 0)
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise ValueError(f"unreasonable content length {length}")
+        body = await reader.readexactly(length) if length else b""
+        return method, target, version, headers, body
+
+    @staticmethod
+    def _keep_alive(version: str, headers: dict) -> bool:
+        connection = headers.get("connection", "").lower()
+        if version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+    async def _route(
+        self, method: str, target: str, headers: dict, body: bytes
+    ) -> tuple:
+        service = self.service
+        loop = asyncio.get_running_loop()
+        path = target.split("?", 1)[0].rstrip("/") or "/"
+        if method == "POST" and path == "/jobs":
+            return await self.handle_post_jobs(headers, body)
+        if method == "GET" and path == "/status":
+            status = await loop.run_in_executor(None, service.status)
+            status["frontend"] = {
+                "mode": "async",
+                "inflight": len(self._registry),
+                "admission": self.admission.stats(),
+            }
+            return 200, status, {}
+        if method == "GET" and path == "/jobs":
+            jobs = await loop.run_in_executor(None, service.jobs)
+            return 200, {"jobs": [job.as_dict() for job in jobs]}, {}
+        if method == "GET" and path.startswith("/jobs/"):
+            job = service.job(path[len("/jobs/") :])
+            if job is None:
+                return 404, {"error": "unknown job"}, {}
+            return 200, job.as_dict(), {}
+        return 404, {"error": f"no such resource {target!r}"}, {}
+
+    @staticmethod
+    def _write_response(
+        writer: asyncio.StreamWriter,
+        code: int,
+        payload: dict,
+        extra_headers: dict | None,
+        keep_alive: bool,
+    ) -> None:
+        body = (json.dumps(payload, indent=2) + "\n").encode()
+        lines = [
+            f"HTTP/1.1 {code} {_REASONS.get(code, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        if not keep_alive:
+            lines.append("Connection: close")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode() + body)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def drain(self, timeout: float | None = 30.0) -> bool:
+        """Stop admitting, finish admitted jobs, resolve every waiter."""
+        self.draining = True
+        self.admission.close()
+        loop = asyncio.get_running_loop()
+        clean = await loop.run_in_executor(
+            None, lambda: self.service.drain(timeout)
+        )
+        # Admitted jobs are terminal now; their listeners have resolved
+        # every watch.  Anything still parked belongs to a job the drain
+        # lost -- fail it loudly rather than hang the connection.
+        for job_id, futures in list(self._watches.items()):
+            job = self.service.job(job_id)
+            for fut in futures:
+                if fut.done():
+                    continue
+                if job is not None and job.terminal:
+                    fut.set_result(job)
+                else:
+                    fut.set_exception(
+                        AdmissionRejected("service drained before completion")
+                    )
+            self._watches.pop(job_id, None)
+        for key, entry in list(self._registry.items()):
+            entry.fail(AdmissionRejected("service drained before completion"))
+            self._registry.pop(key, None)
+        return clean
+
+
+async def serve_async(
+    service: BenchService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    window: int | None = None,
+    quota: int = 64,
+    weights: dict[str, float] | None = None,
+    verbose: bool = False,
+    announce=None,
+    stop_event: asyncio.Event | None = None,
+    drain_timeout: float | None = 30.0,
+) -> bool:
+    """Run the async front end until ``stop_event`` (or forever).
+
+    ``announce(url)`` is called once the socket is bound -- the CLI
+    prints the same ``listening on http://...`` line the threaded path
+    does, so ``_spawn_shard`` scrapes async shards identically.
+    Returns True when the drain was clean.
+    """
+    frontend = AsyncFrontEnd(
+        service, window=window, quota=quota, weights=weights, verbose=verbose
+    )
+    loop = asyncio.get_running_loop()
+    frontend.install(loop)
+    server = await asyncio.start_server(
+        frontend.handle_connection, host, port
+    )
+    bound_host, bound_port = server.sockets[0].getsockname()[:2]
+    if announce is not None:
+        announce(f"http://{bound_host}:{bound_port}")
+    if stop_event is None:
+        stop_event = asyncio.Event()
+    try:
+        await stop_event.wait()
+    finally:
+        server.close()
+        await server.wait_closed()
+        clean = await frontend.drain(drain_timeout)
+        frontend.uninstall()
+    return clean
+
+
+class AsyncServerThread:
+    """The async front end on a dedicated loop thread (tests, embedding).
+
+    Mirrors the ergonomics of ``make_server`` + ``serve_forever`` for
+    the threaded path: ``start()`` returns the bound URL, ``stop()``
+    triggers the drain and joins the loop thread.
+    """
+
+    def __init__(self, service: BenchService, host: str = "127.0.0.1", **kwargs):
+        self.service = service
+        self.host = host
+        self.kwargs = kwargs
+        self.url: str | None = None
+        self.clean: bool | None = None
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+
+            def _announce(url: str) -> None:
+                self.url = url
+                self._ready.set()
+
+            try:
+                self.clean = await serve_async(
+                    self.service,
+                    host=self.host,
+                    announce=_announce,
+                    stop_event=self._stop,
+                    **self.kwargs,
+                )
+            finally:
+                self._ready.set()
+
+        asyncio.run(main())
+
+    def start(self, timeout: float = 10.0) -> str:
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout) or self.url is None:
+            raise RuntimeError("async front end failed to start")
+        return self.url
+
+    def stop(self, timeout: float = 30.0) -> bool:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout)
+        return bool(self.clean)
+
+
+def wait_for_port(url: str, timeout: float = 5.0) -> bool:
+    """Poll until the daemon at ``url`` answers /status (tests, CI)."""
+    from repro.service.api import ServiceClient, ServiceUnavailable
+
+    client = ServiceClient(url, timeout=2.0)
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            code, _ = client.status()
+            if code == 200:
+                return True
+        except ServiceUnavailable:
+            time.sleep(0.05)
+    return False

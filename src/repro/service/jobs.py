@@ -41,6 +41,7 @@ have been admitted before the connection died).
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import json
 import platform
@@ -93,9 +94,13 @@ class AdmissionRejected(RuntimeError):
         self.capacity = capacity
 
 
+@functools.lru_cache(maxsize=1)
 def _git_sha() -> str:
     # Reuse the bench fingerprint helper; import here so the service can
-    # be used without the harness package fully importable.
+    # be used without the harness package fully importable.  Cached per
+    # process: the tree cannot change under a running daemon, and paying
+    # a `git rev-parse` subprocess on every submission would dominate
+    # the async front end's admission latency.
     from repro.harness.bench import _git_sha as sha
 
     return sha()
@@ -107,8 +112,14 @@ def routing_key(payload: Mapping, default_kernel_backend: str = "fused") -> str:
     Normalizes exactly the defaults :meth:`JobSpec.create` would apply,
     so a payload routes to the same shard its resulting spec would --
     without validating the payload or touching the environment.  Unknown
-    payload keys (``wait``, ``priority``, ``no_cache``, ``job_key``) are
-    ignored: they do not change what runs.
+    payload keys (``wait``, ``priority``, ``no_cache``, ``job_key``,
+    ``tenant``) are ignored: they do not change what runs.  The async
+    front end (:mod:`repro.service.async_api`) reuses this key for its
+    in-flight coalescing registry -- within one daemon the environment
+    is fixed, so equal routing keys partition jobs exactly like equal
+    fingerprints, and routing-key coalescing composes with shard
+    placement (identical specs land on the same shard *and* coalesce
+    there).
     """
     normalized = {
         "benchmark": str(payload.get("benchmark", "")).upper(),
@@ -250,6 +261,10 @@ class Job:
     #: client-supplied idempotency key: resubmitting the same key gives
     #: back this job instead of admitting a duplicate
     job_key: str | None = None
+    #: tenant id the submitting request carried (schema v6); admission
+    #: fairness groups by it, execution ignores it -- it is provenance,
+    #: not part of the fingerprint
+    tenant: str | None = None
     state: str = "submitted"
     submitted_at: float = field(default_factory=time.time)
     queued_at: float | None = None
@@ -293,6 +308,7 @@ class Job:
             "priority": self.priority,
             "no_cache": self.no_cache,
             "job_key": self.job_key,
+            "tenant": self.tenant,
             "state": self.state,
             "submitted_at": self.submitted_at,
             "queued_at": self.queued_at,

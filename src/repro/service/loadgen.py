@@ -44,7 +44,15 @@ from repro.harness.stats import mad, median, percentile
 from repro.service.api import ServiceClient, ServiceUnavailable
 
 #: Version of the LOADGEN_*.json record layout.
-SCHEMA_VERSION = 1
+#: v2: step ``requests`` blocks carry ``coalesced`` (ok responses that
+#: attached to an in-flight job instead of executing -- the async front
+#: end's in-flight dedup) and every step carries ``dedup_ratio``
+#: (``(cached + coalesced) / ok``: the share of successful requests that
+#: cost no execution).  v1 records are migrated on load with zero
+#: coalesced and ``dedup_ratio`` equal to the recorded
+#: ``cache_hit_ratio`` (before coalescing existed, the cache was the
+#: only dedup layer).
+SCHEMA_VERSION = 2
 
 #: The ``kind`` tag every record carries (guards against foreign JSON).
 RECORD_KIND = "npb-loadgen-record"
@@ -246,6 +254,9 @@ class RequestOutcome:
     shard: str | None = None
     #: True when the coordinator routed around a dead shard
     degraded: bool = False
+    #: True when the response was coalesced onto an in-flight job
+    #: (``coalesced_with`` present -- async front end only)
+    coalesced: bool = False
 
 
 def classify_response(code: int, body: dict) -> tuple[str, bool]:
@@ -283,6 +294,7 @@ def issue_request(submit, cell_id: str, payload: dict) -> RequestOutcome:
         latency_seconds=latency,
         shard=routing.get("served_by"),
         degraded=bool(routing.get("degraded")),
+        coalesced=body.get("coalesced_with") is not None,
     )
 
 
@@ -379,6 +391,7 @@ def summarize_outcomes(
         "ok": 0,
         "executed": 0,
         "cached": 0,
+        "coalesced": 0,
         "rejected_429": 0,
         "failed": 0,
         "unreachable": 0,
@@ -405,6 +418,10 @@ def summarize_outcomes(
             if outcome.cache_hit:
                 counts["cached"] += 1
                 cell["cached"] += 1
+            elif outcome.coalesced:
+                # Attached to an in-flight job: no execution paid for
+                # this request, but no cache hit either.
+                counts["coalesced"] += 1
             else:
                 counts["executed"] += 1
         elif outcome.status == "rejected":
@@ -435,6 +452,11 @@ def summarize_outcomes(
         "latency_seconds": latency,
         "throughput_rps": counts["ok"] / max(elapsed_seconds, 1e-9),
         "cache_hit_ratio": counts["cached"] / max(counts["ok"], 1),
+        # Share of successful requests that cost no execution at all:
+        # cache hits plus in-flight coalesced attachments.
+        "dedup_ratio": (
+            (counts["cached"] + counts["coalesced"]) / max(counts["ok"], 1)
+        ),
         "rate_429": counts["rejected_429"] / total,
         "error_rate": (counts["failed"] + counts["unreachable"]) / total,
         "by_cell": by_cell,
@@ -461,6 +483,9 @@ class SLOPolicy:
     max_p95_seconds: float | None = None
     #: minimum cache-hit ratio (None: not checked)
     min_cache_hit_ratio: float | None = None
+    #: minimum dedup ratio -- cached + coalesced over ok (None: not
+    #: checked); the async-front-end CI gate pins this
+    min_dedup_ratio: float | None = None
     #: at least this many requests must complete ok
     min_ok: int = 1
 
@@ -470,6 +495,7 @@ class SLOPolicy:
             "max_429_rate": self.max_429_rate,
             "max_p95_seconds": self.max_p95_seconds,
             "min_cache_hit_ratio": self.min_cache_hit_ratio,
+            "min_dedup_ratio": self.min_dedup_ratio,
             "min_ok": self.min_ok,
         }
 
@@ -517,6 +543,15 @@ def evaluate_slo(metrics: dict, policy: SLOPolicy) -> dict:
                 ),
             }
         )
+    if policy.min_dedup_ratio is not None:
+        checks.append(
+            {
+                "name": "dedup_ratio",
+                "value": metrics["dedup_ratio"],
+                "bound": policy.min_dedup_ratio,
+                "pass": metrics["dedup_ratio"] >= policy.min_dedup_ratio,
+            }
+        )
     return {"pass": all(check["pass"] for check in checks), "checks": checks}
 
 
@@ -539,6 +574,8 @@ class LoadgenConfig:
     seed: int = 0
     #: 429 retries per request (Retry-After honored by ServiceClient)
     retries: int = 3
+    #: tenant id stamped on every request (X-NPB-Tenant); None = none
+    tenant: str | None = None
     slo: SLOPolicy = field(default_factory=SLOPolicy)
 
     def as_dict(self) -> dict:
@@ -550,6 +587,7 @@ class LoadgenConfig:
             "duration_seconds": self.duration_seconds,
             "seed": self.seed,
             "retries": self.retries,
+            "tenant": self.tenant,
             "slo": self.slo.as_dict(),
         }
 
@@ -600,9 +638,12 @@ def run_loadgen(
 
     client = ServiceClient(url, timeout=timeout)
     client.status()  # reachability gate; raises ServiceUnavailable
+    headers = (
+        None if config.tenant is None else {"X-NPB-Tenant": config.tenant}
+    )
 
     def submit(payload: dict) -> tuple[int, dict]:
-        return client.submit(payload, retries=config.retries)
+        return client.submit(payload, retries=config.retries, headers=headers)
 
     steps = []
     for index, level in enumerate(config.levels):
@@ -672,6 +713,20 @@ def load_record(path: str) -> dict:
             f"{path}: schema_version {version!r} (this tool reads "
             f"<= {SCHEMA_VERSION}); refresh the record with 'npb loadgen'"
         )
+    return _migrate_record(record, version)
+
+
+def _migrate_record(record: dict, version: int) -> dict:
+    """Upgrade an older-schema record in memory (never rewritten on disk)."""
+    if version < 2:
+        # v1 predates in-flight coalescing: the cache was the only dedup
+        # layer, so zero coalesced and dedup_ratio == cache_hit_ratio is
+        # the faithful migration.
+        for step in record.get("curve", []):
+            step.get("requests", {}).setdefault("coalesced", 0)
+            step.setdefault("dedup_ratio", step.get("cache_hit_ratio", 0.0))
+    if version < SCHEMA_VERSION:
+        record["schema_version"] = SCHEMA_VERSION
     return record
 
 

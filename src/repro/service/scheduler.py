@@ -62,6 +62,13 @@ class Scheduler:
         self.executed = 0
         self.cached = 0
         self.failed = 0
+        #: cache-eligible executions that started while the same
+        #: fingerprint was already executing cache-eligibly -- exactly
+        #: the duplicate work in-flight coalescing exists to remove.
+        #: The threaded front end accrues these under concurrent twin
+        #: submissions; the async front end must keep this at zero.
+        self.duplicate_executions = 0
+        self._executing: dict[str, int] = {}
         self.fault_counts: dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
@@ -118,45 +125,73 @@ class Scheduler:
                 record["job_id"] = job.job_id
                 record["cache_hit"] = True
                 record["queue_wait_seconds"] = job.queue_wait_seconds
+                # v6 provenance is per-response, not per-computation:
+                # restamp over whatever the computing job recorded
+                record["tenant"] = job.tenant
+                record["coalesced_with"] = None
                 with self._lock:
                     self.cached += 1
                 self._finish(job, "cached", result=record)
                 return
 
-        team, pooled = self._pool.lease(job.spec.backend, job.spec.workers)
-        job.pooled = pooled
-        job.state = "running"
-        job.started_at = time.time()
-        self._on_update(job)
-        saved_policy = team.policy
-        saved_tier = team.kernel_backend
-        job_policy = job.spec.fault_policy()
-        try:
-            from repro.core.registry import get_benchmark
+        # Duplicate-work accounting: a cache-eligible job whose
+        # fingerprint is already executing cache-eligibly is an
+        # in-flight twin -- work coalescing would have deduplicated.
+        tracked = not job.no_cache
+        if tracked:
+            with self._lock:
+                if self._executing.get(fingerprint, 0) > 0:
+                    self.duplicate_executions += 1
+                self._executing[fingerprint] = (
+                    self._executing.get(fingerprint, 0) + 1
+                )
 
-            if job_policy is not None:
-                team.policy = job_policy
-            # Pooled teams outlive one job: select the job's kernel tier
-            # for this run and restore the pool default afterwards (the
-            # same save/swap/restore as the fault policy above).
-            if job.spec.kernel_backend != saved_tier:
-                team.set_kernel_backend(job.spec.kernel_backend)
-            benchmark = get_benchmark(job.spec.benchmark)(
-                job.spec.problem_class, team
-            )
-            result = benchmark.run()
-        except Exception:
-            self._finish(job, "failed", error=traceback.format_exc())
-            return
+        try:
+            team, pooled = self._pool.lease(job.spec.backend, job.spec.workers)
+            job.pooled = pooled
+            job.state = "running"
+            job.started_at = time.time()
+            self._on_update(job)
+            saved_policy = team.policy
+            saved_tier = team.kernel_backend
+            job_policy = job.spec.fault_policy()
+            try:
+                from repro.core.registry import get_benchmark
+
+                if job_policy is not None:
+                    team.policy = job_policy
+                # Pooled teams outlive one job: select the job's kernel
+                # tier for this run and restore the pool default
+                # afterwards (the same save/swap/restore as the fault
+                # policy above).
+                if job.spec.kernel_backend != saved_tier:
+                    team.set_kernel_backend(job.spec.kernel_backend)
+                benchmark = get_benchmark(job.spec.benchmark)(
+                    job.spec.problem_class, team
+                )
+                result = benchmark.run()
+            except Exception:
+                self._finish(job, "failed", error=traceback.format_exc())
+                return
+            finally:
+                team.policy = saved_policy
+                if team.kernel_backend != saved_tier:
+                    team.set_kernel_backend(saved_tier)
+                self._pool.release(team, pooled)
         finally:
-            team.policy = saved_policy
-            if team.kernel_backend != saved_tier:
-                team.set_kernel_backend(saved_tier)
-            self._pool.release(team, pooled)
+            if tracked:
+                with self._lock:
+                    remaining = self._executing.get(fingerprint, 0) - 1
+                    if remaining > 0:
+                        self._executing[fingerprint] = remaining
+                    else:
+                        self._executing.pop(fingerprint, None)
 
         result.job_id = job.job_id
         result.cache_hit = False
         result.queue_wait_seconds = job.queue_wait_seconds
+        result.tenant = job.tenant
+        result.coalesced_with = None
         record = result.to_dict()
         record["provenance"] = provenance(job.job_id, fingerprint)
         self._cache.put(fingerprint, record)
@@ -175,6 +210,7 @@ class Scheduler:
                 "executed": self.executed,
                 "cached": self.cached,
                 "failed": self.failed,
+                "duplicate_executions": self.duplicate_executions,
                 "fault_counts": dict(self.fault_counts),
             }
 

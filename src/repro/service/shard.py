@@ -208,8 +208,11 @@ class ShardCoordinator:
             name: ServiceClient(url, timeout=client_timeout)
             for name, url in shards.items()
         }
+        # Probes measure connectability, so no keep-alive: a persistent
+        # connection outlives a dead listener (its handler thread keeps
+        # answering) and would report the shard healthy forever.
         self._probers = {
-            name: ServiceClient(url, timeout=probe_timeout)
+            name: ServiceClient(url, timeout=probe_timeout, keep_alive=False)
             for name, url in shards.items()
         }
         self._lock = threading.Lock()
@@ -320,8 +323,10 @@ class ShardCoordinator:
         # One idempotency key for every attempt of this submission: if
         # shard A admitted the job but the connection died before the
         # response, a retry (on A after recovery) attaches to that job
-        # instead of admitting a duplicate.
-        payload.setdefault("job_key", f"{key[:16]}-{sequence:08d}")
+        # instead of admitting a duplicate.  A client-supplied key wins
+        # -- end-to-end idempotency through the coordinator.
+        if payload.get("job_key") is None:
+            payload["job_key"] = f"{key[:16]}-{sequence:08d}"
         intended = self._ring.route(key)
         attempts: list[dict] = []
         for name in self._attempt_order(key):
@@ -383,6 +388,17 @@ class ShardCoordinator:
         if isinstance(body.get("job_id"), str):
             body["shard"] = shard
             body["job_id"] = f"{shard}:{body['job_id']}"
+        # coalesced_with names a shard-local job id (async front end);
+        # namespace it the same way so clients can GET it back.
+        if isinstance(body.get("coalesced_with"), str):
+            body["coalesced_with"] = f"{shard}:{body['coalesced_with']}"
+        result = body.get("result")
+        if isinstance(result, dict) and isinstance(
+            result.get("coalesced_with"), str
+        ):
+            result = dict(result)
+            result["coalesced_with"] = f"{shard}:{result['coalesced_with']}"
+            body["result"] = result
         return body
 
     def job(self, namespaced_id: str) -> tuple[int, dict]:
@@ -445,6 +461,9 @@ class ShardCoordinator:
             "executed": 0,
             "cached": 0,
             "failed": 0,
+            "coalesced": 0,
+            "idempotent_replays": 0,
+            "duplicate_executions": 0,
         }
         for shard in shards.values():
             status = shard["status"]
@@ -463,6 +482,14 @@ class ShardCoordinator:
             totals["executed"] += status["scheduler"]["executed"]
             totals["cached"] += status["scheduler"]["cached"]
             totals["failed"] += status["scheduler"]["failed"]
+            # dedup counters (absent from pre-v6 shards: .get keeps a
+            # mixed-version fleet aggregating)
+            dedup = status.get("dedup", {})
+            totals["coalesced"] += dedup.get("coalesced", 0)
+            totals["idempotent_replays"] += dedup.get("idempotent_replays", 0)
+            totals["duplicate_executions"] += status["scheduler"].get(
+                "duplicate_executions", 0
+            )
         healthy = sum(1 for shard in shards.values() if shard["healthy"])
         return {
             "service": "npb-shard-coordinator",
@@ -551,6 +578,14 @@ class _CoordinatorHandler(BaseHTTPRequestHandler):
         except (ValueError, json.JSONDecodeError) as exc:
             self._send(400, {"error": f"bad job payload: {exc}"})
             return
+        # Header shorthands (body fields win), forwarded into the
+        # payload so shards see them regardless of front-end mode.
+        idem = self.headers.get("Idempotency-Key")
+        if idem is not None and payload.get("job_key") is None:
+            payload["job_key"] = idem
+        tenant = self.headers.get("X-NPB-Tenant")
+        if tenant is not None and payload.get("tenant") is None:
+            payload["tenant"] = tenant
         code, body = coordinator.submit(payload)
         headers = None
         if code == 429:

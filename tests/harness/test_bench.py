@@ -207,6 +207,9 @@ def make_versioned_record(version):
         cell["queue_wait_seconds"] = 0.0
     if version >= 5:
         cell["kernel_backend"] = "fused"
+    if version >= 6:
+        cell["tenant"] = None
+        cell["coalesced_with"] = None
     record = make_record([cell])
     record["schema_version"] = version
     return record
@@ -231,6 +234,8 @@ class TestMigrationChain:
         assert cell["cache_hit"] is False
         assert cell["queue_wait_seconds"] == 0.0
         assert cell["kernel_backend"] == "fused"
+        assert cell["tenant"] is None
+        assert cell["coalesced_with"] is None
         stats = cell["regions"]["conj_grad"]
         assert stats["alloc_bytes"] == 0
         assert stats["alloc_blocks"] == 0
@@ -264,6 +269,7 @@ class TestMigrationChain:
             3: set(),  # v3 added *region* fields, not cell fields
             4: {"job_id", "cache_hit", "queue_wait_seconds"},
             5: {"kernel_backend"},
+            6: {"tenant", "coalesced_with"},
         }
         for version in self.VERSIONS[:-1]:
             old = make_versioned_record(version)["cells"][0]

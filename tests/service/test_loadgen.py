@@ -91,10 +91,12 @@ class TestMixes:
 
 
 def _outcome(cell="CG.S.serial.x1", status="ok", latency=0.1,
-             cache_hit=False, shard=None, degraded=False, code=200):
+             cache_hit=False, shard=None, degraded=False, code=200,
+             coalesced=False):
     return RequestOutcome(cell_id=cell, status=status, code=code,
                           cache_hit=cache_hit, latency_seconds=latency,
-                          shard=shard, degraded=degraded)
+                          shard=shard, degraded=degraded,
+                          coalesced=coalesced)
 
 
 class TestSummarize:
@@ -139,6 +141,28 @@ class TestSummarize:
         assert metrics["latency_seconds"] is None
         assert metrics["throughput_rps"] == 0.0
         assert metrics["cache_hit_ratio"] == 0.0
+        assert metrics["dedup_ratio"] == 0.0
+
+    def test_coalesced_counts_toward_dedup_not_cache(self):
+        outcomes = ([_outcome(cache_hit=True)] * 2
+                    + [_outcome(coalesced=True)] * 3
+                    + [_outcome()] * 5)
+        metrics = summarize_outcomes(outcomes, elapsed_seconds=1.0)
+        counts = metrics["requests"]
+        assert counts["cached"] == 2
+        assert counts["coalesced"] == 3
+        assert counts["executed"] == 5
+        assert metrics["cache_hit_ratio"] == pytest.approx(0.2)
+        assert metrics["dedup_ratio"] == pytest.approx(0.5)
+
+    def test_cache_hit_wins_over_coalesced_classification(self):
+        # a coordinator-side cached replay of a coalesced record carries
+        # both flags; it must be counted once, as a cache hit
+        metrics = summarize_outcomes(
+            [_outcome(cache_hit=True, coalesced=True)], elapsed_seconds=1.0)
+        assert metrics["requests"]["cached"] == 1
+        assert metrics["requests"]["coalesced"] == 0
+        assert metrics["dedup_ratio"] == pytest.approx(1.0)
 
 
 class TestSLO:
@@ -169,6 +193,15 @@ class TestSLO:
         names = {c["name"]: c["pass"] for c in verdict["checks"]}
         assert names["p95_seconds"] is False  # 0.2 > 0.1
         assert names["cache_hit_ratio"] is False  # 0.5 < 0.6
+
+    def test_min_dedup_ratio_gate(self):
+        policy = SLOPolicy(min_dedup_ratio=0.7)
+        verdict = evaluate_slo(self._metrics(dedup_ratio=0.8), policy)
+        names = {c["name"]: c["pass"] for c in verdict["checks"]}
+        assert names["dedup_ratio"] is True
+        verdict = evaluate_slo(self._metrics(dedup_ratio=0.6), policy)
+        names = {c["name"]: c["pass"] for c in verdict["checks"]}
+        assert names["dedup_ratio"] is False
 
     def test_min_ok_guards_empty_runs(self):
         metrics = self._metrics(latency_seconds=None)
@@ -249,6 +282,25 @@ class TestRecords:
         loaded = load_record(path2)
         assert loaded["sequence"] == 2
         assert loaded["kind"] == "npb-loadgen-record"
+
+    def test_v1_record_migrates_in_memory(self, tmp_path):
+        """Pre-coalescing records load with the cache as the only dedup
+        layer: coalesced=0 and dedup_ratio == cache_hit_ratio."""
+        record = self._record(str(tmp_path))
+        record["curve"] = [{
+            "mode": "closed", "level": 2,
+            "requests": {"ok": 10, "total": 10, "cached": 4},
+            "cache_hit_ratio": 0.4,
+        }]
+        path = tmp_path / "LOADGEN_0001.json"
+        path.write_text(json.dumps(record))
+        loaded = load_record(str(path))
+        assert loaded["schema_version"] == 2
+        step = loaded["curve"][0]
+        assert step["requests"]["coalesced"] == 0
+        assert step["dedup_ratio"] == pytest.approx(0.4)
+        # migration is in-memory only: the disk file still says v1
+        assert json.loads(path.read_text())["schema_version"] == 1
 
     def test_load_rejects_foreign_and_future_records(self, tmp_path):
         foreign = tmp_path / "LOADGEN_0001.json"
