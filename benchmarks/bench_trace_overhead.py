@@ -1,0 +1,147 @@
+"""Tracing overhead on the dispatch hot path (min-of-k, gateable).
+
+The obs subsystem's contract is *free when off*: with no sampled trace
+in scope, ``Team._dispatch`` pays exactly one module-global check
+(:func:`repro.obs.trace.tracing_active`) per dispatch and touches
+nothing else.  This script measures that contract:
+
+* ``dispatch off``      -- per-call ``parallel_for`` cost, tracing off
+  (the production default);
+* ``dispatch unsampled``-- same, under an ambient *unsampled* context
+  (a continued trace whose edge decided not to sample);
+* ``dispatch sampled``  -- same, under a sampled context, spans
+  accumulating (the diagnosis mode; expected to cost more);
+* ``active() check``    -- the gate itself, measured alone.
+
+``--check`` exits non-zero unless the off-path overhead stays under
+``--threshold`` (default 1%) of one *no-op* dispatch -- the floor case;
+any real workload makes the denominator larger.  The overhead is the
+cost of ``tracing_active()`` minus the cost of calling a trivial
+``lambda: False`` through the same harness: the timing loop and the
+function-call convention are paid identically by both, so the
+difference isolates what the obs subsystem itself adds (one module
+global load plus a compare).  The raw per-call numbers are printed too,
+nothing is netted out silently.  Timings are min-of-``--repeats`` over
+batched loops, so scheduler noise inflates neither side.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_trace_overhead.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _min_of_k(fn, batch: int, repeats: int) -> float:
+    """Best-of-``repeats`` per-call seconds of ``fn`` over batches."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(batch):
+            fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed / batch)
+    return best
+
+
+def _noop_task(lo, hi):
+    return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="measure tracing overhead on the dispatch hot path")
+    parser.add_argument("--batch", type=int, default=2000,
+                        help="dispatches per timed batch (default 2000)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="batches per case; min is reported (default 5)")
+    parser.add_argument("--extent", type=int, default=1400,
+                        help="parallel_for extent (default 1400, ~CG.S)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless the tracing-off overhead is "
+                             "under --threshold of a no-op dispatch")
+    parser.add_argument("--threshold", type=float, default=0.01,
+                        help="--check bound on check-cost/dispatch-cost "
+                             "(default 0.01 = 1%%)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the measurements as JSON")
+    args = parser.parse_args(argv)
+
+    from repro.obs.spans import SpanStore, set_span_store
+    from repro.obs.trace import (TraceContext, new_trace_id,
+                                 tracing_active, use_trace)
+    from repro.team import SerialTeam
+
+    with SerialTeam() as team:
+        team.parallel_for(args.extent, _noop_task)  # prime the plan
+
+        def dispatch():
+            team.parallel_for(args.extent, _noop_task)
+
+        off = _min_of_k(dispatch, args.batch, args.repeats)
+
+        unsampled_ctx = TraceContext(trace_id=new_trace_id(),
+                                     parent_span_id=None, sampled=False)
+        with use_trace(unsampled_ctx):
+            unsampled = _min_of_k(dispatch, args.batch, args.repeats)
+
+        old_store = set_span_store(SpanStore(capacity=16))
+        try:
+            sampled_ctx = TraceContext(trace_id=new_trace_id(),
+                                       parent_span_id=None)
+            with use_trace(sampled_ctx):
+                sampled = _min_of_k(dispatch, args.batch, args.repeats)
+        finally:
+            set_span_store(old_store)
+
+        team.reset()  # drop the accumulated trace extents
+
+    call_floor = _min_of_k(lambda: False, args.batch * 20, args.repeats)
+    check_cost = _min_of_k(tracing_active, args.batch * 20, args.repeats)
+    off_overhead = max(0.0, check_cost - call_floor) / off
+    sampled_overhead = (sampled - off) / off
+
+    results = {
+        "batch": args.batch,
+        "repeats": args.repeats,
+        "extent": args.extent,
+        "dispatch_off_seconds": off,
+        "dispatch_unsampled_seconds": unsampled,
+        "dispatch_sampled_seconds": sampled,
+        "tracing_active_seconds": check_cost,
+        "call_floor_seconds": call_floor,
+        "off_overhead_fraction": off_overhead,
+        "sampled_overhead_fraction": sampled_overhead,
+        "threshold": args.threshold,
+    }
+
+    if args.json:
+        import json
+
+        print(json.dumps(results, indent=2))
+    else:
+        print(f"dispatch off        {off * 1e6:9.3f} us/call")
+        print(f"dispatch unsampled  {unsampled * 1e6:9.3f} us/call  "
+              f"(x{unsampled / off:.3f})")
+        print(f"dispatch sampled    {sampled * 1e6:9.3f} us/call  "
+              f"(x{sampled / off:.3f}, span accumulation on)")
+        print(f"active() check      {check_cost * 1e9:9.3f} ns/call  "
+              f"(trivial-call floor {call_floor * 1e9:.3f} ns)")
+        print(f"off-path overhead   {off_overhead:.4%} of one no-op "
+              f"dispatch (threshold {args.threshold:.0%})")
+
+    if args.check and off_overhead >= args.threshold:
+        print(f"FAIL: tracing-off overhead {off_overhead:.4%} >= "
+              f"{args.threshold:.0%}", file=sys.stderr)
+        return 1
+    if args.check:
+        print("check passed: tracing is free when off")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

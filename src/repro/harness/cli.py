@@ -284,7 +284,8 @@ def _cmd_serve(args) -> int:
         cache_dir=args.cache_dir, cache_entries=args.cache_entries,
         policy=_fault_policy(args),
         kernel_backend=args.kernel_backend,
-        chaos=chaos)
+        chaos=chaos,
+        trace_sample=getattr(args, "trace_sample", 0.0))
     if getattr(args, "async_frontend", False):
         return _serve_async(args, service, chaos)
     httpd = make_server(service, host=args.host, port=args.port,
@@ -410,6 +411,8 @@ def _spawn_shard(name: str, args, chaos_seed: int | None = None,
            "--drain-timeout", str(args.drain_timeout)]
     if getattr(args, "async_frontend", False):
         cmd.append("--async")
+    if getattr(args, "trace_sample", 0.0):
+        cmd += ["--trace-sample", str(args.trace_sample)]
     if chaos_seed is not None:
         cmd += ["--chaos-seed", str(chaos_seed),
                 "--chaos-preset", chaos_preset]
@@ -468,7 +471,8 @@ def _cmd_shard_serve(args) -> int:
 
     coordinator = ShardCoordinator(
         shards, replicas=args.replicas,
-        health_interval=args.health_interval)
+        health_interval=args.health_interval,
+        trace_sample=getattr(args, "trace_sample", 0.0))
     coordinator.start()
     httpd = make_shard_server(coordinator, host=args.host, port=args.port,
                               verbose=args.verbose)
@@ -724,6 +728,8 @@ def _cmd_submit(args) -> int:
         "kernel_backend": args.kernel_backend,
         "wait": not args.no_wait,
     }
+    if args.trace:
+        payload["trace"] = True
     if args.dispatch_timeout is not None:
         payload["dispatch_timeout"] = args.dispatch_timeout
     if args.max_retries is not None:
@@ -752,6 +758,8 @@ def _cmd_submit(args) -> int:
         print(json.dumps(body, indent=2))
     else:
         print(_job_summary(body))
+    if args.trace and body.get("job_id") and not args.json:
+        print(f"traced: npb trace {body['job_id']} --url {args.url}")
     if args.no_wait:
         return EXIT_OK
     if body.get("state") == "failed":
@@ -824,6 +832,77 @@ def _cmd_jobs(args) -> int:
     return EXIT_OK
 
 
+def _cmd_trace(args) -> int:
+    from repro.obs.export import (
+        build_trace_record,
+        latest_trace_record_path,
+        layer_summary,
+        load_trace_record,
+        render_trace_tree,
+        write_trace_record,
+    )
+    from repro.obs.spans import Span
+    from repro.service import ServiceClient, ServiceUnavailable
+
+    if args.last:
+        path = latest_trace_record_path(args.dir)
+        if path is None:
+            print(f"npb trace: no TRACE_*.json in {args.dir!r}; fetch one "
+                  f"first with 'npb trace <job_id>'", file=sys.stderr)
+            return EXIT_FAILURE
+        record = load_trace_record(path)
+        spans = [Span.from_dict(s) for s in record["spans"]]
+        if args.json:
+            print(json.dumps(record, indent=2))
+        else:
+            print(f"{path} (job {record.get('job_id')})")
+            print(render_trace_tree(spans, record["trace_id"]))
+        return EXIT_OK
+    if not args.job_id:
+        print("npb trace: pass a job id or --last", file=sys.stderr)
+        return EXIT_USAGE
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        code, body = client.trace(args.job_id)
+    except ServiceUnavailable as exc:
+        print(f"npb trace: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if code == 404:
+        print(f"npb trace: {body.get('error')}", file=sys.stderr)
+        return EXIT_FAILURE
+    if code != 200:
+        print(f"npb trace: HTTP {code}: {body.get('error')}",
+              file=sys.stderr)
+        return EXIT_USAGE
+    spans = [Span.from_dict(s) for s in body.get("spans", [])]
+    if not spans:
+        print(f"npb trace: job {args.job_id!r} has trace id "
+              f"{body.get('trace_id')} but no spans survive in the "
+              f"store (evicted?)", file=sys.stderr)
+        return EXIT_FAILURE
+    path = None
+    if not args.no_record:
+        path = write_trace_record(
+            spans, body["trace_id"], args.dir, job_id=body.get("job_id"))
+    if args.json:
+        record = build_trace_record(
+            spans, body["trace_id"], job_id=body.get("job_id"))
+        record["path"] = path
+        print(json.dumps(record, indent=2))
+        return EXIT_OK
+    print(render_trace_tree(spans, body["trace_id"]))
+    layers = layer_summary(spans)
+    width = max(len(name) for name in layers)
+    print("\nper-layer totals:")
+    for name, seconds in sorted(
+            layers.items(), key=lambda item: -item[1]):
+        print(f"  {name:<{width}}  {seconds * 1000:.1f}ms")
+    if path is not None:
+        print(f"wrote {path}")
+    return EXIT_OK
+
+
 def _loadgen_step_line(step: dict) -> str:
     counts = step["requests"]
     latency = step["latency_seconds"] or {}
@@ -839,6 +918,10 @@ def _loadgen_step_line(step: dict) -> str:
                  f"  p99 {latency['p99'] * 1000:.1f}ms")
     if counts["degraded"]:
         line += f"  [{counts['degraded']} degraded-route]"
+    slowest = step.get("slowest_trace")
+    if slowest:
+        line += (f"\n       slowest: npb trace {slowest['job_id']} "
+                 f"({slowest['latency_seconds'] * 1000:.1f}ms)")
     return line
 
 
@@ -922,7 +1005,8 @@ def _cmd_loadgen(args) -> int:
         profile=profile, mode=args.mode, levels=levels,
         requests_per_step=args.requests,
         duration_seconds=args.duration, seed=args.seed,
-        retries=args.retries, slo=policy, tenant=args.tenant)
+        retries=args.retries, slo=policy, tenant=args.tenant,
+        trace=args.trace)
     try:
         record = loadgen.run_loadgen(
             args.url, config, timeout=args.timeout,
@@ -1201,6 +1285,13 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=list(CHAOS_PRESETS),
                        help="fault-rule preset for --chaos-seed "
                             "(default service)")
+    serve.add_argument("--trace-sample", type=float, default=0.0,
+                       metavar="RATE",
+                       help="trace this fraction of submissions end-to-"
+                            "end (0..1; default 0 = off; explicit "
+                            "'npb submit --trace' jobs are always "
+                            "traced); spans show at GET /jobs/<id>/trace "
+                            "and 'npb trace'")
     serve.add_argument("-v", "--verbose", action="store_true",
                        help="log every HTTP request to stderr")
     serve.set_defaults(fn=_cmd_serve)
@@ -1240,6 +1331,11 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--timeout", type=float, default=600.0,
                         help="client-side HTTP timeout in seconds "
                              "(default 600)")
+    submit.add_argument("--trace", action="store_true",
+                        help="trace this job end-to-end regardless of "
+                             "the server's --trace-sample rate; read "
+                             "the span tree back with 'npb trace "
+                             "<job_id>'")
     submit.add_argument("--json", action="store_true",
                         help="print the job record as JSON")
     submit.set_defaults(fn=_cmd_submit)
@@ -1293,6 +1389,14 @@ def build_parser() -> argparse.ArgumentParser:
     shard_serve.add_argument("--drain-timeout", type=float, default=60.0,
                              help="seconds to wait for spawned shards to "
                                   "drain on SIGTERM/SIGINT (default 60)")
+    shard_serve.add_argument("--trace-sample", type=float, default=0.0,
+                             metavar="RATE",
+                             help="trace this fraction of submissions "
+                                  "(0..1; default 0); applied at the "
+                                  "coordinator edge and passed through "
+                                  "to spawned shards so one decision "
+                                  "covers routing, scheduling, and "
+                                  "kernel regions")
     shard_serve.add_argument("-v", "--verbose", action="store_true",
                              help="log every HTTP request to stderr")
     shard_serve.set_defaults(fn=_cmd_shard_serve)
@@ -1367,6 +1471,31 @@ def build_parser() -> argparse.ArgumentParser:
     jobs.add_argument("--timeout", type=float, default=30.0)
     jobs.add_argument("--json", action="store_true")
     jobs.set_defaults(fn=_cmd_jobs)
+
+    trace = sub.add_parser(
+        "trace", help="fetch a traced job's span tree from a running "
+                      "service or coordinator, render it with per-layer "
+                      "durations, and append a TRACE_<seq>.json record "
+                      "(--last re-renders the newest record from disk)")
+    trace.add_argument("job_id", nargs="?", default=None,
+                       help="job id (namespaced <shard>:<id> through a "
+                            "coordinator); the job must have been "
+                            "traced (submit --trace or --trace-sample)")
+    trace.add_argument("--last", action="store_true",
+                       help="render the latest TRACE_<seq>.json in "
+                            "--dir instead of fetching from a service")
+    trace.add_argument("--url", default=DEFAULT_SERVICE_URL,
+                       help=f"service or coordinator address (default "
+                            f"{DEFAULT_SERVICE_URL})")
+    trace.add_argument("--dir", default=".",
+                       help="trajectory directory for TRACE_<seq>.json "
+                            "numbering (default .)")
+    trace.add_argument("--no-record", action="store_true",
+                       help="render only; skip writing TRACE_<seq>.json")
+    trace.add_argument("--timeout", type=float, default=30.0)
+    trace.add_argument("--json", action="store_true",
+                       help="print the trace record as JSON")
+    trace.set_defaults(fn=_cmd_trace)
 
     loadgen = sub.add_parser(
         "loadgen", help="generate service traffic (closed-loop "
@@ -1445,6 +1574,11 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--tenant", default=None,
                          help="tenant id stamped on every request "
                               "(X-NPB-Tenant header)")
+    loadgen.add_argument("--trace", action="store_true",
+                         help="trace every request and report the "
+                              "slowest per step (diagnosis mode; span "
+                              "collection adds overhead, so not for "
+                              "baseline records)")
     loadgen.add_argument("--slo-min-ok", type=int, default=1,
                          help="minimum completed-ok requests per step "
                               "(default 1)")

@@ -47,6 +47,11 @@ import time
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.obs.metrics import (CONTENT_TYPE as METRICS_CONTENT_TYPE,
+                               MetricsRegistry, process_rss_bytes)
+from repro.obs.spans import TraceSampler, get_span_store
+from repro.obs.trace import (TRACEPARENT_HEADER, TraceContext, current_trace,
+                             format_traceparent, parse_traceparent)
 from repro.runtime.dispatch import FaultPolicy
 from repro.service.cache import ResultCache
 from repro.service.jobs import AdmissionRejected, Job, JobQueue, JobSpec
@@ -79,9 +84,19 @@ class BenchService:
         kernel_backend: str = "fused",
         chaos=None,
         autostart: bool = True,
+        trace_sample: float = 0.0,
     ):
         #: default kernel tier for submissions that don't name one
         self.default_kernel_backend = kernel_backend
+        #: edge sampling decision for submissions that carry no
+        #: traceparent (``--trace-sample RATE``; explicit traced submits
+        #: are always on)
+        self.sampler = TraceSampler(trace_sample)
+        self.trace_sample = float(trace_sample)
+        #: per-service metric registry (the /metrics exposition body);
+        #: per-instance rather than process-global so tests that build
+        #: many services never read each other's counters
+        self.metrics = MetricsRegistry()
         self.queue = JobQueue(maxdepth=queue_depth)
         self.pool = TeamPool(backend, workers, size=pool_size, policy=policy)
         self.cache = ResultCache(cache_dir, max_entries=cache_entries)
@@ -108,10 +123,79 @@ class BenchService:
         #: service lock from dispatcher threads, must be cheap
         self._listeners: list = []
         self.started_at = time.time()
+        self._register_metrics()
         if autostart:
             self.scheduler.start()
 
     # ------------------------------------------------------------------ #
+
+    def _register_metrics(self) -> None:
+        """Wire the registry onto live service state.
+
+        Gauges are callback-backed -- a scrape reads the queue, pool,
+        cache, and scheduler directly instead of the service mirroring
+        every change -- so metrics cost nothing between scrapes.  Only
+        the per-job counter/histogram pair is push-style, fed by a
+        state-change listener on terminal transitions.
+        """
+        reg = self.metrics
+        reg.gauge("npb_queue_depth", "jobs waiting in the admission queue",
+                  callback=lambda: self.queue.depth)
+        reg.gauge("npb_queue_capacity", "admission queue bound",
+                  callback=lambda: self.queue.maxdepth)
+        reg.gauge("npb_pool_teams", "team pool occupancy",
+                  callback=lambda: {
+                      "idle": self.pool.occupancy()["idle"],
+                      "in_use": self.pool.occupancy()["in_use"],
+                  }, label_name="state")
+        reg.gauge("npb_pool_leases_total", "pool leases since start",
+                  callback=lambda: self.pool.occupancy()["leases"])
+        reg.gauge("npb_cache_events_total", "result cache activity",
+                  callback=lambda: {
+                      key: self.cache.stats()[key]
+                      for key in ("hits", "misses", "evictions",
+                                  "corruption_healed")
+                  }, label_name="event")
+        reg.gauge("npb_dedup_total", "requests absorbed without executing",
+                  callback=lambda: {
+                      "coalesced": self.coalesced,
+                      "idempotent_replays": self.idempotent_replays,
+                      "duplicate_executions":
+                          self.scheduler.duplicate_executions,
+                  }, label_name="kind")
+        reg.gauge("npb_fault_events_total", "runtime fault events by kind",
+                  callback=lambda: self.scheduler.stats()["fault_counts"],
+                  label_name="kind")
+        if self.chaos is not None:
+            reg.gauge("npb_chaos_injected_total", "injected faults by kind",
+                      callback=lambda: self.chaos.summary()["kinds"],
+                      label_name="kind")
+        reg.gauge("npb_process_rss_bytes", "peak resident set (getrusage)",
+                  callback=process_rss_bytes)
+        reg.gauge("npb_uptime_seconds", "seconds since service start",
+                  callback=lambda: time.time() - self.started_at)
+        self._jobs_total = reg.counter(
+            "npb_jobs_total", "terminal jobs by state and benchmark")
+        self._http_responses = reg.counter(
+            "npb_http_responses_total", "front-end responses by status code")
+        self._job_latency = reg.histogram(
+            "npb_job_latency_seconds",
+            "submit-to-terminal latency by benchmark")
+        self.add_listener(self._observe_job)
+
+    def _observe_job(self, job: Job) -> None:
+        if not job.terminal:
+            return
+        benchmark = job.spec.benchmark
+        self._jobs_total.inc(state=job.state, benchmark=benchmark)
+        if job.finished_at is not None:
+            self._job_latency.observe(
+                job.finished_at - job.submitted_at, benchmark=benchmark
+            )
+
+    def note_http_response(self, code: int) -> None:
+        """Count one front-end response (both front ends call this)."""
+        self._http_responses.inc(code=str(code))
 
     def _on_update(self, job: Job) -> None:
         with self._cond:
@@ -152,6 +236,7 @@ class BenchService:
         kernel_backend: str | None = None,
         job_key: str | None = None,
         tenant: str | None = None,
+        trace: TraceContext | None = None,
     ) -> Job:
         """Admit one job (raises :class:`AdmissionRejected` when full).
 
@@ -167,7 +252,13 @@ class BenchService:
         shard coordinator resubmit after an ambiguous transport failure
         without double-running the work.  ``tenant`` is provenance for
         fair admission (and the v6 record); it does not affect the run.
+
+        ``trace`` is the request's trace context (the front ends pass
+        the continued/minted one); when None the service's own sampler
+        decides, so ``--trace-sample`` also covers in-process submits.
         """
+        if trace is None:
+            trace = self.sampler.decide()
         if job_key is not None:
             job_key = str(job_key)
             with self._cond:
@@ -205,6 +296,7 @@ class BenchService:
                 no_cache=bool(no_cache),
                 job_key=job_key,
                 tenant=None if tenant is None else str(tenant),
+                trace=trace,
             )
             if job_key is not None:
                 self._by_key[job_key] = job
@@ -273,6 +365,11 @@ class BenchService:
         status = {
             "service": "npb-bench-service",
             "uptime_seconds": time.time() - self.started_at,
+            #: peak resident set (satellite of the obs PR): lets the
+            #: loadgen/chaos leak checks read memory from the service
+            #: instead of shelling out to ``ps``
+            "rss_bytes": process_rss_bytes(),
+            "trace_sample": self.trace_sample,
             "draining": draining,
             "queue": {
                 "depth": self.queue.depth,
@@ -318,6 +415,48 @@ class BenchService:
 # ===================================================================== #
 
 
+def begin_submit_trace(
+    service: BenchService, payload: dict, header_value: str | None,
+    front_end: str,
+):
+    """Edge tracing for one submit request (both front ends).
+
+    Pops the explicit ``trace`` flag from the payload, continues an
+    incoming ``traceparent`` (or lets the sampler decide), and -- when
+    sampled -- opens the front end's ``http.submit`` span.  Returns
+    ``(span_or_None, context_to_submit_with)``; the caller ends the
+    span when the response goes out and passes the context to
+    ``service.submit(trace=...)`` so the scheduler's spans nest under
+    the HTTP one.
+    """
+    forced = bool(payload.pop("trace", False))
+    incoming = parse_traceparent(header_value)
+    ctx = service.sampler.decide(incoming, forced=forced)
+    if not ctx.sampled:
+        return None, ctx
+    span, child = get_span_store().start_span(
+        "http.submit", ctx=ctx, attrs={"front_end": front_end}
+    )
+    return span, child
+
+
+def job_trace_response(service: BenchService, job_id: str) -> tuple[int, dict]:
+    """``GET /jobs/<id>/trace`` body: this process's spans of the job's
+    trace (the coordinator merges its own on top when proxying)."""
+    job = service.job(job_id)
+    if job is None:
+        return 404, {"error": "unknown job"}
+    trace_id = job.trace_id
+    if trace_id is None:
+        return 404, {"error": f"job {job_id!r} was not traced"}
+    spans = get_span_store().trace(trace_id)
+    return 200, {
+        "trace_id": trace_id,
+        "job_id": job_id,
+        "spans": [span.to_dict() for span in spans],
+    }
+
+
 class _ServiceHandler(BaseHTTPRequestHandler):
     """JSON shim: translates HTTP verbs onto the BenchService facade."""
 
@@ -332,25 +471,42 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _send(
-        self, code: int, payload: dict, headers: dict | None = None
+    def _send_bytes(
+        self,
+        code: int,
+        body: bytes,
+        content_type: str,
+        headers: dict | None = None,
     ) -> None:
-        body = (json.dumps(payload, indent=2) + "\n").encode()
+        self.server.service.note_http_response(code)
         self.send_response(code)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
+    def _send(
+        self, code: int, payload: dict, headers: dict | None = None
+    ) -> None:
+        body = (json.dumps(payload, indent=2) + "\n").encode()
+        self._send_bytes(code, body, "application/json", headers)
+
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         service = self.server.service
         path = self.path.rstrip("/") or "/"
         if path == "/status":
             self._send(200, service.status())
+        elif path == "/metrics":
+            self._send_bytes(
+                200, service.metrics.render().encode(), METRICS_CONTENT_TYPE
+            )
         elif path == "/jobs":
             self._send(200, {"jobs": [j.as_dict() for j in service.jobs()]})
+        elif path.startswith("/jobs/") and path.endswith("/trace"):
+            job_id = path[len("/jobs/") : -len("/trace")]
+            self._send(*job_trace_response(service, job_id))
         elif path.startswith("/jobs/"):
             job = service.job(path[len("/jobs/") :])
             if job is None:
@@ -380,7 +536,16 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             tenant = self.headers.get("X-NPB-Tenant")
             if tenant is not None and payload.get("tenant") is None:
                 payload["tenant"] = tenant
-            job = service.submit(**payload)
+            span, ctx = begin_submit_trace(
+                service, payload,
+                self.headers.get(TRACEPARENT_HEADER), "threaded",
+            )
+            try:
+                job = service.submit(**payload, trace=ctx)
+            except BaseException:
+                if span is not None:
+                    span.end("error")
+                raise
         except AdmissionRejected as exc:
             self._send(
                 429,
@@ -391,14 +556,23 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         except (TypeError, ValueError, json.JSONDecodeError) as exc:
             self._send(400, {"error": f"bad job spec: {exc}"})
             return
+        if span is not None:
+            span.attrs["job_id"] = job.job_id
         if wait:
             try:
                 job = service.wait(job.job_id, timeout=wait_timeout)
             except TimeoutError as exc:
+                if span is not None:
+                    span.end("error")
                 self._send(504, {"error": str(exc), "job": job.as_dict()})
                 return
+            finally:
+                if span is not None:
+                    span.end()
             self._send(200, job.as_dict())
         else:
+            if span is not None:
+                span.end()
             self._send(202, job.as_dict())
 
 
@@ -509,11 +683,25 @@ class ServiceClient:
         path: str,
         payload: dict | None = None,
         headers: dict | None = None,
-    ) -> tuple[int, dict, dict]:
-        """One request: ``(status, body, headers)``."""
+        parse_json: bool = True,
+    ) -> tuple[int, dict | str, dict]:
+        """One request: ``(status, body, headers)``.
+
+        Every method (GET included) shares the same stale-keep-alive
+        retry: a failure on a *reused* connection gets exactly one
+        transparent retry on a fresh one.  With ``parse_json=False``
+        the body is returned as decoded text (the /metrics exposition
+        is not JSON).
+        """
         data = None if payload is None else json.dumps(payload).encode()
         send_headers = {"Content-Type": "application/json"}
         send_headers.update(headers or {})
+        if TRACEPARENT_HEADER not in send_headers:
+            # propagate an ambient trace context (npb submit --trace,
+            # traced loadgen) on every request automatically
+            ctx = current_trace()
+            if ctx is not None:
+                send_headers[TRACEPARENT_HEADER] = format_traceparent(ctx)
         for _ in range(2):
             conn, reused = self._connection()
             try:
@@ -538,6 +726,12 @@ class ServiceClient:
                 conn.close()
             elif response.will_close:
                 self._drop_connection()
+            if not parse_json:
+                return (
+                    response.status,
+                    raw.decode(errors="replace"),
+                    dict(response.headers),
+                )
             try:
                 body = json.loads(raw or b"{}")
             except json.JSONDecodeError:
@@ -581,3 +775,14 @@ class ServiceClient:
 
     def status(self) -> tuple[int, dict]:
         return self._request("GET", "/status")
+
+    def trace(self, job_id: str) -> tuple[int, dict]:
+        """``GET /jobs/<id>/trace``: the server-side span tree."""
+        return self._request("GET", f"/jobs/{job_id}/trace")
+
+    def metrics(self) -> tuple[int, str]:
+        """``GET /metrics``: the raw Prometheus exposition text."""
+        code, body, _ = self._request_full(
+            "GET", "/metrics", parse_json=False
+        )
+        return code, body

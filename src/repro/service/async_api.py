@@ -57,9 +57,12 @@ import threading
 import time
 from collections import deque
 
+from repro.obs.metrics import CONTENT_TYPE as METRICS_CONTENT_TYPE
 from repro.service.api import (
     RETRY_AFTER_SECONDS,
     BenchService,
+    begin_submit_trace,
+    job_trace_response,
 )
 from repro.service.jobs import AdmissionRejected, Job, routing_key
 
@@ -369,7 +372,7 @@ class AsyncFrontEnd:
             self._resolve_job(job)
         return fut
 
-    async def _submit(self, payload: dict) -> Job:
+    async def _submit(self, payload: dict, trace=None) -> Job:
         """Admit one job on the loop thread.
 
         ``service.submit`` never blocks: it validates the spec, hashes
@@ -378,7 +381,7 @@ class AsyncFrontEnd:
         two executor handoffs on the hottest path in the server; keep
         the coroutine shape so call sites read the same either way.
         """
-        return self.service.submit(**payload)
+        return self.service.submit(**payload, trace=trace)
 
     # ------------------------------------------------------------------ #
     # request handling
@@ -400,6 +403,26 @@ class AsyncFrontEnd:
         header_tenant = headers.get("x-npb-tenant")
         if header_tenant is not None and payload.get("tenant") is None:
             payload["tenant"] = header_tenant
+        span, ctx = begin_submit_trace(
+            self.service, payload, headers.get("traceparent"), "async"
+        )
+        try:
+            result = await self._admit(payload, wait, wait_timeout, ctx)
+        except BaseException:
+            if span is not None:
+                span.end("error")
+            raise
+        if span is not None:
+            code, response = result[0], result[1]
+            if isinstance(response, dict) and response.get("job_id"):
+                span.attrs["job_id"] = response["job_id"]
+            span.end("error" if code >= 400 else "ok")
+        return result
+
+    async def _admit(
+        self, payload: dict, wait: bool, wait_timeout, trace
+    ) -> tuple:
+        """The submit path behind the front-end span (see above)."""
         tenant = payload.get("tenant")
 
         # Layer 1: idempotency-key replay (no work, no quota).
@@ -451,7 +474,7 @@ class AsyncFrontEnd:
             return self._rejected(exc)
 
         try:
-            job = await self._submit(payload)
+            job = await self._submit(payload, trace)
         except AdmissionRejected as exc:
             self._abort_entry(key, entry, exc)
             self.admission.release()
@@ -600,6 +623,7 @@ class AsyncFrontEnd:
                         {"error": f"{type(exc).__name__}: {exc}"},
                         {},
                     )
+                self.service.note_http_response(code)
                 self._write_response(writer, code, payload, extra, keep_alive)
                 await writer.drain()
                 if not keep_alive:
@@ -669,9 +693,23 @@ class AsyncFrontEnd:
                 "admission": self.admission.stats(),
             }
             return 200, status, {}
+        if method == "GET" and path == "/metrics":
+            return (
+                200,
+                service.metrics.render(),
+                {"Content-Type": METRICS_CONTENT_TYPE},
+            )
         if method == "GET" and path == "/jobs":
             jobs = await loop.run_in_executor(None, service.jobs)
             return 200, {"jobs": [job.as_dict() for job in jobs]}, {}
+        if (
+            method == "GET"
+            and path.startswith("/jobs/")
+            and path.endswith("/trace")
+        ):
+            job_id = path[len("/jobs/") : -len("/trace")]
+            code, payload = job_trace_response(service, job_id)
+            return code, payload, {}
         if method == "GET" and path.startswith("/jobs/"):
             job = service.job(path[len("/jobs/") :])
             if job is None:
@@ -683,17 +721,24 @@ class AsyncFrontEnd:
     def _write_response(
         writer: asyncio.StreamWriter,
         code: int,
-        payload: dict,
+        payload: dict | str,
         extra_headers: dict | None,
         keep_alive: bool,
     ) -> None:
-        body = (json.dumps(payload, indent=2) + "\n").encode()
+        headers = dict(extra_headers or {})
+        if isinstance(payload, str):
+            # preformatted body (the /metrics exposition text)
+            body = payload.encode()
+            content_type = headers.pop("Content-Type", "text/plain")
+        else:
+            body = (json.dumps(payload, indent=2) + "\n").encode()
+            content_type = "application/json"
         lines = [
             f"HTTP/1.1 {code} {_REASONS.get(code, 'Unknown')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
         ]
-        for name, value in (extra_headers or {}).items():
+        for name, value in headers.items():
             lines.append(f"{name}: {value}")
         if not keep_alive:
             lines.append("Connection: close")

@@ -53,6 +53,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.obs.trace import TraceContext
 from repro.runtime.dispatch import FaultPolicy
 
 #: Priority lanes in drain order.
@@ -277,6 +278,17 @@ class Job:
     #: True when the job ran on a pre-spawned pool team, False for a
     #: cold one-shot team, None when it never ran (cached/failed early)
     pooled: bool | None = None
+    #: trace context the submitting request carried (or the sampler
+    #: minted); the scheduler activates it around execution.  None means
+    #: the request predates tracing or sampling is off entirely.
+    trace: TraceContext | None = None
+
+    @property
+    def trace_id(self) -> str | None:
+        """Trace id when this job is actually being traced (sampled)."""
+        if self.trace is not None and self.trace.sampled:
+            return self.trace.trace_id
+        return None
 
     @property
     def terminal(self) -> bool:
@@ -317,6 +329,7 @@ class Job:
             "queue_wait_seconds": self.queue_wait_seconds,
             "cache_hit": self.cache_hit,
             "pooled": self.pooled,
+            "trace_id": self.trace_id,
             "error": self.error,
             "result": self.result,
         }

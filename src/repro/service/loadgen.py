@@ -257,6 +257,10 @@ class RequestOutcome:
     #: True when the response was coalesced onto an in-flight job
     #: (``coalesced_with`` present -- async front end only)
     coalesced: bool = False
+    #: job id of the admitted job (None for 429/unreachable)
+    job_id: str | None = None
+    #: trace id when the request was traced (``--trace`` runs)
+    trace_id: str | None = None
 
 
 def classify_response(code: int, body: dict) -> tuple[str, bool]:
@@ -286,6 +290,7 @@ def issue_request(submit, cell_id: str, payload: dict) -> RequestOutcome:
     latency = time.perf_counter() - start
     status, cache_hit = classify_response(code, body)
     routing = body.get("routing") or {}
+    result = body.get("result") or {}
     return RequestOutcome(
         cell_id=cell_id,
         status=status,
@@ -295,6 +300,8 @@ def issue_request(submit, cell_id: str, payload: dict) -> RequestOutcome:
         shard=routing.get("served_by"),
         degraded=bool(routing.get("degraded")),
         coalesced=body.get("coalesced_with") is not None,
+        job_id=body.get("job_id"),
+        trace_id=body.get("trace_id") or result.get("trace_id"),
     )
 
 
@@ -576,6 +583,9 @@ class LoadgenConfig:
     retries: int = 3
     #: tenant id stamped on every request (X-NPB-Tenant); None = none
     tenant: str | None = None
+    #: trace every request and surface the slowest one per step; the
+    #: span overhead makes this a diagnosis mode, not a bench default
+    trace: bool = False
     slo: SLOPolicy = field(default_factory=SLOPolicy)
 
     def as_dict(self) -> dict:
@@ -588,6 +598,7 @@ class LoadgenConfig:
             "seed": self.seed,
             "retries": self.retries,
             "tenant": self.tenant,
+            "trace": self.trace,
             "slo": self.slo.as_dict(),
         }
 
@@ -619,7 +630,31 @@ def run_step(submit, config: LoadgenConfig, index: int) -> dict:
     metrics["mode"] = config.mode
     metrics["level"] = level
     metrics["slo"] = evaluate_slo(metrics, config.slo)
+    if config.trace:
+        metrics["slowest_trace"] = slowest_traced_request(outcomes)
     return metrics
+
+
+def slowest_traced_request(outcomes: list[RequestOutcome]) -> dict | None:
+    """The slowest traced ok request of a step -- the one worth reading.
+
+    Every request of a ``--trace`` step carries a trace; surfacing the
+    slowest one's ids lets ``npb trace <job_id>`` answer "where did the
+    p100 go" without hunting through the span store.
+    """
+    traced = [
+        outcome
+        for outcome in outcomes
+        if outcome.status == "ok" and outcome.trace_id is not None
+    ]
+    if not traced:
+        return None
+    slowest = max(traced, key=lambda outcome: outcome.latency_seconds)
+    return {
+        "job_id": slowest.job_id,
+        "trace_id": slowest.trace_id,
+        "latency_seconds": slowest.latency_seconds,
+    }
 
 
 def run_loadgen(
@@ -643,6 +678,8 @@ def run_loadgen(
     )
 
     def submit(payload: dict) -> tuple[int, dict]:
+        if config.trace:
+            payload = dict(payload, trace=True)
         return client.submit(payload, retries=config.retries, headers=headers)
 
     steps = []

@@ -30,6 +30,8 @@ import threading
 import time
 import traceback
 
+from repro.obs.spans import get_span_store, spans_from_team_trace
+from repro.obs.trace import use_trace
 from repro.service.cache import ResultCache, provenance
 from repro.service.jobs import Job, JobQueue
 from repro.service.pool import TeamPool
@@ -90,8 +92,6 @@ class Scheduler:
             if job is None:
                 return
             try:
-                if self.chaos is not None:
-                    self.chaos.on_dispatch(job)
                 self._execute(job)
             except Exception as exc:  # defensive: a dispatcher must survive
                 self._finish(job, "failed", error=f"{type(exc).__name__}: {exc}")
@@ -114,10 +114,68 @@ class Scheduler:
                 self.failed += 1
         self._on_update(job)
 
+    # ------------------------------------------------------------------ #
+    # tracing helpers (no-ops for untraced jobs)
+
+    def _chaos_mark(self) -> int:
+        return len(self.chaos.events) if self.chaos is not None else 0
+
+    def _attach_chaos_events(self, span, mark: int) -> None:
+        """Turn faults injected since ``mark`` into events on ``span``.
+
+        This is what lets a chaos run's trace prove *which* span
+        absorbed each injected fault.
+        """
+        if span is None or self.chaos is None:
+            return
+        for event in list(self.chaos.events)[mark:]:
+            span.add_event(
+                f"chaos.{event['kind']}",
+                point=event["point"],
+                detail=event.get("detail", ""),
+            )
+
     def _execute(self, job: Job) -> None:
+        trace = job.trace
+        traced = trace is not None and trace.sampled
+        store = get_span_store() if traced else None
+        sched_span = run_ctx = None
+        if traced:
+            sched_span, run_ctx = store.start_span(
+                "schedule",
+                ctx=trace,
+                attrs={
+                    "job_id": job.job_id,
+                    "benchmark": job.spec.benchmark,
+                    "problem_class": job.spec.problem_class,
+                    "backend": job.spec.backend,
+                    "workers": job.spec.workers,
+                },
+            )
+            # queue wait happened before this dispatcher picked the job
+            # up; backdate the span to admission so the tree shows it
+            wait_span, _ = store.start_span(
+                "queue.wait",
+                ctx=run_ctx,
+                started_at=job.queued_at or sched_span.started_at,
+            )
+            wait_span.end()
+        chaos_mark = self._chaos_mark()
+        if self.chaos is not None:
+            self.chaos.on_dispatch(job)
+        self._attach_chaos_events(sched_span, chaos_mark)
+
         fingerprint = job.spec.fingerprint()
         if not job.no_cache:
+            probe_span = None
+            if traced:
+                probe_span, _ = store.start_span("cache.probe", ctx=run_ctx)
+            chaos_mark = self._chaos_mark()
             stored = self._cache.get(fingerprint)
+            if probe_span is not None:
+                probe_span.attrs["hit"] = stored is not None
+                self._attach_chaos_events(probe_span, chaos_mark)
+                probe_span.end()
             if stored is not None:
                 job.cache_hit = True
                 job.started_at = time.time()
@@ -129,6 +187,9 @@ class Scheduler:
                 # restamp over whatever the computing job recorded
                 record["tenant"] = job.tenant
                 record["coalesced_with"] = None
+                if traced:
+                    record["trace_id"] = trace.trace_id
+                    sched_span.end()
                 with self._lock:
                     self.cached += 1
                 self._finish(job, "cached", result=record)
@@ -147,7 +208,16 @@ class Scheduler:
                 )
 
         try:
+            lease_span = None
+            if traced:
+                lease_span, _ = store.start_span("pool.lease", ctx=run_ctx)
+            chaos_mark = self._chaos_mark()
             team, pooled = self._pool.lease(job.spec.backend, job.spec.workers)
+            if lease_span is not None:
+                lease_span.attrs["pooled"] = pooled
+                lease_span.attrs["team"] = type(team).__name__
+                self._attach_chaos_events(lease_span, chaos_mark)
+                lease_span.end()
             job.pooled = pooled
             job.state = "running"
             job.started_at = time.time()
@@ -169,8 +239,37 @@ class Scheduler:
                 benchmark = get_benchmark(job.spec.benchmark)(
                     job.spec.problem_class, team
                 )
-                result = benchmark.run()
+                if traced:
+                    run_span, region_ctx = store.start_span(
+                        "run",
+                        ctx=run_ctx,
+                        attrs={
+                            "benchmark": job.spec.benchmark,
+                            "backend": job.spec.backend,
+                            "workers": job.spec.workers,
+                            "kernel_backend": job.spec.kernel_backend,
+                        },
+                    )
+                    try:
+                        # activate the context so Team._dispatch
+                        # accumulates per-region / per-worker timing
+                        with use_trace(region_ctx):
+                            result = benchmark.run()
+                    except Exception:
+                        run_span.end("error")
+                        raise
+                    run_span.attrs["verified"] = result.verified
+                    run_span.end()
+                    store.add_many(
+                        spans_from_team_trace(
+                            team.take_trace(), result.regions, region_ctx
+                        )
+                    )
+                else:
+                    result = benchmark.run()
             except Exception:
+                if traced:
+                    sched_span.end("error")
                 self._finish(job, "failed", error=traceback.format_exc())
                 return
             finally:
@@ -194,7 +293,14 @@ class Scheduler:
         result.coalesced_with = None
         record = result.to_dict()
         record["provenance"] = provenance(job.job_id, fingerprint)
+        chaos_mark = self._chaos_mark()
         self._cache.put(fingerprint, record)
+        self._attach_chaos_events(sched_span, chaos_mark)
+        if traced:
+            # stamped after cache.put so the *stored* record stays
+            # trace-free (a later hit is a different trace)
+            record["trace_id"] = trace.trace_id
+            sched_span.end()
         with self._lock:
             self.executed += 1
             for kind, count in result.fault_counts.items():

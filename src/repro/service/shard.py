@@ -45,6 +45,11 @@ import time
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.obs.metrics import (CONTENT_TYPE as METRICS_CONTENT_TYPE,
+                               MetricsRegistry, process_rss_bytes)
+from repro.obs.spans import TraceSampler, get_span_store
+from repro.obs.trace import (TRACEPARENT_HEADER, TraceContext,
+                             format_traceparent, parse_traceparent)
 from repro.service.api import (
     RETRY_AFTER_SECONDS,
     ServiceClient,
@@ -194,10 +199,14 @@ class ShardCoordinator:
         probe_timeout: float = DEFAULT_PROBE_TIMEOUT,
         client_timeout: float = 600.0,
         default_kernel_backend: str = "fused",
+        trace_sample: float = 0.0,
     ):
         if not shards:
             raise ValueError("a coordinator needs at least one shard")
         self.default_kernel_backend = default_kernel_backend
+        #: edge sampling for submissions arriving without a traceparent
+        self.sampler = TraceSampler(trace_sample)
+        self.trace_sample = float(trace_sample)
         self.health_interval = health_interval
         self._ring = HashRing(shards, replicas=replicas)
         self._states = {
@@ -225,6 +234,47 @@ class ShardCoordinator:
         self.failovers = 0
         self.unroutable = 0
         self.started_at = time.time()
+        self.metrics = MetricsRegistry()
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        reg = self.metrics
+        reg.gauge(
+            "npb_shard_healthy", "1 when the shard's last probe succeeded",
+            callback=lambda: {
+                name: 1.0 if state.healthy else 0.0
+                for name, state in self._states.items()
+            }, label_name="shard")
+        reg.gauge(
+            "npb_shard_submissions_total", "submissions served per shard",
+            callback=lambda: {
+                name: state.submissions
+                for name, state in self._states.items()
+            }, label_name="shard")
+        reg.gauge(
+            "npb_routing_total", "coordinator routing outcomes",
+            callback=lambda: {
+                "submitted": self.routed,
+                "failovers": self.failovers,
+                "unroutable": self.unroutable,
+            }, label_name="outcome")
+        # chaos is attached after construction (coordinator.chaos = ...),
+        # so the callback re-checks at every scrape
+        reg.gauge("npb_chaos_injected_total", "injected faults by kind",
+                  callback=lambda: (
+                      self.chaos.summary()["kinds"]
+                      if self.chaos is not None
+                      else {}
+                  ), label_name="kind")
+        reg.gauge("npb_process_rss_bytes", "peak resident set (getrusage)",
+                  callback=process_rss_bytes)
+        reg.gauge("npb_uptime_seconds", "seconds since coordinator start",
+                  callback=lambda: time.time() - self.started_at)
+        self._http_responses = reg.counter(
+            "npb_http_responses_total", "front-end responses by status code")
+
+    def note_http_response(self, code: int) -> None:
+        self._http_responses.inc(code=str(code))
 
     # ------------------------------------------------------------------ #
     # health
@@ -305,7 +355,9 @@ class ShardCoordinator:
             unhealthy = [n for n in order if not self._states[n].healthy]
         return healthy + unhealthy
 
-    def submit(self, payload: dict) -> tuple[int, dict]:
+    def submit(
+        self, payload: dict, trace: "TraceContext | None" = None
+    ) -> tuple[int, dict]:
         """Route one submission; fail over around unreachable shards.
 
         Returns the shard's response with the job id namespaced and a
@@ -314,6 +366,13 @@ class ShardCoordinator:
         lists every shard tried with the error that moved us on -- a
         structured verdict, not a guess, so callers (and the loadgen
         SLO) can tell a clean run from a survived outage.
+
+        ``trace`` is the edge sampling decision (made by the HTTP
+        handler from the incoming ``traceparent``); when sampled, the
+        route is recorded as a ``coordinator.route`` span whose child
+        context is forwarded to the chosen shard, so a failover keeps
+        the same trace id and shows up as a ``failover`` span event
+        rather than a fresh trace.
         """
         payload = dict(payload)
         key = routing_key(payload, self.default_kernel_backend)
@@ -328,6 +387,19 @@ class ShardCoordinator:
         if payload.get("job_key") is None:
             payload["job_key"] = f"{key[:16]}-{sequence:08d}"
         intended = self._ring.route(key)
+        if trace is None:
+            trace = self.sampler.decide(
+                forced=bool(payload.get("trace", False))
+            )
+        route_span = None
+        fwd_headers = None
+        if trace.sampled:
+            route_span, child_ctx = get_span_store().start_span(
+                "coordinator.route",
+                ctx=trace,
+                attrs={"routing_key": key, "intended": intended},
+            )
+            fwd_headers = {TRACEPARENT_HEADER: format_traceparent(child_ctx)}
         attempts: list[dict] = []
         for name in self._attempt_order(key):
             try:
@@ -342,10 +414,16 @@ class ShardCoordinator:
                 if synthetic is not None:
                     code, body = synthetic
                 else:
-                    code, body = self._clients[name].submit(payload)
+                    code, body = self._clients[name].submit(
+                        payload, headers=fwd_headers
+                    )
             except ServiceUnavailable as exc:
                 self._mark_unreachable(name, str(exc))
                 attempts.append({"shard": name, "error": str(exc)})
+                if route_span is not None:
+                    route_span.add_event(
+                        "failover", shard=name, error=str(exc)
+                    )
                 continue
             with self._lock:
                 self.routed += 1
@@ -367,9 +445,16 @@ class ShardCoordinator:
                 ),
                 "attempts": attempts,
             }
+            if route_span is not None:
+                route_span.attrs["served_by"] = name
+                route_span.attrs["degraded"] = degraded
+                route_span.end("error" if code >= 400 else "ok")
             return code, body
         with self._lock:
             self.unroutable += 1
+        if route_span is not None:
+            route_span.attrs["served_by"] = None
+            route_span.end("error")
         return 503, {
             "error": "no shard reachable",
             "routing": {
@@ -415,6 +500,41 @@ class ShardCoordinator:
             return 503, {"error": f"shard {shard!r} unreachable: {exc}"}
         if code == 200:
             body = self._namespace_job(shard, body)
+        return code, body
+
+    def trace(self, namespaced_id: str) -> tuple[int, dict]:
+        """``GET /jobs/<id>/trace`` through the coordinator: the owning
+        shard's spans merged with the coordinator's own (the
+        ``coordinator.route`` span and its ``failover`` events live in
+        this process, not the shard's)."""
+        shard, _, job_id = namespaced_id.partition(":")
+        if not job_id or shard not in self._clients:
+            return 404, {
+                "error": f"malformed or unknown shard job id {namespaced_id!r}"
+            }
+        try:
+            code, body = self._clients[shard].trace(job_id)
+        except ServiceUnavailable as exc:
+            self._mark_unreachable(shard, str(exc))
+            return 503, {"error": f"shard {shard!r} unreachable: {exc}"}
+        if code != 200:
+            return code, body
+        body = dict(body)
+        body["job_id"] = namespaced_id
+        trace_id = body.get("trace_id")
+        if trace_id:
+            own = get_span_store().trace(trace_id)
+            if own:
+                # In-process fleets (tests, embedded shards) share the
+                # process-global store with their shards, so the proxied
+                # body may already hold our spans -- dedupe by span id.
+                shard_spans = list(body.get("spans", []))
+                seen = {span["span_id"] for span in shard_spans}
+                body["spans"] = [
+                    span.to_dict()
+                    for span in own
+                    if span.span_id not in seen
+                ] + shard_spans
         return code, body
 
     def jobs(self) -> tuple[int, dict]:
@@ -464,6 +584,7 @@ class ShardCoordinator:
             "coalesced": 0,
             "idempotent_replays": 0,
             "duplicate_executions": 0,
+            "rss_bytes": 0,
         }
         for shard in shards.values():
             status = shard["status"]
@@ -490,10 +611,15 @@ class ShardCoordinator:
             totals["duplicate_executions"] += status["scheduler"].get(
                 "duplicate_executions", 0
             )
+            # pre-obs shards do not report rss_bytes; .get keeps a
+            # mixed-version fleet aggregating
+            totals["rss_bytes"] += status.get("rss_bytes", 0)
         healthy = sum(1 for shard in shards.values() if shard["healthy"])
         return {
             "service": "npb-shard-coordinator",
             "uptime_seconds": time.time() - self.started_at,
+            "rss_bytes": process_rss_bytes(),
+            "trace_sample": self.trace_sample,
             "shard_count": len(shards),
             "healthy_shards": healthy,
             "degraded": healthy < len(shards),
@@ -539,25 +665,45 @@ class _CoordinatorHandler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _send(
-        self, code: int, payload: dict, headers: dict | None = None
+    def _send_bytes(
+        self,
+        code: int,
+        body: bytes,
+        content_type: str,
+        headers: dict | None = None,
     ) -> None:
-        body = (json.dumps(payload, indent=2) + "\n").encode()
+        self.server.coordinator.note_http_response(code)
         self.send_response(code)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
+    def _send(
+        self, code: int, payload: dict, headers: dict | None = None
+    ) -> None:
+        body = (json.dumps(payload, indent=2) + "\n").encode()
+        self._send_bytes(code, body, "application/json", headers=headers)
+
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         coordinator = self.server.coordinator
         path = self.path.rstrip("/") or "/"
         if path == "/status":
             self._send(200, coordinator.status())
+        elif path == "/metrics":
+            self._send_bytes(
+                200,
+                coordinator.metrics.render().encode(),
+                METRICS_CONTENT_TYPE,
+            )
         elif path == "/jobs":
             code, body = coordinator.jobs()
+            self._send(code, body)
+        elif path.startswith("/jobs/") and path.endswith("/trace"):
+            job_id = path[len("/jobs/") : -len("/trace")]
+            code, body = coordinator.trace(job_id)
             self._send(code, body)
         elif path.startswith("/jobs/"):
             code, body = coordinator.job(path[len("/jobs/") :])
@@ -586,7 +732,16 @@ class _CoordinatorHandler(BaseHTTPRequestHandler):
         tenant = self.headers.get("X-NPB-Tenant")
         if tenant is not None and payload.get("tenant") is None:
             payload["tenant"] = tenant
-        code, body = coordinator.submit(payload)
+        # Edge sampling decision: a sampled incoming traceparent (or an
+        # explicit "trace": true) makes this submission traced through
+        # routing, shard, scheduler, and kernel regions alike.
+        trace = coordinator.sampler.decide(
+            incoming=parse_traceparent(
+                self.headers.get(TRACEPARENT_HEADER)
+            ),
+            forced=bool(payload.get("trace", False)),
+        )
+        code, body = coordinator.submit(payload, trace=trace)
         headers = None
         if code == 429:
             # The shard's Retry-After does not survive the client hop;

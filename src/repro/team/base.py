@@ -65,12 +65,14 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from repro.kernels.registry import (DEFAULT_TIER, resolve as resolve_kernel,
                                     validate_tier)
+from repro.obs.trace import current_trace, tracing_active
 from repro.runtime.arena import (allocation_probe_start,
                                  allocation_probe_stop, arena_rewind_task)
 from repro.runtime.dispatch import (FaultEvent, FaultPolicy,
@@ -101,6 +103,10 @@ class Team(ABC):
         self._kernel_fns: dict[str, Callable] = {}
         #: per-region dispatch/execute/barrier accounting
         self.recorder = RegionRecorder(nworkers)
+        #: per-region trace accumulation (region extents + per-worker
+        #: activity), only populated while a sampled trace is active --
+        #: see :meth:`take_trace`
+        self._trace: "OrderedDict[str, dict]" = OrderedDict()
         self._closed = False
         self._degraded = False
 
@@ -205,10 +211,68 @@ class Team(ABC):
             done_at = time.perf_counter()
             self.recorder.record(published_at, done_at, replies,
                                  allocation_probe_stop(probe))
+            # Tracing fast path: one global load + branch when off.  The
+            # contextvar is only consulted once some thread in the
+            # process holds a sampled trace, so untraced dispatch stays
+            # within the bench_trace_overhead.py budget.
+            if tracing_active():
+                ctx = current_trace()
+                if ctx is not None and ctx.sampled:
+                    self._trace_accumulate(published_at, done_at, replies)
             for reply in replies:
                 if not reply.ok:
                     raise_reply_error(reply)
             return [reply.value for reply in replies]
+
+    def _trace_accumulate(self, published_at: float, done_at: float,
+                          replies: list[WorkerReply]) -> None:
+        """Fold one traced dispatch into the per-region trace state.
+
+        Bounded by (regions x workers), not by dispatch count: a CG run
+        issues thousands of dispatches, so per-dispatch spans would
+        swamp any store.  Instead each region keeps its extent (first
+        publish -> last completion, ``perf_counter`` stamps) and each
+        worker its extent + cumulative busy time within the region.
+        The worker stamps come from the replies, i.e. from *inside the
+        worker* -- for ProcessTeam that is the forked child's own clock
+        (CLOCK_MONOTONIC, shared epoch across fork), which is what lets
+        worker spans surface in the parent process without any pipe-
+        protocol change.
+        """
+        region = self.recorder.current_region
+        entry = self._trace.get(region)
+        if entry is None:
+            entry = self._trace[region] = {
+                "first": published_at, "last": done_at,
+                "calls": 0, "workers": {},
+            }
+        entry["last"] = done_at
+        entry["calls"] += 1
+        workers = entry["workers"]
+        for reply in replies:
+            stats = workers.get(reply.rank)
+            if stats is None:
+                stats = workers[reply.rank] = {
+                    "first": reply.started_at, "last": reply.finished_at,
+                    "busy": 0.0, "calls": 0, "errors": 0,
+                }
+            stats["first"] = min(stats["first"], reply.started_at)
+            stats["last"] = max(stats["last"], reply.finished_at)
+            stats["busy"] += reply.finished_at - reply.started_at
+            stats["calls"] += 1
+            if not reply.ok:
+                stats["errors"] += 1
+
+    def take_trace(self) -> "OrderedDict[str, dict]":
+        """Drain the per-region trace accumulation (see ``_trace``).
+
+        The scheduler calls this once per traced run to build region +
+        worker spans; draining (rather than reading) keeps a pooled
+        team's next job from inheriting this job's trace state even if
+        the owner forgets to :meth:`reset`.
+        """
+        trace, self._trace = self._trace, OrderedDict()
+        return trace
 
     # ------------------------------------------------------------------ #
     # kernel-tier selection (see repro.kernels.registry)
@@ -302,6 +366,7 @@ class Team(ABC):
         # recorder stats the reset is about to guarantee are empty.
         self.run_on_all(arena_rewind_task)
         self.recorder.reset()
+        self._trace.clear()
 
     def alive(self) -> bool:
         """Whether this team can still accept work right now.

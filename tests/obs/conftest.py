@@ -1,0 +1,18 @@
+"""Obs test fixtures: isolate the process-global span store per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.spans import SpanStore, set_span_store
+
+
+@pytest.fixture(autouse=True)
+def fresh_span_store():
+    """Every obs test gets its own store; the suite's other traced
+    activity (and earlier tests) can never leak spans into assertions."""
+    old = set_span_store(SpanStore())
+    try:
+        yield
+    finally:
+        set_span_store(old)

@@ -1,0 +1,125 @@
+"""Prometheus text exposition: instrument semantics and format shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    CONTENT_TYPE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_buckets,
+    process_rss_bytes,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates_per_label_set(self):
+        counter = Counter("jobs_total", "jobs")
+        counter.inc(state="done")
+        counter.inc(state="done")
+        counter.inc(state="failed")
+        assert counter.value(state="done") == 2
+        assert counter.value(state="failed") == 1
+        lines = counter.collect()
+        assert 'jobs_total{state="done"} 2' in lines
+        assert 'jobs_total{state="failed"} 1' in lines
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c", "").inc(-1)
+
+    def test_unlabelled_counter_renders_zero_before_first_inc(self):
+        assert Counter("c", "").collect() == ["c 0"]
+
+
+class TestGauge:
+    def test_set_and_collect(self):
+        gauge = Gauge("depth", "queue depth")
+        gauge.set(3)
+        assert gauge.collect() == ["depth 3"]
+
+    def test_callback_reads_live_state_at_scrape_time(self):
+        state = {"value": 1.0}
+        gauge = Gauge("g", "", callback=lambda: state["value"])
+        assert gauge.collect() == ["g 1"]
+        state["value"] = 7.5
+        assert gauge.collect() == ["g 7.5"]
+
+    def test_dict_callback_becomes_a_label_family(self):
+        gauge = Gauge("pool", "", callback=lambda: {"idle": 2, "in_use": 1},
+                      label_name="state")
+        assert gauge.collect() == [
+            'pool{state="idle"} 2',
+            'pool{state="in_use"} 1',
+        ]
+
+    def test_raising_callback_never_breaks_a_scrape(self):
+        def boom():
+            raise RuntimeError("pool torn down mid-scrape")
+        assert Gauge("g", "", callback=boom).collect() == []
+
+    def test_label_values_escaped(self):
+        gauge = Gauge("g", "")
+        gauge.set(1, name='we"ird\nvalue')
+        (line,) = gauge.collect()
+        assert '\\"' in line and "\\n" in line
+
+
+class TestHistogram:
+    def test_cumulative_buckets_sum_and_count(self):
+        histogram = Histogram("lat", "", buckets=[0.1, 1.0])
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        lines = histogram.collect()
+        assert 'lat_bucket{le="0.1"} 1' in lines
+        assert 'lat_bucket{le="1"} 2' in lines
+        assert 'lat_bucket{le="+Inf"} 3' in lines
+        assert "lat_count 3" in lines
+        (sum_line,) = [line for line in lines if line.startswith("lat_sum")]
+        assert float(sum_line.split()[1]) == pytest.approx(5.55)
+
+    def test_log_buckets_cover_ms_to_minutes(self):
+        buckets = log_buckets()
+        assert buckets[0] == pytest.approx(0.001)
+        assert buckets[-1] > 60
+
+    def test_labelled_series_kept_separate(self):
+        histogram = Histogram("lat", "", buckets=[1.0])
+        histogram.observe(0.5, benchmark="cg")
+        histogram.observe(2.0, benchmark="mg")
+        assert histogram.snapshot(benchmark="cg")["count"] == 1
+        assert histogram.snapshot(benchmark="mg")["count"] == 1
+
+
+class TestRegistry:
+    def test_render_emits_help_and_type_per_family(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "things").inc()
+        registry.gauge("b", "level").set(2)
+        text = registry.render()
+        assert "# HELP a_total things" in text
+        assert "# TYPE a_total counter" in text
+        assert "# TYPE b gauge" in text
+        assert text.endswith("\n")
+
+    def test_reregistration_returns_the_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_content_type_names_prometheus_text_format(self):
+        assert "text/plain" in CONTENT_TYPE and "0.0.4" in CONTENT_TYPE
+
+
+def test_process_rss_is_positive_and_plausible():
+    rss = process_rss_bytes()
+    assert rss > 1024 * 1024       # a Python process is > 1 MiB
+    assert rss < 1 << 40           # and < 1 TiB
